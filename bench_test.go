@@ -1,0 +1,344 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches listed in DESIGN.md and component micro-benchmarks.
+// Corpus compilation and profiling are cached in a shared context so each
+// benchmark measures its own experiment's work.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/heuristics"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/neural"
+)
+
+var (
+	benchCtx  *experiments.Context
+	benchOnce sync.Once
+)
+
+func sharedCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx = experiments.NewContext()
+		// Pre-analyze the corpus so benchmarks time their experiment, not
+		// corpus profiling.
+		if _, err := benchCtx.StudyData(codegen.Default); err != nil {
+			panic(err)
+		}
+	})
+	return benchCtx
+}
+
+// --- One benchmark per table/figure ------------------------------------------
+
+func BenchmarkTable1Heuristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3ProgramStats(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 43 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkTable4MissRates(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(ctx, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Overall.ESP >= res.Overall.APHC {
+			b.Fatalf("headline inverted: ESP %.3f vs APHC %.3f",
+				res.Overall.ESP, res.Overall.APHC)
+		}
+	}
+}
+
+func BenchmarkTable5HeuristicDetail(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6CrossArch(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7CompilerSweep(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1NetDescription(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure1(100, 20) == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure2TomcatvEdges(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TopBlockSharePct <= 0 {
+			b.Fatal("no hot blocks")
+		}
+	}
+}
+
+func BenchmarkSchemeStudy(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SchemeStudy(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorpusSizeSweep(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CorpusSize(ctx, []int{8, 23}, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md) --------------------------------------------
+
+func BenchmarkAblationFeatureSets(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFeatureSets(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHiddenUnits(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHiddenUnits(ctx, []int{12, 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLoss(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLoss(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationClassifier(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationClassifier(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCallPolarity(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCallPolarity(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAPHCOrder(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.APHCOrderSearch(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Orders != 40320 {
+			b.Fatal("wrong order count")
+		}
+	}
+}
+
+func BenchmarkProfileEstimation(b *testing.B) {
+	ctx := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ProfileEstimation(ctx, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ESPError >= res.UniformError {
+			b.Fatal("ESP probabilities no better than the uninformed baseline")
+		}
+	}
+}
+
+// --- Component micro-benchmarks -----------------------------------------------
+
+func BenchmarkCompileEspresso(b *testing.B) {
+	e, _ := corpus.ByName("espresso")
+	ast, err := minic.Parse(e.Name, e.Source+corpus.StdlibSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Compile(ast, e.Language, codegen.Default); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpretTomcatv(b *testing.B) {
+	e, _ := corpus.ByName("tomcatv")
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := interp.Run(prog, e.RunConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(prof.Insns) // reports interpreted instructions per second
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	e, _ := corpus.ByName("gcc")
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := features.Collect(prog)
+		if len(features.ExtractAll(ps)) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}
+
+func BenchmarkHeuristicApply(b *testing.B) {
+	e, _ := corpus.ByName("gcc")
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := features.Collect(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range ps.Sites {
+			for _, h := range heuristics.AllHeuristics() {
+				heuristics.Apply(h, s, heuristics.Config{})
+			}
+		}
+	}
+}
+
+func BenchmarkNeuralTraining(b *testing.B) {
+	// A representative training set: 500 examples, 86 inputs, 12 hidden.
+	cfg := neural.Config{Inputs: 86, Hidden: 12, Seed: 1, MaxEpochs: 50, Patience: 50}
+	rng := uint64(12345)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64((rng>>33)&0xFFFF)/65535*2 - 1
+	}
+	xs := make([][]float64, 500)
+	ts := make([]float64, 500)
+	ws := make([]float64, 500)
+	for i := range xs {
+		xs[i] = make([]float64, cfg.Inputs)
+		for j := range xs[i] {
+			xs[i][j] = next()
+		}
+		ts[i] = (next() + 1) / 2
+		ws[i] = 1.0 / 500
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := neural.New(cfg)
+		n.Train(cfg, xs, ts, ws)
+	}
+}
+
+func BenchmarkESPPrediction(b *testing.B) {
+	ctx := sharedCtx(b)
+	data, err := ctx.LanguageData(ir.LangFortran, codegen.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.Train(data[1:], core.Config{})
+	pred := &core.Predictor{Model: model}
+	held := data[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heuristics.MissRate(held.Sites, held.Profile, pred)
+	}
+}

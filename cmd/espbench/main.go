@@ -1,0 +1,177 @@
+// Command espbench regenerates every table and figure of the paper's
+// evaluation from the synthetic corpus. Run with no arguments for
+// everything, or select individual experiments:
+//
+//	espbench -table 4          # the central predictor comparison
+//	espbench -figure 2         # the tomcatv hot-fragment profile
+//	espbench -scheme           # the Section 3.1.2 Scheme study
+//	espbench -corpussize       # the corpus-size observation
+//	espbench -ablations        # design-choice ablations
+//	espbench -orders           # exhaustive APHC order search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render one table (1-7)")
+	figure := flag.Int("figure", 0, "render one figure (1-2)")
+	scheme := flag.Bool("scheme", false, "run the Scheme language study")
+	corpusSize := flag.Bool("corpussize", false, "run the corpus-size study")
+	ablations := flag.Bool("ablations", false, "run the ESP design ablations")
+	orders := flag.Bool("orders", false, "run the exhaustive APHC order search")
+	profileEst := flag.Bool("profileest", false, "run the Section 6 profile-estimation study")
+	hidden := flag.Int("hidden", 0, "override ESP hidden-layer width")
+	seed := flag.Uint64("seed", 0, "override ESP training seed")
+	flag.Parse()
+
+	ctx := experiments.NewContext()
+	espCfg := core.Config{Hidden: *hidden, Seed: *seed}
+	any := *table != 0 || *figure != 0 || *scheme || *corpusSize || *ablations || *orders || *profileEst
+
+	run := func(name string, f func() (string, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if !any || *table == 1 {
+		run("table 1", func() (string, error) { return experiments.Table1(), nil })
+	}
+	if !any || *table == 2 {
+		run("table 2", func() (string, error) { return experiments.Table2(), nil })
+	}
+	if !any || *table == 3 {
+		run("table 3", func() (string, error) {
+			r, err := experiments.Table3(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *table == 4 {
+		run("table 4", func() (string, error) {
+			r, err := experiments.Table4(ctx, espCfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *table == 5 {
+		run("table 5", func() (string, error) {
+			r, err := experiments.Table5(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *table == 6 {
+		run("table 6", func() (string, error) {
+			r, err := experiments.Table6(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *table == 7 {
+		run("table 7", func() (string, error) {
+			r, err := experiments.Table7(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *figure == 1 {
+		run("figure 1", func() (string, error) { return experiments.Figure1(100, 20), nil })
+	}
+	if !any || *figure == 2 {
+		run("figure 2", func() (string, error) {
+			r, err := experiments.Figure2(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *scheme {
+		run("scheme study", func() (string, error) {
+			r, err := experiments.SchemeStudy(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *corpusSize {
+		run("corpus size", func() (string, error) {
+			r, err := experiments.CorpusSize(ctx, []int{8, 12, 16, 23}, espCfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *ablations {
+		run("ablations", func() (string, error) {
+			out := ""
+			fs, err := experiments.AblationFeatureSets(ctx)
+			if err != nil {
+				return "", err
+			}
+			out += experiments.RenderAblations("Ablation: feature sets", fs) + "\n"
+			hu, err := experiments.AblationHiddenUnits(ctx, []int{8, 12, 20, 32})
+			if err != nil {
+				return "", err
+			}
+			out += experiments.RenderAblations("Ablation: hidden units", hu) + "\n"
+			lo, err := experiments.AblationLoss(ctx)
+			if err != nil {
+				return "", err
+			}
+			out += experiments.RenderAblations("Ablation: loss weighting", lo) + "\n"
+			cl, err := experiments.AblationClassifier(ctx)
+			if err != nil {
+				return "", err
+			}
+			out += experiments.RenderAblations("Ablation: classifier", cl) + "\n"
+			cp, err := experiments.AblationCallPolarity(ctx)
+			if err != nil {
+				return "", err
+			}
+			out += experiments.RenderAblations("Ablation: Call heuristic polarity", cp)
+			return out, nil
+		})
+	}
+	if !any || *orders {
+		run("order search", func() (string, error) {
+			r, err := experiments.APHCOrderSearch(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !any || *profileEst {
+		run("profile estimation", func() (string, error) {
+			r, err := experiments.ProfileEstimation(ctx, espCfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Command esptool trains, saves, loads, and applies ESP models:
+//
+//	esptool train -out model.json              # train on the full corpus
+//	esptool train -lang FORT -out model.json   # train on one language group
+//	esptool train -tree -out model.json        # decision-tree classifier
+//	esptool predict -model model.json -program gzip
+//	esptool rules -model model.json            # print decision-tree rules
+//	esptool eval                               # all predictors on the corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/heuristics"
+	"repro/internal/ir"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	case "rules":
+		cmdRules(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: esptool {train|predict|rules|eval} [flags]")
+	os.Exit(2)
+}
+
+// analyzeCorpus profiles a set of corpus entries.
+func analyzeCorpus(entries []corpus.Entry) []*core.ProgramData {
+	var out []*core.ProgramData
+	for _, e := range entries {
+		prog, err := e.Compile(codegen.Default)
+		if err != nil {
+			fatal(err)
+		}
+		pd, err := core.Analyze(prog, e.Language, e.RunConfig())
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, pd)
+	}
+	return out
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("out", "esp-model.json", "output model file")
+	lang := fs.String("lang", "", "restrict corpus to one language (C or FORT)")
+	tree := fs.Bool("tree", false, "train the decision-tree classifier")
+	hidden := fs.Int("hidden", 0, "hidden units (default 12)")
+	seed := fs.Uint64("seed", 0, "training seed (default 1)")
+	exclude := fs.String("exclude", "", "program to hold out of the corpus")
+	mustParse(fs, args)
+
+	entries := corpus.Study()
+	if *lang != "" {
+		entries = corpus.ByLanguage(ir.Language(*lang))
+	}
+	var kept []corpus.Entry
+	for _, e := range entries {
+		if e.Name != *exclude {
+			kept = append(kept, e)
+		}
+	}
+	data := analyzeCorpus(kept)
+	cfg := core.Config{Hidden: *hidden, Seed: *seed}
+	if *tree {
+		cfg.Classifier = core.DecisionTree
+	}
+	model := core.Train(data, cfg)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %s on %d programs (%d examples dim=%d) -> %s\n",
+		cfg.Classifier, len(data), countExamples(data), model.Encoder.Dim, *out)
+	if cfg.Classifier == core.NeuralNet {
+		fmt.Printf("epochs=%d best thresholded error=%.4f\n",
+			model.TrainStats.Epochs, model.TrainStats.BestThresholded)
+	}
+}
+
+func countExamples(data []*core.ProgramData) int {
+	n := 0
+	for _, pd := range data {
+		n += len(pd.Examples())
+	}
+	return n
+}
+
+func loadModel(path string) *core.Model {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "esp-model.json", "model file")
+	program := fs.String("program", "", "corpus program to predict")
+	verbose := fs.Bool("v", false, "print per-site predictions")
+	mustParse(fs, args)
+
+	e, ok := corpus.ByName(*program)
+	if !ok {
+		fatal(fmt.Errorf("unknown corpus program %q", *program))
+	}
+	model := loadModel(*modelPath)
+	data := analyzeCorpus([]corpus.Entry{e})[0]
+	pred := &core.Predictor{Model: model}
+	miss := heuristics.MissRate(data.Sites, data.Profile, pred)
+	aphc := heuristics.MissRate(data.Sites, data.Profile, heuristics.NewAPHC())
+	fmt.Printf("%s: ESP miss %s%%  (APHC %s%%, BTFNT %s%%)\n", e.Name,
+		stats.Pct1(miss), stats.Pct1(aphc),
+		stats.Pct1(heuristics.MissRate(data.Sites, data.Profile, heuristics.BTFNT{})))
+	if *verbose {
+		for _, o := range heuristics.Outcomes(data.Sites, data.Profile, pred) {
+			if o.Executed == 0 {
+				continue
+			}
+			fmt.Printf("  %-24s exec=%8d taken=%5.2f predicted=%s\n",
+				o.Ref, o.Executed, float64(o.Taken)/float64(o.Executed), o.Pred)
+		}
+	}
+}
+
+func cmdRules(args []string) {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	modelPath := fs.String("model", "esp-model.json", "model file")
+	mustParse(fs, args)
+	model := loadModel(*modelPath)
+	if model.Tree == nil {
+		fatal(fmt.Errorf("model %s is not a decision tree; train with -tree", *modelPath))
+	}
+	for _, r := range model.Tree.Rules() {
+		fmt.Println(r)
+	}
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	mustParse(fs, args)
+	data := analyzeCorpus(corpus.Study())
+	t := stats.NewTable("Program", "BTFNT", "APHC", "Perfect")
+	for _, pd := range data {
+		t.Row(pd.Name,
+			stats.Pct(heuristics.MissRate(pd.Sites, pd.Profile, heuristics.BTFNT{})),
+			stats.Pct(heuristics.MissRate(pd.Sites, pd.Profile, heuristics.NewAPHC())),
+			stats.Pct(heuristics.MissRate(pd.Sites, pd.Profile, &heuristics.Perfect{Prof: pd.Profile})))
+	}
+	fmt.Print(t.String())
+}
+
+func mustParse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esptool:", err)
+	os.Exit(1)
+}

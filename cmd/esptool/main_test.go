@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "esptool")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestTrainPredictRulesRoundtrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tool test in short mode")
+	}
+	bin := buildTool(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+
+	// Train a decision tree on the Fortran group, holding tomcatv out.
+	out, err := exec.Command(bin, "train", "-tree", "-lang", "FORT",
+		"-exclude", "tomcatv", "-out", model).CombinedOutput()
+	if err != nil {
+		t.Fatalf("train: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "decision-tree") {
+		t.Errorf("train output missing classifier:\n%s", out)
+	}
+
+	// Predict the held-out program.
+	out, err = exec.Command(bin, "predict", "-model", model, "-program", "tomcatv").CombinedOutput()
+	if err != nil {
+		t.Fatalf("predict: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ESP miss") || !strings.Contains(string(out), "APHC") {
+		t.Errorf("predict output incomplete:\n%s", out)
+	}
+
+	// Print the learned rules.
+	out, err = exec.Command(bin, "rules", "-model", model).CombinedOutput()
+	if err != nil {
+		t.Fatalf("rules: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "predict") {
+		t.Errorf("rules output empty:\n%s", out)
+	}
+}
+
+func TestPredictUnknownProgram(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "predict", "-model", "nope.json", "-program", "nonesuch").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown program accepted:\n%s", out)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	bin := buildTool(t)
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Errorf("no-argument run must fail with usage:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "frobnicate").CombinedOutput(); err == nil {
+		t.Errorf("unknown subcommand accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Command minicc compiles a MinC source file and inspects the result:
+//
+//	minicc prog.mc                  # compile, verify, print a summary
+//	minicc -dump ir prog.mc         # disassemble the generated IR
+//	minicc -dump cfg prog.mc        # per-function CFG, dominators, loops
+//	minicc -dump tokens prog.mc     # lexer output
+//	minicc -run -input 5,10 prog.mc # execute and print outputs
+//	minicc -target gem prog.mc      # select a compiler/architecture config
+//	minicc -stdlib prog.mc          # link the corpus runtime library
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func main() {
+	dump := flag.String("dump", "", "dump stage: tokens, ir, or cfg")
+	run := flag.Bool("run", false, "execute the program after compiling")
+	inputStr := flag.String("input", "", "comma-separated input words for -run")
+	seed := flag.Uint64("seed", 1, "__rand seed for -run")
+	targetName := flag.String("target", codegen.Default.Name, "target/compiler configuration")
+	lang := flag.String("lang", "C", "language tag: C, FORT, or SCHEME")
+	withStdlib := flag.Bool("stdlib", false, "link the corpus runtime library")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	text := string(src)
+	if *withStdlib {
+		text += corpus.StdlibSource + corpus.Stdlib2Source
+	}
+
+	if *dump == "tokens" {
+		toks, err := minic.LexAll(text)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range toks {
+			fmt.Printf("%s\t%v\t%q\n", t.Pos, t.Kind, t.Text)
+		}
+		return
+	}
+
+	ast, err := minic.Parse(flag.Arg(0), text)
+	if err != nil {
+		fatal(err)
+	}
+	tgt, err := findTarget(*targetName)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := codegen.Compile(ast, ir.Language(*lang), tgt)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *dump {
+	case "":
+	case "ir":
+		fmt.Print(prog.Disassemble())
+	case "cfg":
+		dumpCFG(prog)
+	default:
+		fatal(fmt.Errorf("unknown -dump stage %q", *dump))
+	}
+
+	fmt.Printf("%s: %d functions, %d globals, %d instructions, %d conditional branch sites [%s]\n",
+		prog.Name, len(prog.Funcs), len(prog.Globals), prog.NumInsns(), prog.NumCondBranches(), tgt.Name)
+
+	if *run {
+		prof, err := interp.Run(prog, interp.Config{Input: parseInputs(*inputStr), Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range prof.Outputs {
+			fmt.Println(v)
+		}
+		for _, v := range prof.FOutputs {
+			fmt.Println(v)
+		}
+		fmt.Printf("result=%d insns=%d cond-branches=%d (%.1f%% taken)\n",
+			prof.Result, prof.Insns, prof.CondExec, prof.PercentTaken())
+	}
+}
+
+func findTarget(name string) (codegen.Target, error) {
+	all := append([]codegen.Target{codegen.Default, codegen.MIPSCC}, codegen.Compilers...)
+	for _, t := range all {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, t := range all {
+		names[i] = t.Name
+	}
+	return codegen.Target{}, fmt.Errorf("unknown target %q (have: %s)", name, strings.Join(names, ", "))
+}
+
+func parseInputs(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -input element %q: %v", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func dumpCFG(prog *ir.Program) {
+	for _, fn := range prog.Funcs {
+		g := cfg.New(fn)
+		loops := g.Loops()
+		fmt.Printf("func %s: %d blocks, %d loops\n", fn.Name, g.N(), len(loops.Loops))
+		idom := g.Idom()
+		ipdom := g.Ipdom()
+		for i := 0; i < g.N(); i++ {
+			b := g.Block(i)
+			fmt.Printf("  b%-3d succs=%v idom=%d ipdom=%d depth=%d",
+				b.ID, g.Succ[i], idom[i], ipdom[i], loops.Depth(i))
+			if loops.IsHeader(i) {
+				fmt.Print(" [loop header]")
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the command under test into a temp dir once.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "minicc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeSrc(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testProgram = `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < __input(0); i = i + 1) { s = s + i; }
+	__print(s);
+	return s;
+}
+`
+
+func TestCompileSummary(t *testing.T) {
+	bin := buildTool(t)
+	src := writeSrc(t, testProgram)
+	out, err := exec.Command(bin, src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("minicc: %v\n%s", err, out)
+	}
+	for _, want := range []string{"functions", "conditional branch sites"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithInputs(t *testing.T) {
+	bin := buildTool(t)
+	src := writeSrc(t, testProgram)
+	out, err := exec.Command(bin, "-run", "-input", "10", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("minicc -run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "45") {
+		t.Errorf("expected the printed sum 45:\n%s", out)
+	}
+	if !strings.Contains(string(out), "result=45") {
+		t.Errorf("expected result=45:\n%s", out)
+	}
+}
+
+func TestDumpStages(t *testing.T) {
+	bin := buildTool(t)
+	src := writeSrc(t, testProgram)
+	ir, err := exec.Command(bin, "-dump", "ir", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-dump ir: %v\n%s", err, ir)
+	}
+	if !strings.Contains(string(ir), "func main") || !strings.Contains(string(ir), "ret") {
+		t.Errorf("IR dump incomplete:\n%s", ir)
+	}
+	cfgOut, err := exec.Command(bin, "-dump", "cfg", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-dump cfg: %v\n%s", err, cfgOut)
+	}
+	if !strings.Contains(string(cfgOut), "loop header") {
+		t.Errorf("CFG dump missing loop info:\n%s", cfgOut)
+	}
+	toks, err := exec.Command(bin, "-dump", "tokens", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-dump tokens: %v\n%s", err, toks)
+	}
+	if !strings.Contains(string(toks), "'int'") {
+		t.Errorf("token dump missing keywords:\n%s", toks)
+	}
+}
+
+func TestTargetSelection(t *testing.T) {
+	bin := buildTool(t)
+	src := writeSrc(t, testProgram)
+	out, err := exec.Command(bin, "-target", "gem", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-target gem: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "[gem]") {
+		t.Errorf("target not reported:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-target", "nonesuch", src).CombinedOutput(); err == nil {
+		t.Errorf("unknown target accepted:\n%s", out)
+	}
+}
+
+func TestStdlibLinking(t *testing.T) {
+	bin := buildTool(t)
+	src := writeSrc(t, `
+int main() {
+	lib_report(lib_max(3, lib_abs(0 - 9)));
+	return 0;
+}
+`)
+	out, err := exec.Command(bin, "-stdlib", "-run", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-stdlib: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "9") {
+		t.Errorf("library call result missing:\n%s", out)
+	}
+	// Without -stdlib the same program must fail to compile.
+	if out, err := exec.Command(bin, src).CombinedOutput(); err == nil {
+		t.Errorf("unlinked library call accepted:\n%s", out)
+	}
+}
+
+func TestCompileErrorsAreReported(t *testing.T) {
+	bin := buildTool(t)
+	src := writeSrc(t, `int main() { return undefined_var; }`)
+	out, err := exec.Command(bin, src).CombinedOutput()
+	if err == nil {
+		t.Fatalf("invalid program accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "undefined") {
+		t.Errorf("error output unhelpful:\n%s", out)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Corpus-based Static
+// Branch Prediction" (Calder, Grunwald, Lindsay, Martin, Mozer, Zorn;
+// PLDI 1995): evidence-based static prediction (ESP), where a neural network
+// trained on a corpus of programs maps static branch features to
+// taken-probabilities, evaluated against BTFNT, the Ball/Larus heuristics
+// (APHC), Dempster-Shafer combination (DSHC), and perfect static profiles.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-
+// measured results, and cmd/espbench to regenerate every table and figure.
+package repro

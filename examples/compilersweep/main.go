@@ -1,0 +1,56 @@
+// Compiler sweep: the Table 7 experiment as a library workflow.
+//
+// One program (espresso, as in the paper) is compiled under the four
+// compiler configurations — DEC cc V1.2, cc V2.0 (conditional moves), GEM
+// (conditional moves + loop unrolling), and a gcc-style configuration — and
+// the branch population and heuristic accuracy are compared. The paper's
+// point: "heuristic-based branch prediction rates vary with programs,
+// program style, compiler, architecture, and runtime system."
+//
+// Run with: go run ./examples/compilersweep [program]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/heuristics"
+)
+
+func main() {
+	name := "espresso"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	e, ok := corpus.ByName(name)
+	if !ok {
+		log.Fatalf("unknown corpus program %q", name)
+	}
+	fmt.Printf("program %s under four compilers:\n\n", name)
+	fmt.Printf("%-14s %10s %12s %12s %10s %10s %10s\n",
+		"compiler", "insns", "branch sites", "%loop brs", "%taken", "APHC", "perfect")
+	aphc := heuristics.NewAPHC()
+	for _, tgt := range codegen.Compilers {
+		prog, err := e.Compile(tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pd, err := core.Analyze(prog, e.Language, e.RunConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := heuristics.BreakdownOf(pd.Sites, pd.Profile, aphc)
+		fmt.Printf("%-14s %10d %12d %11.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+			tgt.Name, pd.Profile.Insns, pd.Profile.StaticSites(),
+			100-b.PctNonLoop(), pd.Profile.PercentTaken(),
+			100*heuristics.MissRate(pd.Sites, pd.Profile, aphc),
+			100*heuristics.MissRate(pd.Sites, pd.Profile, &heuristics.Perfect{Prof: pd.Profile}))
+	}
+	fmt.Println("\nGEM's unrolling cuts the loop-branch share; conditional moves remove")
+	fmt.Println("short branches (raising the loop share); the gcc-style layout changes")
+	fmt.Println("which branches carry the loop back edges.")
+}

@@ -1,0 +1,119 @@
+// Package cfg builds control-flow graphs over the IR and provides the
+// analyses the paper's predictors rely on: dominators, post-dominators,
+// natural loops (using the same definition as Ball and Larus), and a
+// pointer-value inference that stands in for the paper's reconstruction of
+// abstract syntax trees from program binaries.
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Graph is the control-flow graph of a single function. Blocks are indexed
+// densely in layout order; use Index/Block to translate between dense
+// indices and ir block IDs.
+type Graph struct {
+	Fn     *ir.Func
+	Blocks []*ir.Block // dense order == layout order
+	Succ   [][]int     // dense successor indices, taken successor first
+	Pred   [][]int     // dense predecessor indices
+
+	idToIdx map[int]int
+
+	// Lazily computed analyses.
+	idom  []int
+	ipdom []int
+	loops *LoopInfo
+	ptrs  *PointerInfo
+}
+
+// New builds the CFG for fn.
+func New(fn *ir.Func) *Graph {
+	g := &Graph{
+		Fn:      fn,
+		Blocks:  append([]*ir.Block(nil), fn.Blocks...),
+		idToIdx: make(map[int]int, len(fn.Blocks)),
+	}
+	for i, b := range g.Blocks {
+		g.idToIdx[b.ID] = i
+	}
+	g.Succ = make([][]int, len(g.Blocks))
+	g.Pred = make([][]int, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, sid := range fn.Succs(b) {
+			j, ok := g.idToIdx[sid]
+			if !ok {
+				panic(fmt.Sprintf("cfg: %s b%d: successor b%d missing", fn.Name, b.ID, sid))
+			}
+			g.Succ[i] = append(g.Succ[i], j)
+			g.Pred[j] = append(g.Pred[j], i)
+		}
+	}
+	return g
+}
+
+// N returns the number of blocks.
+func (g *Graph) N() int { return len(g.Blocks) }
+
+// Index returns the dense index for an ir block ID.
+func (g *Graph) Index(blockID int) int {
+	i, ok := g.idToIdx[blockID]
+	if !ok {
+		panic(fmt.Sprintf("cfg: unknown block id b%d in %s", blockID, g.Fn.Name))
+	}
+	return i
+}
+
+// Block returns the block at dense index i.
+func (g *Graph) Block(i int) *ir.Block { return g.Blocks[i] }
+
+// Entry returns the dense index of the entry block (always 0).
+func (g *Graph) Entry() int { return 0 }
+
+// TakenSucc returns the dense index of the taken successor of the
+// conditional branch ending block i, and the fall-through successor. It
+// panics if block i does not end in a conditional branch with both
+// successors present.
+func (g *Graph) TakenSucc(i int) (taken, fallthru int) {
+	b := g.Blocks[i]
+	if b.Branch() == nil || len(g.Succ[i]) != 2 {
+		panic(fmt.Sprintf("cfg: block b%d of %s is not a two-way branch", b.ID, g.Fn.Name))
+	}
+	return g.Succ[i][0], g.Succ[i][1]
+}
+
+// IsBranchBlock reports whether block i ends in a conditional branch with
+// two distinct successors (the two-way branches the paper studies).
+func (g *Graph) IsBranchBlock(i int) bool {
+	return g.Blocks[i].Branch() != nil && len(g.Succ[i]) == 2 && g.Succ[i][0] != g.Succ[i][1]
+}
+
+// reversePostorder returns the blocks reachable from entry in reverse
+// postorder of the forward CFG.
+func (g *Graph) reversePostorder() []int {
+	seen := make([]bool, g.N())
+	var order []int
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range g.Succ[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(g.Entry())
+	// Reverse into RPO.
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	return order
+}
+
+// Reachable reports whether block i is reachable from the entry block.
+func (g *Graph) Reachable(i int) bool {
+	return i == g.Entry() || g.Idom()[i] >= 0
+}

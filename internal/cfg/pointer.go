@@ -1,0 +1,234 @@
+package cfg
+
+import (
+	"repro/internal/ir"
+)
+
+// PointerInfo is a lightweight pointer-value inference over the IR. The
+// paper's Pointer heuristic needs to know whether a branch compares a
+// pointer against null or two pointers against each other; Ball and Larus
+// (and this paper) recovered that information from the program binary by
+// reconstructing an abstract syntax tree. We do the moral equivalent: a
+// fixed-point abstract interpretation over the two-point lattice
+// {not-pointer, pointer}, tracking registers block-locally and memory slots
+// (stack frame words and global words) function-globally.
+//
+// A register becomes pointer-valued when it is defined by LDA (address of a
+// global), by pointer arithmetic (add/sub with a pointer operand), by a copy
+// of a pointer register, or by a load from a slot previously observed to
+// hold a pointer. Stores of pointer-valued registers mark the target slot.
+// Argument registers are marked pointer-valued when any call site passes a
+// pointer in them (propagated interprocedurally to the callee's entry).
+type PointerInfo struct {
+	g *Graph
+	// ptrAt[b][i] records, for instruction i of dense block b, which of its
+	// register operands were pointer-valued at that point: bit 0 for A,
+	// bit 1 for B.
+	ptrAt [][]uint8
+	// callPtrArgs records, per direct callee, which argument registers were
+	// observed pointer-valued at any call site in this function.
+	callPtrArgs map[string]map[ir.Reg]bool
+	// returnsPtr records whether any return site had a pointer-valued V0.
+	returnsPtr bool
+}
+
+// ptrFacts carries the interprocedural facts ProgramPointers iterates on.
+type ptrFacts struct {
+	args map[string]map[ir.Reg]bool
+	rets map[string]bool
+}
+
+const (
+	ptrOperandA = 1 << 0
+	ptrOperandB = 1 << 1
+)
+
+type slotKey struct {
+	base string // "" for stack-relative (SP), else global symbol
+	off  int64
+}
+
+// Pointers computes (once) and returns the pointer inference for the graph.
+// entryPtrArgs marks which incoming integer-argument registers are known to
+// carry pointers (nil means none); the program-level analysis in
+// ProgramPointers supplies this interprocedurally.
+func (g *Graph) Pointers() *PointerInfo { return g.PointersWithArgs(nil) }
+
+// PointersWithArgs is Pointers with explicit pointer-valued argument
+// registers for the function entry.
+func (g *Graph) PointersWithArgs(entryPtrArgs map[ir.Reg]bool) *PointerInfo {
+	return g.pointersWithFacts(entryPtrArgs, nil)
+}
+
+func (g *Graph) pointersWithFacts(entryPtrArgs map[ir.Reg]bool, retFacts map[string]bool) *PointerInfo {
+	if g.ptrs != nil && entryPtrArgs == nil && retFacts == nil {
+		return g.ptrs
+	}
+	pi := computePointers(g, entryPtrArgs, retFacts)
+	if entryPtrArgs == nil && retFacts == nil {
+		g.ptrs = pi
+	}
+	return pi
+}
+
+func computePointers(g *Graph, entryPtrArgs map[ir.Reg]bool, retFacts map[string]bool) *PointerInfo {
+	pi := &PointerInfo{g: g, ptrAt: make([][]uint8, g.N())}
+	for b := 0; b < g.N(); b++ {
+		pi.ptrAt[b] = make([]uint8, len(g.Blocks[b].Insns))
+	}
+	ptrSlots := make(map[slotKey]bool)
+	// Iterate to a fixed point on the slot set; register state is tracked
+	// within each block only (the code generator stores locals to the frame
+	// between statements, so block-local tracking plus slot typing recovers
+	// essentially all pointer flow).
+	for pass := 0; pass < 6; pass++ {
+		changed := false
+		pi.callPtrArgs = make(map[string]map[ir.Reg]bool)
+		for b := 0; b < g.N(); b++ {
+			regPtr := make(map[ir.Reg]bool)
+			if b == g.Entry() {
+				for r, isPtr := range entryPtrArgs {
+					if isPtr {
+						regPtr[r] = true
+					}
+				}
+			}
+			for i := range g.Blocks[b].Insns {
+				in := &g.Blocks[b].Insns[i]
+				var mark uint8
+				if regPtr[in.A] {
+					mark |= ptrOperandA
+				}
+				if !in.UseImm && regPtr[in.B] {
+					mark |= ptrOperandB
+				}
+				pi.ptrAt[b][i] = mark
+				switch in.Op {
+				case ir.OpLda:
+					regPtr[in.Dst] = true
+				case ir.OpAddQ, ir.OpSubQ:
+					regPtr[in.Dst] = regPtr[in.A] || (!in.UseImm && regPtr[in.B])
+				case ir.OpMov:
+					regPtr[in.Dst] = regPtr[in.A]
+				case ir.OpLdq:
+					key, ok := pi.slotOf(b, i, in)
+					isPtr := ok && ptrSlots[key]
+					regPtr[in.Dst] = isPtr
+				case ir.OpStq:
+					if regPtr[in.B] {
+						if key, ok := pi.slotOf(b, i, in); ok && !ptrSlots[key] {
+							ptrSlots[key] = true
+							changed = true
+						}
+					}
+				case ir.OpBsr:
+					for argIdx := 0; argIdx < 6; argIdx++ {
+						r := ir.Reg(int(ir.RegA0) + argIdx)
+						if regPtr[r] {
+							if pi.callPtrArgs[in.Sym] == nil {
+								pi.callPtrArgs[in.Sym] = make(map[ir.Reg]bool)
+							}
+							pi.callPtrArgs[in.Sym][r] = true
+						}
+					}
+					// The return register carries a pointer when the callee
+					// is known (interprocedurally) to return one.
+					regPtr[ir.RegV0] = retFacts[in.Sym]
+				case ir.OpRtcall:
+					// The allocator intrinsic returns a fresh heap pointer.
+					regPtr[ir.RegV0] = in.Imm == ir.RtAlloc
+				case ir.OpRet:
+					if regPtr[ir.RegV0] {
+						pi.returnsPtr = true
+					}
+				default:
+					if d, ok := in.Def(); ok {
+						regPtr[d] = false
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return pi
+}
+
+// slotOf identifies the abstract memory slot addressed by a load/store when
+// the base register is the stack pointer or was just defined by an LDA of a
+// global within the same block; otherwise it reports no slot.
+func (pi *PointerInfo) slotOf(b, i int, in *ir.Instr) (slotKey, bool) {
+	if in.A == ir.RegSP {
+		return slotKey{base: "", off: in.Imm}, true
+	}
+	// Walk back for the defining LDA of the base register.
+	insns := pi.g.Blocks[b].Insns
+	for j := i - 1; j >= 0; j-- {
+		d, ok := insns[j].Def()
+		if !ok || d != in.A {
+			continue
+		}
+		if insns[j].Op == ir.OpLda {
+			return slotKey{base: insns[j].Sym, off: insns[j].Imm + in.Imm}, true
+		}
+		return slotKey{}, false
+	}
+	return slotKey{}, false
+}
+
+// OperandIsPointer reports whether, at instruction index i of dense block b,
+// the given operand register (operand 0 = A, 1 = B) held a pointer value.
+func (pi *PointerInfo) OperandIsPointer(b, i, operand int) bool {
+	if b < 0 || b >= len(pi.ptrAt) || i < 0 || i >= len(pi.ptrAt[b]) {
+		return false
+	}
+	if operand == 0 {
+		return pi.ptrAt[b][i]&ptrOperandA != 0
+	}
+	return pi.ptrAt[b][i]&ptrOperandB != 0
+}
+
+// ProgramPointers computes pointer inference for every function of a
+// program, propagating two interprocedural facts across direct calls until
+// a fixed point: pointer-valued argument registers (a call site passing a
+// pointer in An makes the callee's entry treat An as pointer-valued) and
+// pointer-returning functions (a callee observed returning a pointer makes
+// V0 pointer-valued after calls to it).
+func ProgramPointers(p *ir.Program, graphs map[string]*Graph) map[string]*PointerInfo {
+	facts := ptrFacts{
+		args: make(map[string]map[ir.Reg]bool),
+		rets: make(map[string]bool),
+	}
+	infos := make(map[string]*PointerInfo)
+	for round := 0; round < 6; round++ {
+		changed := false
+		for _, f := range p.Funcs {
+			g := graphs[f.Name]
+			if g == nil {
+				continue
+			}
+			pi := g.pointersWithFacts(facts.args[f.Name], facts.rets)
+			infos[f.Name] = pi
+			if pi.returnsPtr && !facts.rets[f.Name] {
+				facts.rets[f.Name] = true
+				changed = true
+			}
+			for callee, regs := range pi.callPtrArgs {
+				if facts.args[callee] == nil {
+					facts.args[callee] = make(map[ir.Reg]bool)
+				}
+				for r := range regs {
+					if !facts.args[callee][r] {
+						facts.args[callee][r] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed && round > 0 {
+			break
+		}
+	}
+	return infos
+}

@@ -1,0 +1,254 @@
+package codegen
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// genCondBranch emits "if cond == when, branch to target; otherwise fall
+// through". After it returns, the builder's current block is the fall-through
+// continuation. Short-circuit operators expand into branch trees, which is
+// where most of a program's non-loop conditional branches come from.
+func (g *generator) genCondBranch(cond minic.Expr, target *ir.Block, when bool) {
+	switch x := cond.(type) {
+	case *minic.UnExpr:
+		if x.Op == minic.OpNot {
+			g.genCondBranch(x.X, target, !when)
+			return
+		}
+	case *minic.IntLit:
+		if (x.Value != 0) == when {
+			g.fb.Jump(target)
+			g.startDeadBlock()
+		}
+		return
+	case *minic.BinExpr:
+		switch {
+		case x.Op == minic.OpAnd && !when:
+			g.genCondBranch(x.L, target, false)
+			g.genCondBranch(x.R, target, false)
+			return
+		case x.Op == minic.OpAnd && when:
+			cont := g.fb.NewBlockDetached()
+			g.genCondBranch(x.L, cont, false)
+			g.genCondBranch(x.R, target, true)
+			g.fb.Place(cont)
+			g.fb.SetBlock(cont)
+			return
+		case x.Op == minic.OpOr && when:
+			g.genCondBranch(x.L, target, true)
+			g.genCondBranch(x.R, target, true)
+			return
+		case x.Op == minic.OpOr && !when:
+			cont := g.fb.NewBlockDetached()
+			g.genCondBranch(x.L, cont, true)
+			g.genCondBranch(x.R, target, false)
+			g.fb.Place(cont)
+			g.fb.SetBlock(cont)
+			return
+		case x.Op.IsComparison():
+			g.genCompareBranch(x, target, when)
+			return
+		}
+	}
+	// General scalar condition: branch on (non)zero.
+	v := g.genExpr(cond)
+	op := ir.OpBne
+	if !when {
+		op = ir.OpBeq
+	}
+	g.fb.Branch(op, v.reg, target)
+	g.freeVal(v)
+	g.startFallthrough()
+}
+
+// startFallthrough begins the fall-through block after a conditional branch.
+func (g *generator) startFallthrough() {
+	nb := g.fb.NewBlock()
+	g.fb.SetBlock(nb)
+}
+
+// genCompareBranch lowers a relational test directly into a branch. The
+// instruction selection here is the architecture/compiler axis of Tables 6
+// and 7: the Alpha branches on a register's sign/zero (so comparisons
+// against zero need no compare instruction), the MIPS-style target compares
+// two registers in the branch itself for ==/!=, and gcc-style code always
+// materializes the comparison.
+func (g *generator) genCompareBranch(x *minic.BinExpr, target *ir.Block, when bool) {
+	if x.L.Type().Decay().IsFloat() {
+		g.genFloatCompareBranch(x, target, when)
+		return
+	}
+	// Direct compare-against-zero branches (Alpha style).
+	if !g.tgt.MaterializeCompares {
+		if lit, swapped, ok := zeroOperand(x); ok {
+			op := x.Op
+			if swapped {
+				op = swapCmp(op)
+			}
+			bop := directIntBranch(op)
+			if !when {
+				bop = bop.BranchNegate()
+			}
+			v := g.genExpr(lit)
+			g.fb.Branch(bop, v.reg, target)
+			g.freeVal(v)
+			g.startFallthrough()
+			return
+		}
+	}
+	// MIPS-style two-register equality branches.
+	if g.tgt.ISA == ISAMIPS && (x.Op == minic.OpEq || x.Op == minic.OpNe) {
+		lv := g.genExpr(x.L)
+		g.maybeSpill(&lv)
+		rv := g.genExpr(x.R)
+		lv = g.reload(lv)
+		// OpBeq2 is taken when L == R; pick the form whose taken condition
+		// matches (source condition == when).
+		bop := ir.OpBeq2
+		if (x.Op == minic.OpNe) == when {
+			bop = ir.OpBne2
+		}
+		g.fb.Branch2(bop, lv.reg, rv.reg, target)
+		g.freeVal(lv)
+		g.freeVal(rv)
+		g.startFallthrough()
+		return
+	}
+	// General: compare into a register, branch on it.
+	cv, negate := g.genIntCompare(x)
+	effWhen := when
+	if negate {
+		effWhen = !when
+	}
+	op := ir.OpBne
+	if !effWhen {
+		op = ir.OpBeq
+	}
+	g.fb.Branch(op, cv.reg, target)
+	g.freeVal(cv)
+	g.startFallthrough()
+}
+
+// zeroOperand detects comparisons against the integer literal 0 or null.
+// It returns the non-zero side and whether the zero was on the left
+// (requiring the comparison to be mirrored).
+func zeroOperand(x *minic.BinExpr) (other minic.Expr, swapped bool, ok bool) {
+	isZero := func(e minic.Expr) bool {
+		switch lit := e.(type) {
+		case *minic.IntLit:
+			return lit.Value == 0
+		case *minic.NullLit:
+			return true
+		}
+		return false
+	}
+	if isZero(x.R) {
+		return x.L, false, true
+	}
+	if isZero(x.L) {
+		return x.R, true, true
+	}
+	return nil, false, false
+}
+
+// swapCmp mirrors a comparison operator (a OP b == b swap(OP) a).
+func swapCmp(op minic.BinOpKind) minic.BinOpKind {
+	switch op {
+	case minic.OpLt:
+		return minic.OpGt
+	case minic.OpLe:
+		return minic.OpGe
+	case minic.OpGt:
+		return minic.OpLt
+	case minic.OpGe:
+		return minic.OpLe
+	}
+	return op // ==, != are symmetric
+}
+
+// directIntBranch maps "value OP 0" to the Alpha branch testing it.
+func directIntBranch(op minic.BinOpKind) ir.Op {
+	switch op {
+	case minic.OpEq:
+		return ir.OpBeq
+	case minic.OpNe:
+		return ir.OpBne
+	case minic.OpLt:
+		return ir.OpBlt
+	case minic.OpLe:
+		return ir.OpBle
+	case minic.OpGt:
+		return ir.OpBgt
+	case minic.OpGe:
+		return ir.OpBge
+	}
+	panic("codegen: not a comparison")
+}
+
+func directFloatBranch(op minic.BinOpKind) ir.Op {
+	switch op {
+	case minic.OpEq:
+		return ir.OpFbeq
+	case minic.OpNe:
+		return ir.OpFbne
+	case minic.OpLt:
+		return ir.OpFblt
+	case minic.OpLe:
+		return ir.OpFble
+	case minic.OpGt:
+		return ir.OpFbgt
+	case minic.OpGe:
+		return ir.OpFbge
+	}
+	panic("codegen: not a comparison")
+}
+
+func (g *generator) genFloatCompareBranch(x *minic.BinExpr, target *ir.Block, when bool) {
+	// Direct branch for comparisons against the literal 0.0.
+	if !g.tgt.MaterializeCompares {
+		if other, swapped, ok := floatZeroOperand(x); ok {
+			op := x.Op
+			if swapped {
+				op = swapCmp(op)
+			}
+			bop := directFloatBranch(op)
+			if !when {
+				bop = bop.BranchNegate()
+			}
+			v := g.genExpr(other)
+			g.fb.Branch(bop, v.reg, target)
+			g.freeVal(v)
+			g.startFallthrough()
+			return
+		}
+	}
+	fv, negate := g.genFloatCompare(x)
+	effWhen := when
+	if negate {
+		effWhen = !when
+	}
+	op := ir.OpFbne
+	if !effWhen {
+		op = ir.OpFbeq
+	}
+	g.fb.Branch(op, fv.reg, target)
+	g.freeVal(fv)
+	g.startFallthrough()
+}
+
+func floatZeroOperand(x *minic.BinExpr) (other minic.Expr, swapped bool, ok bool) {
+	isZero := func(e minic.Expr) bool {
+		lit, isLit := e.(*minic.FloatLit)
+		return isLit && (lit.Value == 0 || math.Signbit(lit.Value) && lit.Value == 0)
+	}
+	if isZero(x.R) {
+		return x.L, false, true
+	}
+	if isZero(x.L) {
+		return x.R, true, true
+	}
+	return nil, false, false
+}

@@ -1,0 +1,112 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// genCall lowers builtin and user calls. Arguments are evaluated into
+// temporaries (spilled under pressure), then moved into the argument
+// registers immediately before the call, matching the simplified Alpha
+// calling standard the interpreter implements.
+func (g *generator) genCall(x *minic.CallExpr) value {
+	if x.Builtin != minic.BuiltinNone {
+		return g.genBuiltin(x)
+	}
+	vals := make([]value, len(x.Args))
+	for i, a := range x.Args {
+		vals[i] = g.genExpr(a)
+		g.maybeSpill(&vals[i])
+	}
+	for i, v := range vals {
+		if v.float {
+			dst := ir.Reg(int(ir.RegFA0) + i)
+			if v.spilled {
+				g.fb.Emit(ir.Instr{Op: ir.OpLdt, Dst: dst, A: ir.RegSP, Imm: v.slot})
+				g.releaseScratch(v.slot)
+			} else {
+				g.fb.Emit(ir.Instr{Op: ir.OpFMov, Dst: dst, A: v.reg})
+				g.freeVal(v)
+			}
+		} else {
+			dst := ir.Reg(int(ir.RegA0) + i)
+			if v.spilled {
+				g.fb.Emit(ir.Instr{Op: ir.OpLdq, Dst: dst, A: ir.RegSP, Imm: v.slot})
+				g.releaseScratch(v.slot)
+			} else {
+				g.fb.Emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: v.reg})
+				g.freeVal(v)
+			}
+		}
+	}
+	// MIPS-style register-save convention: save a callee-saved register to
+	// the (memory-based) register save area around the call — the real
+	// stores the paper blames for Store-heuristic differences between the
+	// MIPS and the Alpha (Section 5.2.1).
+	if g.tgt.RegSaveStores {
+		addr := g.intPool.alloc()
+		g.fb.Lda(addr, regSaveGlobal, 0)
+		g.fb.Emit(ir.Instr{Op: ir.OpStq, A: addr, B: ir.R(9)})
+		g.intPool.release(addr)
+	}
+	g.fb.Call(x.Name)
+	if g.tgt.RegSaveStores {
+		addr := g.intPool.alloc()
+		g.fb.Lda(addr, regSaveGlobal, 0)
+		g.fb.Emit(ir.Instr{Op: ir.OpLdq, Dst: ir.R(9), A: addr})
+		g.intPool.release(addr)
+	}
+	ret := x.Decl.Ret
+	if ret.IsVoid() {
+		return value{reg: ir.RegZero}
+	}
+	if ret.IsFloat() {
+		r := g.fltPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpFMov, Dst: r, A: ir.RegFV0})
+		return value{reg: r, float: true, temp: true}
+	}
+	r := g.intPool.alloc()
+	g.fb.Emit(ir.Instr{Op: ir.OpMov, Dst: r, A: ir.RegV0})
+	return value{reg: r, temp: true}
+}
+
+func (g *generator) genBuiltin(x *minic.CallExpr) value {
+	moveArg := func(i int, float bool) {
+		v := g.genExpr(x.Args[i])
+		if float {
+			g.fb.Emit(ir.Instr{Op: ir.OpFMov, Dst: ir.RegFA0, A: v.reg})
+		} else {
+			g.fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.RegA0, A: v.reg})
+		}
+		g.freeVal(v)
+	}
+	intResult := func() value {
+		r := g.intPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpMov, Dst: r, A: ir.RegV0})
+		return value{reg: r, temp: true}
+	}
+	switch x.Builtin {
+	case minic.BuiltinAlloc:
+		moveArg(0, false)
+		g.fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtAlloc})
+		return intResult()
+	case minic.BuiltinInput:
+		moveArg(0, false)
+		g.fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtInput})
+		return intResult()
+	case minic.BuiltinPrint:
+		moveArg(0, false)
+		g.fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrint})
+		return value{reg: ir.RegZero}
+	case minic.BuiltinPrintF:
+		moveArg(0, true)
+		g.fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrintF})
+		return value{reg: ir.RegZero}
+	case minic.BuiltinRand:
+		g.fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtRand})
+		return intResult()
+	}
+	panic(fmt.Sprintf("codegen: unknown builtin %q", x.Name))
+}

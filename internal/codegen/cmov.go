@@ -1,0 +1,184 @@
+package codegen
+
+import (
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// tryCmovIf converts branches of the form
+//
+//	if (c) x = e;            or            if (c) x = e1; else x = e2;
+//
+// into conditional moves when the target is a scalar variable and the moved
+// values are safe to speculate. This is the Alpha conditional-move effect
+// the paper describes in Section 5.2: "the Alpha has a conditional move
+// operation that obliviates the need for many short conditional branches,
+// reducing the number of conditional branches that are executed."
+// It reports whether the conversion was applied.
+func (g *generator) tryCmovIf(st *minic.IfStmt) bool {
+	thenAsn := singleAssign(st.Then)
+	if thenAsn == nil {
+		return false
+	}
+	target, ok := thenAsn.Target.(*minic.Ident)
+	if !ok || target.Sym == nil || target.Sym.Type.IsArray() {
+		return false
+	}
+	if !speculationSafe(thenAsn.Value) || !branchFreeCond(st.Cond) {
+		return false
+	}
+	var elseAsn *minic.AssignStmt
+	if st.Else != nil {
+		elseAsn = singleAssign(st.Else)
+		if elseAsn == nil {
+			return false
+		}
+		elseTarget, ok := elseAsn.Target.(*minic.Ident)
+		if !ok || elseTarget.Sym != target.Sym {
+			return false
+		}
+		if !speculationSafe(elseAsn.Value) {
+			return false
+		}
+	}
+
+	isFloat := target.Sym.Type.IsFloat()
+	cv := g.genCondValueFlat(st.Cond) // int 0/1 (or scalar condition value)
+	g.maybeSpill(&cv)
+	tv := g.genExpr(thenAsn.Value)
+	g.maybeSpill(&tv)
+
+	// The "old" value: either the current target value (if-without-else) or
+	// the else-branch value.
+	var old value
+	if elseAsn != nil {
+		old = g.genExpr(elseAsn.Value)
+	} else {
+		old = g.genExpr(target)
+	}
+	cv = g.reload(cv)
+	tv = g.reload(tv)
+
+	if isFloat {
+		fc := g.fltPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpCvtQT, Dst: fc, A: cv.reg})
+		g.fb.Emit(ir.Instr{Op: ir.OpFCmovNe, Dst: old.reg, A: fc, B: tv.reg})
+		g.fltPool.release(fc)
+	} else {
+		g.fb.Emit(ir.Instr{Op: ir.OpCmovNe, Dst: old.reg, A: cv.reg, B: tv.reg})
+	}
+	g.freeVal(cv)
+	g.freeVal(tv)
+	g.genStoreTo(target, old)
+	g.freeVal(old)
+	return true
+}
+
+// singleAssign unwraps a statement that is exactly one assignment.
+func singleAssign(s minic.Stmt) *minic.AssignStmt {
+	switch st := s.(type) {
+	case *minic.AssignStmt:
+		return st
+	case *minic.BlockStmt:
+		if len(st.Stmts) == 1 {
+			return singleAssign(st.Stmts[0])
+		}
+	}
+	return nil
+}
+
+// speculationSafe reports whether evaluating the expression unconditionally
+// is always safe and side-effect free: no calls, no memory dereferences, no
+// division (which can fault).
+func speculationSafe(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.IntLit, *minic.FloatLit, *minic.NullLit:
+		return true
+	case *minic.Ident:
+		// Scalar loads and decayed array addresses are always-valid reads.
+		return true
+	case *minic.BinExpr:
+		switch x.Op {
+		case minic.OpAdd, minic.OpSub, minic.OpMul,
+			minic.OpEq, minic.OpNe, minic.OpLt, minic.OpLe, minic.OpGt, minic.OpGe,
+			minic.OpAnd, minic.OpOr: // safe only when flattened branch-free
+			return speculationSafe(x.L) && speculationSafe(x.R)
+		}
+		return false
+	case *minic.UnExpr:
+		if x.Op == minic.OpNeg || x.Op == minic.OpNot || x.Op == minic.OpAddr {
+			return speculationSafe(x.X)
+		}
+		return false
+	case *minic.CastExpr:
+		return speculationSafe(x.X)
+	}
+	return false
+}
+
+// branchFreeCond reports whether the condition can be evaluated as a value
+// without introducing control flow. Short-circuit operators are allowed
+// when every operand is a speculation-safe scalar expression (no memory
+// dereferences, no calls): the code generator then flattens them into
+// bitwise and/or of comparison results, the way Alpha compilers feed
+// conditional moves.
+func branchFreeCond(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.IntLit, *minic.FloatLit, *minic.NullLit, *minic.Ident:
+		return true
+	case *minic.BinExpr:
+		if x.Op == minic.OpAnd || x.Op == minic.OpOr {
+			// Flattening evaluates both sides unconditionally and combines
+			// them with bitwise and/or, so both must be safe to speculate
+			// and guaranteed 0/1-valued (comparisons, negations, or nested
+			// logical operators).
+			return booleanValued(x.L) && booleanValued(x.R) &&
+				branchFreeCond(x.L) && branchFreeCond(x.R) &&
+				speculationSafe(x.L) && speculationSafe(x.R)
+		}
+		return branchFreeCond(x.L) && branchFreeCond(x.R)
+	case *minic.UnExpr:
+		if x.Op == minic.OpDeref {
+			return false
+		}
+		return branchFreeCond(x.X)
+	case *minic.IndexExpr:
+		return false
+	case *minic.CastExpr:
+		return branchFreeCond(x.X)
+	default:
+		return false
+	}
+}
+
+// booleanValued reports whether the expression always evaluates to 0 or 1.
+func booleanValued(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.BinExpr:
+		return x.Op.IsComparison() || x.Op == minic.OpAnd || x.Op == minic.OpOr
+	case *minic.UnExpr:
+		return x.Op == minic.OpNot
+	case *minic.IntLit:
+		return x.Value == 0 || x.Value == 1
+	}
+	return false
+}
+
+// genCondValueFlat materializes a branch-free condition as a 0/1 integer,
+// flattening && and || into bitwise and/or of their operands' values.
+func (g *generator) genCondValueFlat(e minic.Expr) value {
+	if x, ok := e.(*minic.BinExpr); ok && (x.Op == minic.OpAnd || x.Op == minic.OpOr) {
+		lv := g.genCondValueFlat(x.L)
+		g.maybeSpill(&lv)
+		rv := g.genCondValueFlat(x.R)
+		lv = g.reload(lv)
+		op := ir.OpAndQ
+		if x.Op == minic.OpOr {
+			op = ir.OpOrQ
+		}
+		g.fb.Op3(op, lv.reg, lv.reg, rv.reg)
+		g.freeVal(rv)
+		return lv
+	}
+	return g.genExpr(e)
+}

@@ -1,0 +1,462 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// value is an expression result: a temporary register, possibly spilled to a
+// stack scratch slot under register pressure.
+type value struct {
+	reg     ir.Reg
+	float   bool
+	temp    bool // reg came from the temporary pool
+	spilled bool
+	slot    int64
+}
+
+// valReg materializes the value in a register, reloading a spilled value.
+func (g *generator) valReg(v value) ir.Reg {
+	if !v.spilled {
+		return v.reg
+	}
+	panic("codegen: valReg on spilled value; use reload")
+}
+
+// reload brings a (possibly spilled) value back into a register.
+func (g *generator) reload(v value) value {
+	if !v.spilled {
+		return v
+	}
+	r := g.pool(v.float).alloc()
+	load := ir.OpLdq
+	if v.float {
+		load = ir.OpLdt
+	}
+	g.fb.Emit(ir.Instr{Op: load, Dst: r, A: ir.RegSP, Imm: v.slot})
+	g.releaseScratch(v.slot)
+	return value{reg: r, float: v.float, temp: true}
+}
+
+// spill stores a register value to a scratch slot and releases the register.
+func (g *generator) spill(v *value) {
+	if v.spilled || !v.temp {
+		return
+	}
+	slot := g.scratchSlot()
+	store := ir.OpStq
+	if v.float {
+		store = ir.OpStt
+	}
+	g.fb.Emit(ir.Instr{Op: store, A: ir.RegSP, B: v.reg, Imm: slot})
+	g.pool(v.float).release(v.reg)
+	v.spilled = true
+	v.slot = slot
+}
+
+// maybeSpill spills v when its register pool is nearly exhausted, leaving
+// room for the next sub-expression.
+func (g *generator) maybeSpill(v *value) {
+	if !v.spilled && v.temp && g.pool(v.float).avail() < 2 {
+		g.spill(v)
+	}
+}
+
+// freeVal returns the value's resources to the pools.
+func (g *generator) freeVal(v value) {
+	if v.spilled {
+		g.releaseScratch(v.slot)
+		return
+	}
+	if v.temp {
+		g.pool(v.float).release(v.reg)
+	}
+}
+
+// genExprVoid evaluates an expression for effect; void calls yield a dummy.
+func (g *generator) genExprVoid(e minic.Expr) value {
+	if call, ok := e.(*minic.CallExpr); ok && call.Type().IsVoid() {
+		return g.genCall(call)
+	}
+	return g.genExpr(e)
+}
+
+// genExpr evaluates an expression into a fresh temporary register.
+func (g *generator) genExpr(e minic.Expr) value {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		r := g.intPool.alloc()
+		g.fb.LoadInt(r, x.Value)
+		return value{reg: r, temp: true}
+	case *minic.FloatLit:
+		r := g.fltPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpLdiT, Dst: r, Imm: int64(math.Float64bits(x.Value))})
+		return value{reg: r, float: true, temp: true}
+	case *minic.NullLit:
+		r := g.intPool.alloc()
+		g.fb.LoadInt(r, 0)
+		return value{reg: r, temp: true}
+	case *minic.Ident:
+		return g.genIdent(x)
+	case *minic.UnExpr:
+		return g.genUnary(x)
+	case *minic.BinExpr:
+		return g.genBinary(x)
+	case *minic.IndexExpr:
+		av := g.genAddr(x)
+		return g.loadThrough(av, x.Type().IsFloat())
+	case *minic.CallExpr:
+		if x.Type().IsVoid() {
+			panic(fmt.Sprintf("codegen: void call %q used as a value", x.Name))
+		}
+		return g.genCall(x)
+	case *minic.CastExpr:
+		return g.genCast(x)
+	}
+	panic(fmt.Sprintf("codegen: unknown expression %T", e))
+}
+
+func (g *generator) genIdent(x *minic.Ident) value {
+	sym := x.Sym
+	isFloat := sym.Type.IsFloat()
+	if sym.Type.IsArray() {
+		// Arrays decay to their base address.
+		r := g.intPool.alloc()
+		if sym.Global {
+			g.fb.Lda(r, sym.Name, 0)
+		} else {
+			g.fb.OpImm(ir.OpAddQ, r, ir.RegSP, sym.FrameOff)
+		}
+		return value{reg: r, temp: true}
+	}
+	load := ir.OpLdq
+	if isFloat {
+		load = ir.OpLdt
+	}
+	if sym.Global {
+		addr := g.intPool.alloc()
+		g.fb.Lda(addr, sym.Name, 0)
+		if isFloat {
+			r := g.fltPool.alloc()
+			g.fb.Emit(ir.Instr{Op: load, Dst: r, A: addr})
+			g.intPool.release(addr)
+			return value{reg: r, float: true, temp: true}
+		}
+		g.fb.Emit(ir.Instr{Op: load, Dst: addr, A: addr})
+		return value{reg: addr, temp: true}
+	}
+	var r ir.Reg
+	if isFloat {
+		r = g.fltPool.alloc()
+	} else {
+		r = g.intPool.alloc()
+	}
+	g.fb.Emit(ir.Instr{Op: load, Dst: r, A: ir.RegSP, Imm: sym.FrameOff})
+	return value{reg: r, float: isFloat, temp: true}
+}
+
+// loadThrough dereferences an address value.
+func (g *generator) loadThrough(av value, isFloat bool) value {
+	addr := g.valReg(av)
+	if isFloat {
+		r := g.fltPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpLdt, Dst: r, A: addr})
+		g.freeVal(av)
+		return value{reg: r, float: true, temp: true}
+	}
+	g.fb.Emit(ir.Instr{Op: ir.OpLdq, Dst: addr, A: addr})
+	return av
+}
+
+// genAddr computes the address of an lvalue (or pointer expression) into an
+// integer temporary.
+func (g *generator) genAddr(e minic.Expr) value {
+	switch x := e.(type) {
+	case *minic.Ident:
+		r := g.intPool.alloc()
+		if x.Sym.Global {
+			g.fb.Lda(r, x.Sym.Name, 0)
+		} else {
+			g.fb.OpImm(ir.OpAddQ, r, ir.RegSP, x.Sym.FrameOff)
+		}
+		return value{reg: r, temp: true}
+	case *minic.UnExpr:
+		if x.Op == minic.OpDeref {
+			return g.genExpr(x.X)
+		}
+	case *minic.IndexExpr:
+		base := g.genExpr(x.X)
+		g.maybeSpill(&base)
+		idx := g.genExpr(x.Idx)
+		base = g.reload(base)
+		// Elements are one word; no scaling needed.
+		g.fb.Op3(ir.OpAddQ, base.reg, base.reg, idx.reg)
+		g.freeVal(idx)
+		return base
+	}
+	panic(fmt.Sprintf("codegen: genAddr of non-lvalue %T", e))
+}
+
+func (g *generator) genUnary(x *minic.UnExpr) value {
+	switch x.Op {
+	case minic.OpNeg:
+		if lit, ok := x.X.(*minic.IntLit); ok && g.tgt.FoldConstants {
+			r := g.intPool.alloc()
+			g.fb.LoadInt(r, -lit.Value)
+			return value{reg: r, temp: true}
+		}
+		v := g.genExpr(x.X)
+		if v.float {
+			g.fb.Emit(ir.Instr{Op: ir.OpFNeg, Dst: v.reg, A: v.reg})
+			return v
+		}
+		g.fb.Op3(ir.OpSubQ, v.reg, ir.RegZero, v.reg)
+		return v
+	case minic.OpNot:
+		v := g.genExpr(x.X)
+		g.fb.OpImm(ir.OpCmpEq, v.reg, v.reg, 0)
+		return v
+	case minic.OpDeref:
+		av := g.genExpr(x.X)
+		return g.loadThrough(av, x.Type().IsFloat())
+	case minic.OpAddr:
+		return g.genAddr(x.X)
+	}
+	panic("codegen: unknown unary operator")
+}
+
+func (g *generator) genCast(x *minic.CastExpr) value {
+	v := g.genExpr(x.X)
+	from := x.X.Type().Decay()
+	to := x.To
+	switch {
+	case from.IsFloat() && !to.IsFloat():
+		r := g.intPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpCvtTQ, Dst: r, A: v.reg})
+		g.freeVal(v)
+		return value{reg: r, temp: true}
+	case !from.IsFloat() && to.IsFloat():
+		r := g.fltPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpCvtQT, Dst: r, A: v.reg})
+		g.freeVal(v)
+		return value{reg: r, float: true, temp: true}
+	default:
+		// Pointer/int reinterpretations are free.
+		return v
+	}
+}
+
+func (g *generator) genBinary(x *minic.BinExpr) value {
+	if x.Op == minic.OpAnd || x.Op == minic.OpOr {
+		return g.genLogicalValue(x)
+	}
+	if x.Op.IsComparison() {
+		return g.genCompareValue(x)
+	}
+	if g.tgt.FoldConstants {
+		if folded, ok := g.foldInt(x); ok {
+			r := g.intPool.alloc()
+			g.fb.LoadInt(r, folded)
+			return value{reg: r, temp: true}
+		}
+	}
+	isFloat := x.Type().IsFloat()
+	// Immediate form for int ops with a literal right operand.
+	if lit, ok := x.R.(*minic.IntLit); ok && !isFloat && intOpImmOK(x.Op) {
+		v := g.genExpr(x.L)
+		g.fb.OpImm(intOp(x.Op), v.reg, v.reg, lit.Value)
+		return v
+	}
+	lv := g.genExpr(x.L)
+	g.maybeSpill(&lv)
+	rv := g.genExpr(x.R)
+	lv = g.reload(lv)
+	if isFloat {
+		g.fb.Op3(floatOp(x.Op), lv.reg, lv.reg, rv.reg)
+	} else {
+		g.fb.Op3(intOp(x.Op), lv.reg, lv.reg, rv.reg)
+	}
+	g.freeVal(rv)
+	return lv
+}
+
+// foldInt folds integer-literal arithmetic.
+func (g *generator) foldInt(x *minic.BinExpr) (int64, bool) {
+	l, lok := x.L.(*minic.IntLit)
+	r, rok := x.R.(*minic.IntLit)
+	if !lok || !rok {
+		return 0, false
+	}
+	switch x.Op {
+	case minic.OpAdd:
+		return l.Value + r.Value, true
+	case minic.OpSub:
+		return l.Value - r.Value, true
+	case minic.OpMul:
+		return l.Value * r.Value, true
+	case minic.OpDiv:
+		if r.Value != 0 {
+			return l.Value / r.Value, true
+		}
+	case minic.OpRem:
+		if r.Value != 0 {
+			return l.Value % r.Value, true
+		}
+	}
+	return 0, false
+}
+
+func intOpImmOK(op minic.BinOpKind) bool {
+	switch op {
+	case minic.OpAdd, minic.OpSub, minic.OpMul, minic.OpDiv, minic.OpRem:
+		return true
+	}
+	return false
+}
+
+func intOp(op minic.BinOpKind) ir.Op {
+	switch op {
+	case minic.OpAdd:
+		return ir.OpAddQ
+	case minic.OpSub:
+		return ir.OpSubQ
+	case minic.OpMul:
+		return ir.OpMulQ
+	case minic.OpDiv:
+		return ir.OpDivQ
+	case minic.OpRem:
+		return ir.OpRemQ
+	}
+	panic("codegen: not an int ALU operator")
+}
+
+func floatOp(op minic.BinOpKind) ir.Op {
+	switch op {
+	case minic.OpAdd:
+		return ir.OpAddT
+	case minic.OpSub:
+		return ir.OpSubT
+	case minic.OpMul:
+		return ir.OpMulT
+	case minic.OpDiv:
+		return ir.OpDivT
+	}
+	panic("codegen: not a float ALU operator")
+}
+
+// genCompareValue materializes a comparison result as 0/1 in an int temp.
+func (g *generator) genCompareValue(x *minic.BinExpr) value {
+	if x.L.Type().Decay().IsFloat() {
+		ft, negate := g.genFloatCompare(x)
+		r := g.intPool.alloc()
+		g.fb.Emit(ir.Instr{Op: ir.OpCvtTQ, Dst: r, A: ft.reg})
+		g.freeVal(ft)
+		if negate {
+			g.fb.OpImm(ir.OpCmpEq, r, r, 0)
+		}
+		return value{reg: r, temp: true}
+	}
+	rv, negate := g.genIntCompare(x)
+	if negate {
+		g.fb.OpImm(ir.OpCmpEq, rv.reg, rv.reg, 0)
+	}
+	return rv
+}
+
+// genIntCompare computes an integer/pointer comparison into an int register
+// holding the *non-negated* compare; negate reports whether the caller must
+// invert it (used for !=).
+func (g *generator) genIntCompare(x *minic.BinExpr) (value, bool) {
+	op, swap, negate := intCmpPlan(x.Op)
+	l, r := x.L, x.R
+	if swap {
+		l, r = r, l
+	}
+	// Immediate form for literal right operands.
+	if lit, ok := r.(*minic.IntLit); ok {
+		lv := g.genExpr(l)
+		g.fb.OpImm(op, lv.reg, lv.reg, lit.Value)
+		return lv, negate
+	}
+	if _, ok := r.(*minic.NullLit); ok {
+		lv := g.genExpr(l)
+		g.fb.OpImm(op, lv.reg, lv.reg, 0)
+		return lv, negate
+	}
+	lv := g.genExpr(l)
+	g.maybeSpill(&lv)
+	rv := g.genExpr(r)
+	lv = g.reload(lv)
+	g.fb.Op3(op, lv.reg, lv.reg, rv.reg)
+	g.freeVal(rv)
+	return lv, negate
+}
+
+// intCmpPlan maps a source comparison onto the Alpha's three integer compare
+// opcodes: op, whether operands swap, and whether the result is negated.
+func intCmpPlan(op minic.BinOpKind) (ir.Op, bool, bool) {
+	switch op {
+	case minic.OpEq:
+		return ir.OpCmpEq, false, false
+	case minic.OpNe:
+		return ir.OpCmpEq, false, true
+	case minic.OpLt:
+		return ir.OpCmpLt, false, false
+	case minic.OpLe:
+		return ir.OpCmpLe, false, false
+	case minic.OpGt:
+		return ir.OpCmpLt, true, false
+	case minic.OpGe:
+		return ir.OpCmpLe, true, false
+	}
+	panic("codegen: not a comparison")
+}
+
+// genFloatCompare computes a float comparison into a float register (0.0 or
+// 1.0, Alpha style); negate reports whether the sense is inverted.
+func (g *generator) genFloatCompare(x *minic.BinExpr) (value, bool) {
+	var op ir.Op
+	swap, negate := false, false
+	switch x.Op {
+	case minic.OpEq:
+		op = ir.OpCmpTEq
+	case minic.OpNe:
+		op, negate = ir.OpCmpTEq, true
+	case minic.OpLt:
+		op = ir.OpCmpTLt
+	case minic.OpLe:
+		op = ir.OpCmpTLe
+	case minic.OpGt:
+		op, swap = ir.OpCmpTLt, true
+	case minic.OpGe:
+		op, swap = ir.OpCmpTLe, true
+	default:
+		panic("codegen: not a comparison")
+	}
+	l, r := x.L, x.R
+	if swap {
+		l, r = r, l
+	}
+	lv := g.genExpr(l)
+	g.maybeSpill(&lv)
+	rv := g.genExpr(r)
+	lv = g.reload(lv)
+	g.fb.Op3(op, lv.reg, lv.reg, rv.reg)
+	g.freeVal(rv)
+	return lv, negate
+}
+
+// genLogicalValue materializes a short-circuit && / || as 0/1.
+func (g *generator) genLogicalValue(x *minic.BinExpr) value {
+	r := g.intPool.alloc()
+	done := g.fb.NewBlockDetached()
+	g.fb.LoadInt(r, 0)
+	g.genCondBranch(x, done, false)
+	g.fb.LoadInt(r, 1)
+	g.fb.Place(done)
+	g.fb.SetBlock(done)
+	return value{reg: r, temp: true}
+}

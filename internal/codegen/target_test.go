@@ -1,0 +1,335 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// compileSrc compiles a source string for a target.
+func compileSrc(t *testing.T, src string, tgt Target) *ir.Program {
+	t.Helper()
+	ast, err := minic.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(ast, ir.LangC, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// countOps tallies opcode occurrences in a program.
+func countOps(p *ir.Program) map[ir.Op]int {
+	out := map[ir.Op]int{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Insns {
+				out[b.Insns[i].Op]++
+			}
+		}
+	}
+	return out
+}
+
+func TestCmovConversionEmitsCmov(t *testing.T) {
+	src := `
+int main() {
+	int x;
+	int y;
+	x = __input(0);
+	y = 0;
+	if (x > 3) { y = x; }
+	if (x > 5) { y = 1; } else { y = 2; }
+	return y;
+}`
+	plain := countOps(compileSrc(t, src, AlphaCC))
+	cmov := countOps(compileSrc(t, src, AlphaCCv2))
+	if plain[ir.OpCmovNe] != 0 {
+		t.Error("baseline target emitted cmov")
+	}
+	if cmov[ir.OpCmovNe] < 2 {
+		t.Errorf("cmov target emitted %d cmovs, want >= 2", cmov[ir.OpCmovNe])
+	}
+	// Conversion removes the conditional branches of both ifs.
+	plainBranches, cmovBranches := 0, 0
+	for op, n := range plain {
+		if op.IsCondBranch() {
+			plainBranches += n
+		}
+	}
+	for op, n := range cmov {
+		if op.IsCondBranch() {
+			cmovBranches += n
+		}
+	}
+	if cmovBranches >= plainBranches {
+		t.Errorf("cmov target has %d branches, baseline %d", cmovBranches, plainBranches)
+	}
+}
+
+func TestCmovFlattensLogicalConditions(t *testing.T) {
+	src := `
+int main() {
+	int a;
+	int b;
+	int y;
+	a = __input(0);
+	b = __input(1);
+	y = 0;
+	if (a > 1 && b > 2) { y = 7; }
+	return y;
+}`
+	ops := countOps(compileSrc(t, src, AlphaCCv2))
+	if ops[ir.OpCmovNe] == 0 {
+		t.Error("&&-condition did not convert to cmov")
+	}
+	if ops[ir.OpAndQ] == 0 {
+		t.Error("flattened condition must use a bitwise and")
+	}
+}
+
+func TestCmovRefusesUnsafeSpeculation(t *testing.T) {
+	cases := []string{
+		// Loads through pointers must not be speculated.
+		`int g; int main() { int* p; int y; p = &g; y = 0;
+		 if (__input(0) > 0) { y = *p; } return y; }`,
+		// Calls must not be duplicated or speculated.
+		`int f() { return 1; } int main() { int y; y = 0;
+		 if (__input(0) > 0) { y = f(); } return y; }`,
+		// Division can fault.
+		`int main() { int y; int d; d = __input(0); y = 0;
+		 if (d != 0) { y = 100 / d; } return y; }`,
+	}
+	for i, src := range cases {
+		ops := countOps(compileSrc(t, src, AlphaCCv2))
+		if ops[ir.OpCmovNe]+ops[ir.OpCmovEq] != 0 {
+			t.Errorf("case %d: unsafe pattern converted to cmov", i)
+		}
+	}
+}
+
+func TestMIPSBranchForms(t *testing.T) {
+	src := `
+int main() {
+	int a;
+	int b;
+	a = __input(0);
+	b = __input(1);
+	if (a == b) { return 1; }
+	if (a != 7) { return 2; }
+	if (a == 0) { return 3; }
+	return 0;
+}`
+	alpha := countOps(compileSrc(t, src, AlphaCC))
+	mips := countOps(compileSrc(t, src, MIPSCC))
+	if alpha[ir.OpBeq2]+alpha[ir.OpBne2] != 0 {
+		t.Error("Alpha target emitted two-register branches")
+	}
+	if mips[ir.OpBeq2]+mips[ir.OpBne2] < 2 {
+		t.Errorf("MIPS target emitted %d two-register branches, want >= 2 (a==b and a!=7)",
+			mips[ir.OpBeq2]+mips[ir.OpBne2])
+	}
+	// Comparisons against zero stay direct on both (possibly negated by the
+	// if-statement's branch-on-false polarity).
+	if mips[ir.OpBeq]+mips[ir.OpBne] == 0 {
+		t.Error("MIPS target must still branch on zero directly")
+	}
+}
+
+func TestMaterializeCompares(t *testing.T) {
+	src := `
+int main() {
+	int x;
+	x = __input(0);
+	if (x < 0) { return 1; }
+	return 0;
+}`
+	direct := countOps(compileSrc(t, src, AlphaCC))
+	mat := countOps(compileSrc(t, src, AlphaGCC))
+	if direct[ir.OpBlt]+direct[ir.OpBge] == 0 {
+		t.Error("default target must branch on sign directly")
+	}
+	if mat[ir.OpBlt]+mat[ir.OpBge] != 0 {
+		t.Error("materializing target must not use direct sign branches")
+	}
+	if mat[ir.OpCmpLt] == 0 {
+		t.Error("materializing target must emit an explicit compare")
+	}
+}
+
+func TestLoopInversionLayout(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int n;
+	int s;
+	n = __input(0);
+	s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}`
+	// Inverted (default): the loop-iteration branch's taken edge is a back
+	// edge. (The bound is hoisted so the condition is pure and eligible.)
+	backEdges := func(tgt Target) int {
+		prog := compileSrc(t, src, tgt)
+		g := cfg.New(prog.FuncByName("main"))
+		n := 0
+		for i := 0; i < g.N(); i++ {
+			if !g.IsBranchBlock(i) {
+				continue
+			}
+			taken, _ := g.TakenSucc(i)
+			if g.IsBackEdge(i, taken) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := backEdges(AlphaCC); got != 1 {
+		t.Errorf("inverted loop: %d conditional back-edge branches, want 1", got)
+	}
+	if got := backEdges(AlphaGCC); got != 0 {
+		t.Errorf("no-inversion target: %d conditional back-edge branches, want 0", got)
+	}
+}
+
+func TestLoopInversionSkipsImpureConditions(t *testing.T) {
+	// A condition with a call must not be evaluated twice.
+	src := `
+int calls;
+int cond() { calls = calls + 1; return calls < 5; }
+int main() {
+	while (cond()) { }
+	return calls;
+}`
+	prog := compileSrc(t, src, AlphaCC)
+	ps, err := runProgram(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Result != 5 {
+		t.Errorf("impure loop condition ran %d times, want 5", ps.Result)
+	}
+}
+
+func TestUnrollingStructure(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 100; i = i + 1) { s = s + i; }
+	return s;
+}`
+	base := compileSrc(t, src, AlphaCC)
+	gem := compileSrc(t, src, AlphaGEM)
+	// Unrolling replicates the body: the GEM build is visibly larger.
+	if gem.NumInsns() <= base.NumInsns() {
+		t.Errorf("unrolled build not larger: %d vs %d", gem.NumInsns(), base.NumInsns())
+	}
+	if gem.NumCondBranches() <= base.NumCondBranches() {
+		t.Error("unrolling must add exit-test branches")
+	}
+	// And both must compute the same sum.
+	b, err := runProgram(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := runProgram(gem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Result != g.Result || b.Result != 4950 {
+		t.Errorf("results differ: %d vs %d", b.Result, g.Result)
+	}
+}
+
+func TestRegisterPressureSpills(t *testing.T) {
+	// A deep expression under a tiny temp pool must still compile (via
+	// spills) and compute the right value.
+	src := `
+int main() {
+	int a;
+	a = ((1 + 2) * (3 + 4) + (5 + 6) * (7 + 8)) * ((2 + 3) * (4 + 5) + (6 + 7) * (8 + 9));
+	return a;
+}`
+	tiny := Target{Name: "tiny", ISA: ISAAlpha, IntTemps: 3, FloatTemps: 3}
+	prog := compileSrc(t, src, tiny)
+	ops := countOps(prog)
+	if ops[ir.OpStq] == 0 {
+		t.Error("tiny register file produced no spill stores")
+	}
+	ps, err := runProgram(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(((1+2)*(3+4) + (5+6)*(7+8)) * ((2+3)*(4+5) + (6+7)*(8+9)))
+	if ps.Result != want {
+		t.Errorf("spilled expression = %d, want %d", ps.Result, want)
+	}
+}
+
+func TestRegSaveStoresAreRealStores(t *testing.T) {
+	src := `
+int f(int x) { return x + 1; }
+int main() { return f(41); }`
+	prog := compileSrc(t, src, MIPSCC)
+	// The register save area must exist and be stored through a non-SP base.
+	if prog.GlobalByName(".regsave") == nil {
+		t.Fatal("MIPS target did not allocate the register save area")
+	}
+	found := false
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Insns {
+				in := &b.Insns[i]
+				if in.Op == ir.OpStq && in.A != ir.RegSP {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no memory (non-stack) register-save store emitted")
+	}
+	ps, err := runProgram(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Result != 42 {
+		t.Errorf("result = %d", ps.Result)
+	}
+}
+
+func TestISAString(t *testing.T) {
+	if ISAAlpha.String() != "Alpha" || ISAMIPS.String() != "MIPS" {
+		t.Error("ISA names wrong")
+	}
+}
+
+func TestFindCompilerConfigs(t *testing.T) {
+	names := map[string]bool{}
+	// Default aliases the first compiler configuration by design.
+	if Default.Name != AlphaCC.Name {
+		t.Errorf("Default target is %q, want the cc baseline", Default.Name)
+	}
+	for _, tgt := range append([]Target{MIPSCC}, Compilers...) {
+		if tgt.Name == "" || names[tgt.Name] {
+			t.Errorf("target with empty or duplicate name: %+v", tgt)
+		}
+		names[tgt.Name] = true
+		if tgt.intTemps() < 3 || tgt.floatTemps() < 3 {
+			t.Errorf("%s: temp pools too small for codegen", tgt.Name)
+		}
+	}
+}
+
+// runProgram executes a compiled program with the default configuration.
+func runProgram(p *ir.Program, input []int64) (*interp.Profile, error) {
+	return interp.Run(p, interp.Config{Input: input, Seed: 1})
+}

@@ -1,0 +1,84 @@
+package codegen
+
+import "repro/internal/minic"
+
+// unrollBlock rewrites counted for-loops in the statement tree, unrolling
+// each eligible loop body k times. This reproduces the DEC GEM compiler
+// behaviour from Table 7: "The GEM compiler unrolled one loop in the main
+// routine, inserting more forward branches and reducing the dynamic
+// frequency of loop edges." The transformation runs on the unchecked AST;
+// each replicated body copy is wrapped in its own block so local
+// declarations stay scoped, and an "if (!cond) break" guard between copies
+// preserves semantics exactly.
+func unrollBlock(s minic.Stmt, k int) minic.Stmt {
+	switch st := s.(type) {
+	case nil:
+		return nil
+	case *minic.BlockStmt:
+		for i := range st.Stmts {
+			st.Stmts[i] = unrollBlock(st.Stmts[i], k)
+		}
+		return st
+	case *minic.IfStmt:
+		st.Then = unrollBlock(st.Then, k)
+		st.Else = unrollBlock(st.Else, k)
+		return st
+	case *minic.WhileStmt:
+		st.Body = unrollBlock(st.Body, k)
+		return st
+	case *minic.DoStmt:
+		st.Body = unrollBlock(st.Body, k)
+		return st
+	case *minic.ForStmt:
+		st.Body = unrollBlock(st.Body, k)
+		if unrollable(st) {
+			return unrollFor(st, k)
+		}
+		return st
+	default:
+		return s
+	}
+}
+
+// unrollable accepts for-loops with a test, an induction-style post
+// assignment to a plain variable, and a body that cannot escape the loop
+// (no break/continue/return at loop level).
+func unrollable(st *minic.ForStmt) bool {
+	if st.Cond == nil || st.Post == nil {
+		return false
+	}
+	post, ok := st.Post.(*minic.AssignStmt)
+	if !ok {
+		return false
+	}
+	if _, ok := post.Target.(*minic.Ident); !ok {
+		return false
+	}
+	return !minic.HasLoopEscapes(st.Body)
+}
+
+// unrollFor produces the k-times unrolled loop.
+func unrollFor(st *minic.ForStmt, k int) *minic.ForStmt {
+	body := &minic.BlockStmt{Pos: st.Pos}
+	for i := 0; i < k-1; i++ {
+		body.Stmts = append(body.Stmts,
+			asBlock(minic.CloneStmt(st.Body)),
+			minic.CloneStmt(st.Post),
+			&minic.IfStmt{
+				Pos:  st.Pos,
+				Cond: &minic.UnExpr{Pos: st.Pos, Op: minic.OpNot, X: minic.CloneExpr(st.Cond)},
+				Then: &minic.BreakStmt{Pos: st.Pos},
+			},
+		)
+	}
+	body.Stmts = append(body.Stmts, asBlock(st.Body))
+	return &minic.ForStmt{Pos: st.Pos, Init: st.Init, Cond: st.Cond, Post: st.Post, Body: body}
+}
+
+// asBlock wraps a statement in its own scope.
+func asBlock(s minic.Stmt) minic.Stmt {
+	if b, ok := s.(*minic.BlockStmt); ok {
+		return b
+	}
+	return &minic.BlockStmt{Stmts: []minic.Stmt{s}}
+}

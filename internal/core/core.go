@@ -1,0 +1,77 @@
+// Package core implements ESP — evidence-based static prediction — the
+// paper's primary contribution. A corpus of programs is compiled, executed
+// to collect per-branch dynamic behaviour, and reduced to (static feature
+// set, branch probability, normalized branch weight) triples; a classifier
+// (the Section 3.1.1 neural network, or the Section 3.1.2 decision tree)
+// maps static features to a taken-probability; and new programs are
+// predicted from their static features alone.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// ProgramData bundles everything ESP knows about one program: the compiled
+// IR, the analyzed branch sites, the Table 2 feature vectors, and the
+// dynamic profile from one profiling run.
+type ProgramData struct {
+	Name     string
+	Language ir.Language
+	Prog     *ir.Program
+	Sites    *features.ProgramSites
+	Vectors  []features.Vector
+	Profile  *interp.Profile
+}
+
+// Analyze runs a compiled program under the given interpreter configuration
+// and extracts its branch sites and static features.
+func Analyze(prog *ir.Program, lang ir.Language, runCfg interp.Config) (*ProgramData, error) {
+	prof, err := interp.Run(prog, runCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling %s: %w", prog.Name, err)
+	}
+	ps := features.Collect(prog)
+	return &ProgramData{
+		Name:     prog.Name,
+		Language: lang,
+		Prog:     prog,
+		Sites:    ps,
+		Vectors:  features.ExtractAll(ps),
+		Profile:  prof,
+	}, nil
+}
+
+// Example is one training observation: a static feature vector with the
+// branch's dynamic behaviour from the corpus.
+type Example struct {
+	Vector features.Vector
+	// Target is t_k: the fraction of executions in which the branch was
+	// taken.
+	Target float64
+	// Weight is n_k: the branch's executions normalized by the program's
+	// total branch executions, so every corpus program contributes equal
+	// total weight.
+	Weight float64
+}
+
+// Examples converts a program's profile into training examples, skipping
+// branches that never executed (they carry no evidence).
+func (pd *ProgramData) Examples() []Example {
+	out := make([]Example, 0, len(pd.Vectors))
+	for i, s := range pd.Sites.Sites {
+		c := pd.Profile.Branches[s.Ref]
+		if c == nil || c.Executed == 0 {
+			continue
+		}
+		out = append(out, Example{
+			Vector: pd.Vectors[i],
+			Target: c.TakenFraction(),
+			Weight: pd.Profile.NormalizedWeight(s.Ref),
+		})
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/heuristics"
+)
+
+// FoldResult is one leave-one-out fold: the model trained on every corpus
+// program except Held, evaluated on Held.
+type FoldResult struct {
+	Held     string
+	MissRate float64
+	// TrainPrograms is the number of programs trained on.
+	TrainPrograms int
+	// Epochs is the neural training length of the fold (0 for trees).
+	Epochs int
+}
+
+// CrossValidate performs the paper's leave-one-out cross-validation: for
+// each program, ESP trains on the remaining programs of the group and
+// predicts the held-out program. The paper validates within language groups
+// (C programs against C programs, Fortran against Fortran); callers pass the
+// group as corpus.
+//
+// Folds run in parallel but every fold's training is deterministic (the
+// seed is fixed per configuration), so results are reproducible.
+func CrossValidate(corpus []*ProgramData, cfg Config) []FoldResult {
+	results := make([]FoldResult, len(corpus))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range corpus {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = crossValidateFold(corpus, i, cfg)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+func crossValidateFold(corpus []*ProgramData, hold int, cfg Config) FoldResult {
+	train := make([]*ProgramData, 0, len(corpus)-1)
+	for j, pd := range corpus {
+		if j != hold {
+			train = append(train, pd)
+		}
+	}
+	model := Train(train, cfg)
+	held := corpus[hold]
+	miss := heuristics.MissRate(held.Sites, held.Profile, &Predictor{Model: model})
+	return FoldResult{
+		Held:          held.Name,
+		MissRate:      miss,
+		TrainPrograms: len(train),
+		Epochs:        model.TrainStats.Epochs,
+	}
+}
+
+// MissByProgram reshapes fold results into a name → miss-rate map.
+func MissByProgram(folds []FoldResult) map[string]float64 {
+	out := make(map[string]float64, len(folds))
+	for _, f := range folds {
+		out[f.Held] = f.MissRate
+	}
+	return out
+}
+
+// MeanMiss averages the fold miss rates (the paper averages per-program
+// miss rates within suites and overall).
+func MeanMiss(folds []FoldResult) float64 {
+	if len(folds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range folds {
+		sum += f.MissRate
+	}
+	return sum / float64(len(folds))
+}

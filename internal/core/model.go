@@ -1,0 +1,283 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dtree"
+	"repro/internal/features"
+	"repro/internal/heuristics"
+	"repro/internal/mbr"
+	"repro/internal/neural"
+)
+
+// ClassifierKind selects the function approximator behind ESP.
+type ClassifierKind int
+
+// Supported classifiers.
+const (
+	// NeuralNet is the paper's primary classifier (Section 3.1.1).
+	NeuralNet ClassifierKind = iota
+	// DecisionTree is the Section 3.1.2 alternative.
+	DecisionTree
+	// MemoryBased is memory-based reasoning, the other alternative the
+	// paper names in Section 6.
+	MemoryBased
+)
+
+// String names the classifier.
+func (k ClassifierKind) String() string {
+	switch k {
+	case DecisionTree:
+		return "decision-tree"
+	case MemoryBased:
+		return "memory-based"
+	}
+	return "neural-net"
+}
+
+// Config parameterizes ESP training.
+type Config struct {
+	// Classifier selects the model type (default NeuralNet).
+	Classifier ClassifierKind
+	// Hidden is the hidden-layer width (default 20).
+	Hidden int
+	// Seed makes training deterministic (default 1).
+	Seed uint64
+	// Net carries neural-net training overrides (epochs, learning rate…).
+	Net neural.Config
+	// Tree carries decision-tree overrides.
+	Tree dtree.Config
+	// MBR carries memory-based-reasoning overrides.
+	MBR mbr.Config
+	// ExcludeFeatures lists Table 2 feature indices to hide from the model
+	// (feature-set ablations): excluded features read as Unknown.
+	ExcludeFeatures []int
+	// UniformWeights trains with equal example weights instead of the
+	// paper's normalized branch weights n_k (the loss ablation); the
+	// evaluation metric stays execution-weighted either way.
+	UniformWeights bool
+	// IncludeLibraryFeature exposes the library-subroutine feature
+	// (features.FLibraryProc) to the model. The paper's feature set is the
+	// 24 features of Table 2; the 25th is its Section 6 future-work
+	// extension, so it is opt-in.
+	IncludeLibraryFeature bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Net.MaxEpochs == 0 {
+		c.Net.MaxEpochs = 600
+	}
+	if c.Net.Patience == 0 {
+		c.Net.Patience = 60
+	}
+	if !c.IncludeLibraryFeature {
+		c.ExcludeFeatures = append(append([]int(nil), c.ExcludeFeatures...),
+			features.FLibraryProc)
+	}
+	return c
+}
+
+// Model is a trained ESP predictor.
+type Model struct {
+	Cfg     Config
+	Encoder *features.Encoder
+	Net     *neural.Net
+	Tree    *dtree.Tree
+	MBR     *mbr.Model
+	// TrainStats records the neural training run (empty for trees).
+	TrainStats neural.TrainResult
+
+	excluded map[int]bool
+}
+
+// Train fits an ESP model on the pooled examples of a corpus of programs.
+func Train(corpus []*ProgramData, cfg Config) *Model {
+	var examples []Example
+	for _, pd := range corpus {
+		examples = append(examples, pd.Examples()...)
+	}
+	return TrainExamples(examples, cfg)
+}
+
+// TrainExamples fits an ESP model on explicit examples.
+func TrainExamples(examples []Example, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{Cfg: cfg, excluded: excludeSet(cfg.ExcludeFeatures)}
+
+	masked := make([]features.Vector, len(examples))
+	targets := make([]float64, len(examples))
+	weightVals := make([]float64, len(examples))
+	for i, ex := range examples {
+		masked[i] = m.maskVector(ex.Vector)
+		targets[i] = ex.Target
+		if cfg.UniformWeights {
+			weightVals[i] = 1 / float64(len(examples))
+		} else {
+			weightVals[i] = ex.Weight
+		}
+	}
+	m.Encoder = features.NewEncoder(masked)
+
+	switch cfg.Classifier {
+	case DecisionTree:
+		tex := make([]dtree.Example, len(examples))
+		for i := range examples {
+			tex[i] = dtree.Example{
+				Values: masked[i].Values,
+				TakenW: weightVals[i] * targets[i],
+				NotW:   weightVals[i] * (1 - targets[i]),
+			}
+		}
+		m.Tree = dtree.Build(tex, cfg.Tree)
+	case MemoryBased:
+		mex := make([]mbr.Example, len(examples))
+		for i := range examples {
+			mex[i] = mbr.Example{
+				Values: masked[i].Values,
+				Target: targets[i],
+				Weight: weightVals[i],
+			}
+		}
+		mcfg := cfg.MBR
+		mcfg.InformationWeights = true
+		m.MBR = mbr.New(mex, mcfg)
+	default:
+		xs := m.Encoder.EncodeAll(masked)
+		ncfg := cfg.Net
+		ncfg.Inputs = m.Encoder.Dim
+		ncfg.Hidden = cfg.Hidden
+		if ncfg.Seed == 0 {
+			ncfg.Seed = cfg.Seed
+		}
+		m.Net = neural.New(ncfg)
+		m.TrainStats = m.Net.Train(ncfg, xs, targets, weightVals)
+	}
+	return m
+}
+
+func excludeSet(feats []int) map[int]bool {
+	if len(feats) == 0 {
+		return nil
+	}
+	s := make(map[int]bool, len(feats))
+	for _, f := range feats {
+		s[f] = true
+	}
+	return s
+}
+
+// maskVector hides excluded features.
+func (m *Model) maskVector(v features.Vector) features.Vector {
+	if len(m.excluded) == 0 {
+		return v
+	}
+	for f := range m.excluded {
+		if f >= 0 && f < features.NumFeatures {
+			v.Values[f] = features.Unknown
+		}
+	}
+	return v
+}
+
+// TakenProbability returns the model's estimate that the branch described by
+// the feature vector is taken.
+func (m *Model) TakenProbability(v features.Vector) float64 {
+	v = m.maskVector(v)
+	if m.Tree != nil {
+		return m.Tree.Predict(v.Values)
+	}
+	if m.MBR != nil {
+		return m.MBR.Predict(v.Values)
+	}
+	x := make([]float64, m.Encoder.Dim)
+	m.Encoder.Encode(v, x)
+	return m.Net.Forward(x)
+}
+
+// Predictor adapts the model to the heuristics.Predictor interface used by
+// all evaluation code: a branch is predicted taken when the estimated
+// probability exceeds 0.5.
+type Predictor struct {
+	Model *Model
+	// Label overrides the reported name.
+	Label string
+}
+
+// Name implements heuristics.Predictor.
+func (p *Predictor) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "ESP(" + p.Model.Cfg.Classifier.String() + ")"
+}
+
+// PredictSite implements heuristics.Predictor.
+func (p *Predictor) PredictSite(s *features.Site) (heuristics.Prediction, bool) {
+	prob := p.Model.TakenProbability(features.Of(s))
+	if prob > 0.5 {
+		return heuristics.Taken, true
+	}
+	return heuristics.NotTaken, true
+}
+
+// modelJSON is the serialized form of a model.
+type modelJSON struct {
+	Classifier ClassifierKind    `json:"classifier"`
+	Hidden     int               `json:"hidden"`
+	Excluded   []int             `json:"excluded,omitempty"`
+	Encoder    *features.Encoder `json:"encoder"`
+	Net        *neural.Net       `json:"net,omitempty"`
+	Tree       *dtree.Tree       `json:"tree,omitempty"`
+	MBR        *mbr.Model        `json:"mbr,omitempty"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(modelJSON{
+		Classifier: m.Cfg.Classifier,
+		Hidden:     m.Cfg.Hidden,
+		Excluded:   m.Cfg.ExcludeFeatures,
+		Encoder:    m.Encoder,
+		Net:        m.Net,
+		Tree:       m.Tree,
+		MBR:        m.MBR,
+	})
+}
+
+// Load reads a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if mj.Encoder == nil {
+		return nil, fmt.Errorf("core: model file has no encoder")
+	}
+	mj.Encoder.Rebuild()
+	m := &Model{
+		Cfg: Config{
+			Classifier:      mj.Classifier,
+			Hidden:          mj.Hidden,
+			ExcludeFeatures: mj.Excluded,
+		},
+		Encoder:  mj.Encoder,
+		Net:      mj.Net,
+		Tree:     mj.Tree,
+		MBR:      mj.MBR,
+		excluded: excludeSet(mj.Excluded),
+	}
+	if m.Net == nil && m.Tree == nil && m.MBR == nil {
+		return nil, fmt.Errorf("core: model file has no classifier")
+	}
+	return m, nil
+}

@@ -1,0 +1,160 @@
+// Package corpus holds the benchmark programs of the study: a MinC analog
+// for each of the 43 C and Fortran programs the paper instrumented (the
+// SPEC92 suites, the Perfect Club suite, and the miscellaneous Unix tools of
+// "Other C"), plus the three Scheme-style programs of the Section 3.1.2
+// language study.
+//
+// The originals are proprietary (SPEC92 licensing, DEC compilers, Alpha
+// binaries), so each entry is a from-scratch program written to match its
+// namesake's *branch character*: the approximate fraction of taken branches,
+// how concentrated dynamic branches are over static sites (the Q-50…Q-100
+// quantiles of Table 3), the loop/non-loop mix, and the idioms the paper's
+// heuristics key on (pointer-null scans, convergence tests that almost never
+// fire, store/call successors, recursion-as-iteration for the Scheme
+// programs). Absolute instruction counts are necessarily far smaller than
+// the paper's multi-billion-instruction traces.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codegen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// Suite identifies the benchmark suite a program belongs to, matching the
+// grouping of Tables 3 and 4.
+type Suite string
+
+// Suites.
+const (
+	SuiteOtherC      Suite = "Other C"
+	SuiteSPECC       Suite = "SPEC C"
+	SuiteSPECFortran Suite = "SPEC Fortran"
+	SuitePerfectClub Suite = "Perf Club"
+	SuiteScheme      Suite = "Scheme"
+)
+
+// Entry is one corpus program.
+type Entry struct {
+	// Name matches the paper's program name (lower case as printed).
+	Name string
+	// Suite is the Table 3/4 grouping.
+	Suite Suite
+	// Language tags the dialect: LangC for the C suites, LangFortran for
+	// the Fortran suites, LangScheme for the Section 3.1.2 programs.
+	Language ir.Language
+	// Source is the MinC program text.
+	Source string
+	// Input is the program's input vector (served by __input).
+	Input []int64
+	// Seed seeds the deterministic __rand stream.
+	Seed uint64
+	// About describes what the analog models.
+	About string
+}
+
+var registry []Entry
+
+func register(e Entry) {
+	registry = append(registry, e)
+}
+
+// All returns every corpus entry: the 43 C and Fortran programs in the
+// paper's presentation order (Other C, SPEC C, SPEC Fortran, Perfect Club)
+// followed by the three Scheme programs.
+func All() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return suiteOrder(out[i].Suite) < suiteOrder(out[j].Suite)
+		}
+		return false // keep registration order within a suite
+	})
+	return out
+}
+
+func suiteOrder(s Suite) int {
+	switch s {
+	case SuiteOtherC:
+		return 0
+	case SuiteSPECC:
+		return 1
+	case SuiteSPECFortran:
+		return 2
+	case SuitePerfectClub:
+		return 3
+	case SuiteScheme:
+		return 4
+	}
+	return 5
+}
+
+// Study returns the 43 C and Fortran programs (the paper's main corpus,
+// excluding the Scheme study programs).
+func Study() []Entry {
+	var out []Entry
+	for _, e := range All() {
+		if e.Suite != SuiteScheme {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BySuite returns the programs of one suite in order.
+func BySuite(s Suite) []Entry {
+	var out []Entry
+	for _, e := range All() {
+		if e.Suite == s {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByLanguage returns the study programs with the given language tag — the
+// paper's cross-validation groups (23 C, 20 Fortran).
+func ByLanguage(lang ir.Language) []Entry {
+	var out []Entry
+	for _, e := range Study() {
+		if e.Language == lang {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByName looks an entry up.
+func ByName(name string) (Entry, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Compile parses and compiles the entry for a target. Every program is
+// linked against the MinC runtime library (StdlibSource), mirroring how the
+// paper's binaries carried the native OS libraries.
+func (e Entry) Compile(tgt codegen.Target) (*ir.Program, error) {
+	ast, err := minic.Parse(e.Name, e.Source+StdlibSource+Stdlib2Source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", e.Name, err)
+	}
+	prog, err := codegen.Compile(ast, e.Language, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", e.Name, err)
+	}
+	return prog, nil
+}
+
+// RunConfig is the standard interpreter configuration for the entry.
+func (e Entry) RunConfig() interp.Config {
+	return interp.Config{Input: e.Input, Seed: e.Seed}
+}

@@ -1,0 +1,160 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if got := len(Study()); got != 43 {
+		t.Errorf("study corpus has %d programs, want 43 (the paper's corpus)", got)
+	}
+	if got := len(All()); got != 46 {
+		t.Errorf("full corpus has %d programs, want 46 (43 + 3 Scheme)", got)
+	}
+	wantSuite := map[Suite]int{
+		SuiteOtherC: 15, SuiteSPECC: 8, SuiteSPECFortran: 11,
+		SuitePerfectClub: 9, SuiteScheme: 3,
+	}
+	for s, want := range wantSuite {
+		if got := len(BySuite(s)); got != want {
+			t.Errorf("suite %q has %d programs, want %d", s, got, want)
+		}
+	}
+	if got := len(ByLanguage(ir.LangC)); got != 23 {
+		t.Errorf("C group has %d programs, want 23", got)
+	}
+	if got := len(ByLanguage(ir.LangFortran)); got != 20 {
+		t.Errorf("Fortran group has %d programs, want 20", got)
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.Name] {
+			t.Errorf("duplicate corpus entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.About == "" {
+			t.Errorf("%s: missing About", e.Name)
+		}
+		if e.Seed == 0 {
+			t.Errorf("%s: zero seed", e.Name)
+		}
+	}
+}
+
+// TestAllProgramsRun compiles and executes every corpus program under the
+// default target and sanity-checks the resulting profile.
+func TestAllProgramsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := e.Compile(codegen.Default)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			prof, err := interp.Run(prog, e.RunConfig())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if prof.CondExec < 3_000 {
+				t.Errorf("only %d conditional branch executions; workload too small", prof.CondExec)
+			}
+			if prof.CondExec > 3_000_000 {
+				t.Errorf("%d conditional branch executions; workload too large for the harness", prof.CondExec)
+			}
+			if prof.ExecutedSites() < 8 {
+				t.Errorf("only %d branch sites executed; program too simple", prof.ExecutedSites())
+			}
+			pct := prof.PercentTaken()
+			if pct < 5 || pct > 99.9 {
+				t.Errorf("%%taken = %.1f; outside plausible range", pct)
+			}
+		})
+	}
+}
+
+// TestDeterministicProfiles re-runs a sample of programs and checks for
+// bit-identical profiles (the whole evaluation depends on determinism).
+func TestDeterministicProfiles(t *testing.T) {
+	for _, name := range []string{"bc", "tomcatv", "boyer", "gcc"} {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing corpus entry %q", name)
+		}
+		prog1, err := e.Compile(codegen.Default)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prog2, _ := e.Compile(codegen.Default)
+		p1, err := interp.Run(prog1, e.RunConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p2, err := interp.Run(prog2, e.RunConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p1.Insns != p2.Insns || p1.CondExec != p2.CondExec || p1.CondTaken != p2.CondTaken {
+			t.Errorf("%s: non-deterministic profile: %+v vs %+v", name, p1.Insns, p2.Insns)
+		}
+		for ref, c1 := range p1.Branches {
+			c2 := p2.Branches[ref]
+			if c2 == nil || c1.Executed != c2.Executed || c1.Taken != c2.Taken {
+				t.Errorf("%s: branch %v differs between runs", name, ref)
+			}
+		}
+	}
+}
+
+// TestAllProgramsRunAllTargets checks that the cross-architecture and
+// compiler configurations preserve every program's semantics (outputs
+// identical) — required for Tables 6 and 7 to be meaningful.
+func TestAllProgramsRunAllTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-target sweep in short mode")
+	}
+	targets := []codegen.Target{codegen.AlphaCCv2, codegen.AlphaGEM, codegen.AlphaGCC, codegen.MIPSCC}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			base := mustRun(t, e, codegen.Default)
+			for _, tgt := range targets {
+				got := mustRun(t, e, tgt)
+				if got.Result != base.Result {
+					t.Errorf("%s: result %d, want %d", tgt.Name, got.Result, base.Result)
+				}
+				if len(got.Outputs) != len(base.Outputs) || len(got.FOutputs) != len(base.FOutputs) {
+					t.Fatalf("%s: output shape differs", tgt.Name)
+				}
+				for i := range got.Outputs {
+					if got.Outputs[i] != base.Outputs[i] {
+						t.Errorf("%s: output[%d] = %d, want %d", tgt.Name, i, got.Outputs[i], base.Outputs[i])
+					}
+				}
+				for i := range got.FOutputs {
+					if got.FOutputs[i] != base.FOutputs[i] {
+						t.Errorf("%s: foutput[%d] = %g, want %g", tgt.Name, i, got.FOutputs[i], base.FOutputs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func mustRun(t *testing.T, e Entry, tgt codegen.Target) *interp.Profile {
+	t.Helper()
+	prog, err := e.Compile(tgt)
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v", e.Name, tgt.Name, err)
+	}
+	prof, err := interp.Run(prog, e.RunConfig())
+	if err != nil {
+		t.Fatalf("%s/%s: run: %v", e.Name, tgt.Name, err)
+	}
+	return prof
+}

@@ -1,0 +1,1026 @@
+package corpus
+
+import "repro/internal/ir"
+
+// The "Other C" suite: analogs of the fifteen Unix tools of Table 3 (bc,
+// bison, burg, flex, grep, gzip, indent, od, perl, sed, siod, sort, tex,
+// wdiff, yacr). Each program reproduces its namesake's dominant branch
+// idioms: token dispatch chains for the language tools, scanning loops for
+// the text tools, hash chains for gzip, pointer-walking lists for siod.
+
+func init() {
+	register(Entry{
+		Name: "bc", Suite: SuiteOtherC, Language: ir.LangC, Seed: 101,
+		About: "arbitrary-precision calculator: stack-machine expression evaluation over a synthetic token stream; flat branch profile, less than half the branches taken",
+		Input: []int64{2600},
+		Source: `
+// bc: evaluate a stream of postfix expression tokens on an operand stack.
+int stack[64];
+int sp;
+int errs;
+
+void push(int v) {
+	if (sp < 64) {
+		stack[sp] = v;
+		sp = sp + 1;
+	} else {
+		errs = errs + 1;
+	}
+}
+
+int pop() {
+	if (sp > 0) {
+		sp = sp - 1;
+		return stack[sp];
+	}
+	errs = errs + 1;
+	return 0;
+}
+
+int apply(int op, int a, int b) {
+	if (op == 0) { return lib_clamp(a + b, 0 - 1000000, 1000000); }
+	if (op == 1) { return lib_clamp(a - b, 0 - 1000000, 1000000); }
+	if (op == 2) { return (a % 1000) * (b % 1000); }
+	if (op == 3) {
+		if (b != 0) { return a / b; }
+		errs = errs + 1;
+		return 0;
+	}
+	if (b != 0) { return lib_abs(a % b); }
+	return a;
+}
+
+int main() {
+	int n;
+	int i;
+	int sum;
+	n = __input(0);
+	sp = 0;
+	errs = 0;
+	sum = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int t;
+		t = __rand() % 10;
+		// Most tokens are operands (pushes); a minority are operators.
+		if (t < 6) {
+			push(__rand() % 1000 + 1);
+		} else {
+			int b;
+			int a;
+			b = pop();
+			a = pop();
+			push(apply(t - 6, a, b));
+		}
+		if (sp > 48) {
+			// Drain the stack when it gets deep, formatting each value
+			// like bc's output routine does.
+			while (sp > 8) {
+				int v;
+				v = pop();
+				sum = sum + lib_abs(v) + lib_fmtint(v);
+			}
+		}
+	}
+	while (sp > 0) { sum = sum + pop(); }
+	lib_report(sum);
+	lib_report(errs);
+	lib_report(lib_checksum(&stack[0], 8));
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "bison", Suite: SuiteOtherC, Language: ir.LangC, Seed: 102,
+		About: "parser generator: LALR-style table-driven state machine over a synthetic grammar stream; taken-heavy shift loops",
+		Input: []int64{1800},
+		Source: `
+// bison: drive a table-driven pushdown automaton over pseudo-tokens.
+int action[400];
+int gotoTab[400];
+int states[128];
+int top;
+
+void buildTables() {
+	int i;
+	for (i = 0; i < 400; i = i + 1) {
+		action[i] = (i * 7 + 3) % 5;   // 0 shift, 1 reduce, 2..4 variations
+		gotoTab[i] = (i * 13 + 1) % 20;
+	}
+}
+
+int main() {
+	int n;
+	int i;
+	int state;
+	int reduces;
+	int shifts;
+	n = __input(0);
+	buildTables();
+	top = 0;
+	state = 0;
+	reduces = 0;
+	shifts = 0;
+	states[0] = 0;
+	int maxDepth;
+	maxDepth = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int tok;
+		int a;
+		tok = lib_randrange(0, 20);
+		a = action[state * 20 + tok];
+		if (a == 0 || a == 3 || a == 4) {
+			// Shift: the common case.
+			shifts = shifts + 1;
+			if (top < 120) {
+				top = top + 1;
+				states[top] = state;
+			}
+			state = gotoTab[state * 20 + tok];
+			maxDepth = lib_max(maxDepth, top);
+		} else {
+			// Reduce: pop a rule's worth of states.
+			int len;
+			len = tok % 3 + 1;
+			reduces = reduces + 1;
+			while (len > 0 && top > 0) {
+				top = top - 1;
+				len = len - 1;
+			}
+			state = gotoTab[states[top] * 20 + tok];
+		}
+	}
+	lib_report(shifts);
+	lib_report(reduces);
+	lib_report(state);
+	lib_report(maxDepth);
+	lib_report(lib_checksum(&gotoTab[0], 64));
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "burg", Suite: SuiteOtherC, Language: ir.LangC, Seed: 103,
+		About: "code-generator generator: bottom-up tree pattern matching over random expression trees built from heap cells",
+		Input: []int64{60, 9},
+		Source: `
+// burg: label random expression trees with minimal-cost rules.
+int built;
+
+int* node(int op, int* l, int* r) {
+	int* p;
+	p = __alloc(4);
+	p[0] = op;
+	p[1] = (int) l;
+	p[2] = (int) r;
+	p[3] = 0; // state label
+	built = built + 1;
+	return p;
+}
+
+int* gen(int depth) {
+	if (depth <= 0 || __rand() % 100 < 25) {
+		return node(__rand() % 3, null, null); // leaf: reg, imm, mem
+	}
+	return node(3 + __rand() % 4, gen(depth - 1), gen(depth - 1));
+}
+
+int label(int* t) {
+	int lc;
+	int rc;
+	int cost;
+	if (t == null) { return 0; }
+	lc = label((int*) t[1]);
+	rc = label((int*) t[2]);
+	cost = lib_min(lc + rc + 1, 1000000);
+	cost = lib_max(cost, lib_abs(lc - rc));
+	if (t[0] == 3 && lc == 0) { cost = cost - 1; }      // add with reg
+	if (t[0] == 4 && t[1] != 0) {
+		int* l;
+		l = (int*) t[1];
+		if (l[0] == 1) { cost = cost + 1; }             // mul by imm
+	}
+	if (t[0] >= 5) { cost = cost + 2; }                  // mem ops
+	t[3] = cost;
+	return cost;
+}
+
+int main() {
+	int trees;
+	int depth;
+	int i;
+	int total;
+	trees = __input(0);
+	depth = __input(1);
+	built = 0;
+	total = 0;
+	for (i = 0; i < trees; i = i + 1) {
+		int* t;
+		t = gen(depth);
+		total = total + label(t);
+	}
+	__print(total);
+	__print(built);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "flex", Suite: SuiteOtherC, Language: ir.LangC, Seed: 104,
+		About: "lexical analyzer generator: DFA simulation over random character classes with accept/backtrack handling",
+		Input: []int64{5200},
+		Source: `
+// flex: run a generated-style DFA over a synthetic character stream.
+int delta[160];  // 20 states x 8 character classes
+int accept[20];
+
+void buildDFA() {
+	int s;
+	int c;
+	for (s = 0; s < 20; s = s + 1) {
+		for (c = 0; c < 8; c = c + 1) {
+			delta[s * 8 + c] = (s * 3 + c * 5 + 1) % 20;
+		}
+		accept[s] = 0;
+		if (s % 4 == 1) { accept[s] = 1; }
+	}
+}
+
+int classify(int ch) {
+	if (ch < 26) { return 0; }        // letter
+	if (ch < 36) { return 1; }        // digit
+	if (ch < 40) { return 2; }        // space
+	if (ch < 44) { return 3; }        // punct
+	if (ch < 48) { return 4; }
+	if (ch < 52) { return 5; }
+	if (ch < 56) { return 6; }
+	return 7;
+}
+
+int main() {
+	int n;
+	int i;
+	int state;
+	int tokens;
+	int chars;
+	n = __input(0);
+	buildDFA();
+	state = 0;
+	tokens = 0;
+	chars = 0;
+	int longest;
+	int sig;
+	longest = 0;
+	sig = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int ch;
+		int cls;
+		ch = __rand() % 64;
+		cls = classify(ch);
+		state = delta[state * 8 + cls];
+		chars = chars + 1;
+		sig = (sig + lib_hash2(state, cls)) % 1000003;
+		if (accept[state]) {
+			tokens = tokens + 1;
+			longest = lib_max(longest, chars);
+			state = 0;
+		}
+		if (chars > 40) {
+			// Flush overly long token runs.
+			chars = 0;
+			state = 0;
+		}
+	}
+	lib_report(tokens);
+	lib_report(longest);
+	lib_report(sig);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "grep", Suite: SuiteOtherC, Language: ir.LangC, Seed: 105,
+		About: "text search: naive substring match whose inner comparison loop fails fast; mostly-taken scanning branches",
+		Input: []int64{420, 70, 5},
+		Source: `
+// grep: scan synthetic lines for a pattern, with -i style folding, a
+// Boyer-Moore-ish skip table, and per-line bookkeeping.
+int line[128];
+int pat[8];
+int skip[16];
+
+int match(int start, int plen) {
+	int j;
+	for (j = 0; j < plen; j = j + 1) {
+		if (line[start + j] != pat[j]) { return 0; }
+	}
+	return 1;
+}
+
+int matchFolded(int start, int plen) {
+	int j;
+	for (j = 0; j < plen; j = j + 1) {
+		int c;
+		c = line[start + j];
+		if (c >= 8) { c = c - 8; } // fold "upper case" half
+		if (c != pat[j]) { return 0; }
+	}
+	return 1;
+}
+
+int main() {
+	int lines;
+	int llen;
+	int plen;
+	int i;
+	int hits;
+	int foldedHits;
+	int multi;
+	int emptyish;
+	lines = __input(0);
+	llen = __input(1);
+	plen = __input(2);
+	int k;
+	for (k = 0; k < plen; k = k + 1) { pat[k] = k % 4; }
+	for (k = 0; k < 16; k = k + 1) {
+		skip[k] = plen;
+		if (k % 4 < plen) { skip[k] = plen - k % 4 - 1; }
+		if (skip[k] < 1) { skip[k] = 1; }
+	}
+	hits = 0;
+	foldedHits = 0;
+	multi = 0;
+	emptyish = 0;
+	for (i = 0; i < lines; i = i + 1) {
+		int j;
+		int lineHits;
+		int zeros;
+		int lineHash;
+		zeros = 0;
+		lineHash = 0;
+		for (j = 0; j < llen; j = j + 1) {
+			line[j] = __rand() % 16;
+			if (line[j] == 0) { zeros = zeros + 1; }
+			lineHash = lib_hash2(lineHash, line[j]) % 4096;
+		}
+		// Bloom-style prefilter: an "impossible" hash skips the line.
+		if (zeros > llen / 2 || lineHash == 1) { emptyish = emptyish + 1; }
+		lineHits = 0;
+		j = 0;
+		while (j + plen <= llen) {
+			if (match(j, plen)) {
+				lineHits = lineHits + 1;
+				j = j + plen;
+			} else {
+				j = j + skip[line[j + plen - 1]];
+			}
+		}
+		if (lineHits > 0) { hits = hits + 1; }
+		if (lineHits > 1) { multi = multi + 1; }
+		// Case-folded rescan of a prefix.
+		for (j = 0; j + plen <= llen && j < 24; j = j + 1) {
+			if (matchFolded(j, plen)) {
+				foldedHits = foldedHits + 1;
+				break;
+			}
+		}
+		// Context scan: where does the first delimiter byte sit?
+		line[llen] = 0;
+		if (lib_strchr(&line[0], 15) >= llen / 2) {
+			emptyish = emptyish + 0; // delimiter late or absent: no-op path
+		}
+	}
+	__print(hits);
+	__print(foldedHits);
+	__print(multi);
+	__print(emptyish);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "gzip", Suite: SuiteOtherC, Language: ir.LangC, Seed: 106,
+		About: "LZ77 compressor: hash-chain longest-match search over a sliding window; few sites dominate (Q-90 of 29 in the paper)",
+		Input: []int64{2600},
+		Source: `
+// gzip: hash-chain match finding over a synthetic byte window.
+int window[4096];
+int head[256];
+int prev[4096];
+
+int main() {
+	int n;
+	int i;
+	int matched;
+	int literals;
+	n = __input(0);
+	for (i = 0; i < 256; i = i + 1) { head[i] = -1; }
+	for (i = 0; i < n && i < 4096; i = i + 1) {
+		window[i] = __rand() % 20;
+	}
+	matched = 0;
+	literals = 0;
+	for (i = 2; i < n && i < 4094; i = i + 1) {
+		int h;
+		int cand;
+		int best;
+		int chain;
+		h = lib_wrap(lib_hash2(window[i], window[i + 1] * 8 + window[i + 2]) % 260, 256);
+		cand = head[h];
+		best = 0;
+		chain = 0;
+		while (cand >= 0 && chain < 8) {
+			int len;
+			len = 0;
+			while (len < 16 && i + len < 4096 && window[cand + len] == window[i + len]) {
+				len = len + 1;
+			}
+			best = lib_max(best, len);
+			cand = prev[cand];
+			chain = chain + 1;
+		}
+		prev[i] = head[h];
+		head[h] = i;
+		if (best >= 3) {
+			matched = matched + best;
+		} else {
+			literals = literals + 1;
+		}
+	}
+	// Deflate-style post-pass: run-length code the low bits of the window.
+	int bits[2048];
+	int pairs[4096];
+	int j;
+	for (j = 0; j < 2048; j = j + 1) { bits[j] = window[j] % 2; }
+	lib_report(lib_rle(&bits[0], 2048, &pairs[0]));
+	lib_report(matched);
+	lib_report(literals);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "indent", Suite: SuiteOtherC, Language: ir.LangC, Seed: 107,
+		About: "source reformatter: per-token mode tracking with many usually-true guards; roughly half the branches taken",
+		Input: []int64{3400},
+		Source: `
+// indent: token-driven formatting state machine.
+int main() {
+	int n;
+	int i;
+	int depth;
+	int col;
+	int inComment;
+	int emitted;
+	n = __input(0);
+	depth = 0;
+	col = 0;
+	inComment = 0;
+	emitted = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int t;
+		t = __rand() % 12;
+		if (inComment) {
+			if (t == 11) { inComment = 0; }
+			col = col + 1;
+		} else {
+			if (t == 0) {               // open brace
+				depth = depth + 1;
+				col = 0;
+			} else if (t == 1) {        // close brace
+				if (depth > 0) { depth = depth - 1; }
+				col = 0;
+			} else if (t == 2) {        // newline
+				col = depth * 4;
+				emitted = emitted + 1;
+			} else if (t == 10) {       // comment start
+				inComment = 1;
+			} else {
+				// Ordinary token: wrap long lines.
+				col = lib_clamp(col + t, 0, 200);
+				if (col > 72) {
+					col = lib_min(depth, 8) * 4;
+					emitted = emitted + 1;
+				}
+			}
+		}
+	}
+	__print(emitted);
+	__print(depth);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "od", Suite: SuiteOtherC, Language: ir.LangC, Seed: 108,
+		About: "octal dump: formatting loop whose duplicate-line suppression guard usually passes; fewer than half the branches taken",
+		Input: []int64{2800},
+		Source: `
+// od: format words, suppressing repeated lines like od -v does not.
+int prevLine[8];
+
+int main() {
+	int n;
+	int i;
+	int printed;
+	int suppressed;
+	n = __input(0);
+	printed = 0;
+	suppressed = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int same;
+		int j;
+		int w;
+		same = 1;
+		for (j = 0; j < 8; j = j + 1) {
+			w = (__rand() % 4) * 16;   // small alphabet: repeats are common
+			if (w != prevLine[j]) { same = 0; }
+			prevLine[j] = w;
+		}
+		if (same == 0) {
+			// Format each word into digits, in several radixes like od's
+			// -o/-x/-d flags.
+			for (j = 0; j < 8; j = j + 1) {
+				int v;
+				int digits;
+				v = prevLine[j] + 1;
+				digits = lib_fmtint(v);
+				while (v > 0) {
+					v = v / 8;
+					digits = digits + 1;
+				}
+				printed = printed + digits;
+				// Hex needs fewer digits; decimal needs a sign column.
+				if (prevLine[j] >= 16) {
+					printed = printed + 2;
+				} else if (prevLine[j] > 0) {
+					printed = printed + 1;
+				}
+				// Printable-character column.
+				if (prevLine[j] >= 32 && prevLine[j] < 48) {
+					printed = printed + 1;
+				}
+			}
+		} else {
+			suppressed = suppressed + 1;
+			// The '*' repeat marker is only printed once per run.
+			if (i > 0 && suppressed % 2 == 1) { printed = printed + 1; }
+		}
+	}
+	__print(printed);
+	__print(suppressed);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "perl", Suite: SuiteOtherC, Language: ir.LangC, Seed: 109,
+		About: "scripting interpreter: opcode dispatch with type/validity guards that almost always pass, so most branches fall through (39.9% taken in the paper); broad flat site distribution",
+		Input: []int64{2200},
+		Source: `
+// perl: dispatch loop of a tiny register VM with guard-style checks.
+int regs[16];
+int hash[64];
+
+int htkeys[128];
+int htvals[128];
+
+int lookup(int key) {
+	return lib_htget(&htkeys[0], &htvals[0], 128, lib_abs(key) % 1000, 0);
+}
+
+void store(int key, int v) {
+	int ok;
+	ok = lib_htput(&htkeys[0], &htvals[0], 128, lib_abs(key) % 1000, v);
+	if (ok == 0) {
+		// Table full: flush, like a real interpreter's symbol GC.
+		int i;
+		for (i = 0; i < 128; i = i + 1) { htkeys[i] = -1; }
+	}
+}
+
+int main() {
+	int n;
+	int pc;
+	int steps;
+	int sum;
+	n = __input(0);
+	steps = 0;
+	sum = 0;
+	int k;
+	for (k = 0; k < 128; k = k + 1) { htkeys[k] = -1; }
+	for (pc = 0; pc < n; pc = pc + 1) {
+		int op;
+		int a;
+		int b;
+		op = __rand() % 16;
+		a = __rand() % 16;
+		b = __rand() % 16;
+		steps = steps + 1;
+		// Guards: nearly always true, so the guarded work falls through.
+		if (a >= 0 && a < 16) {
+			if (b >= 0 && b < 16) {
+				if (op < 4) {
+					regs[a] = regs[a] + regs[b] + 1;
+				} else if (op < 7) {
+					regs[a] = regs[a] - regs[b];
+				} else if (op < 9) {
+					regs[a] = regs[a] * 3 % 997;
+				} else if (op < 11) {
+					store(regs[a], regs[b]);
+				} else if (op < 13) {
+					regs[a] = lookup(regs[b]);
+				} else if (op < 15) {
+					if (regs[a] > regs[b]) { sum = sum + 1; }
+				} else {
+					sum = sum + regs[a] % 7;
+				}
+			}
+		}
+	}
+	__print(sum);
+	__print(steps);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "sed", Suite: SuiteOtherC, Language: ir.LangC, Seed: 110,
+		About: "stream editor: per-line pattern substitution with address-range checks",
+		Input: []int64{520, 48},
+		Source: `
+// sed: apply s/a/b/ style edits to synthetic lines within an address range.
+int line[96];
+
+int main() {
+	int lines;
+	int llen;
+	int i;
+	int edits;
+	int inRange;
+	lines = __input(0);
+	llen = __input(1);
+	edits = 0;
+	inRange = 0;
+	for (i = 0; i < lines; i = i + 1) {
+		int j;
+		// Address range toggling: /start/,/end/.
+		if (inRange == 0) {
+			if (__rand() % 10 < 3) { inRange = 1; }
+		} else {
+			if (__rand() % 10 < 2) { inRange = 0; }
+		}
+		for (j = 0; j < llen; j = j + 1) { line[j] = __rand() % 8; }
+		if (inRange) {
+			for (j = 0; j < llen; j = j + 1) {
+				if (line[j] == 3) {
+					line[j] = 5;
+					edits = edits + 1;
+				}
+			}
+		}
+	}
+	__print(edits);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "siod", Suite: SuiteOtherC, Language: ir.LangC, Seed: 111,
+		About: "small lisp interpreter in C: cons-cell list building and walking with pointer-null tests",
+		Input: []int64{160, 30},
+		Source: `
+// siod: build and reduce lisp-style lists from heap cells.
+int conses;
+
+int* cons(int car, int* cdr) {
+	int* c;
+	c = __alloc(2);
+	c[0] = car;
+	c[1] = (int) cdr;
+	conses = conses + 1;
+	return c;
+}
+
+int* buildList(int len) {
+	int* head;
+	int i;
+	head = null;
+	for (i = 0; i < len; i = i + 1) {
+		head = cons(__rand() % 50, head);
+	}
+	return head;
+}
+
+int sumList(int* l) {
+	int s;
+	s = 0;
+	while (l != null) {
+		s = s + l[0];
+		l = (int*) l[1];
+	}
+	return s;
+}
+
+int* filterEven(int* l) {
+	int* out;
+	out = null;
+	while (l != null) {
+		if (l[0] % 2 == 0) {
+			out = cons(l[0], out);
+		}
+		l = (int*) l[1];
+	}
+	return out;
+}
+
+int* reverse(int* l) {
+	int* out;
+	out = null;
+	while (l != null) {
+		out = cons(l[0], out);
+		l = (int*) l[1];
+	}
+	return out;
+}
+
+int* mergeSorted(int* a, int* b) {
+	if (a == null) { return b; }
+	if (b == null) { return a; }
+	if (a[0] <= b[0]) {
+		return cons(a[0], mergeSorted((int*) a[1], b));
+	}
+	return cons(b[0], mergeSorted(a, (int*) b[1]));
+}
+
+int* insertSorted(int* l, int v) {
+	if (l == null) { return cons(v, null); }
+	if (v <= l[0]) { return cons(v, l); }
+	return cons(l[0], insertSorted((int*) l[1], v));
+}
+
+int lengthOf(int* l) {
+	int n;
+	n = 0;
+	while (l != null) {
+		n = n + 1;
+		l = (int*) l[1];
+	}
+	return n;
+}
+
+int main() {
+	int rounds;
+	int len;
+	int i;
+	int total;
+	rounds = __input(0);
+	len = __input(1);
+	conses = 0;
+	total = 0;
+	for (i = 0; i < rounds; i = i + 1) {
+		int* l;
+		int* sorted;
+		int j;
+		l = buildList(len);
+		total = total + sumList(filterEven(l));
+		total = total + sumList(reverse(l)) % 1000;
+		// Insertion sort a sample, then merge with another list.
+		sorted = null;
+		for (j = 0; j < 10; j = j + 1) {
+			sorted = insertSorted(sorted, __rand() % 50);
+		}
+		sorted = mergeSorted(sorted, insertSorted(null, 25));
+		total = total + lengthOf(sorted);
+	}
+	__print(total);
+	__print(conses);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "sort", Suite: SuiteOtherC, Language: ir.LangC, Seed: 112,
+		About: "external sort: quicksort plus merge pass; comparison branches near 50/50, loop branches taken",
+		Input: []int64{900},
+		Source: `
+// sort: quicksort random keys, then verify with a merge-style scan.
+int data[1024];
+
+int scratch[1024];
+
+int main() {
+	int n;
+	int i;
+	int inversions;
+	n = __input(0);
+	for (i = 0; i < n; i = i + 1) { data[i] = __rand() % 10000; }
+	// The median of an unsorted copy, then the real sort — both library.
+	lib_memcpy(&scratch[0], &data[0], n);
+	int median;
+	median = lib_select(&scratch[0], n, n / 2);
+	lib_report(median);
+	lib_qsort(&data[0], 0, n - 1);
+	inversions = 0;
+	for (i = 1; i < n; i = i + 1) {
+		if (data[i - 1] > data[i]) { inversions = inversions + 1; }
+	}
+	// Verify with binary searches for a sample of keys.
+	int found;
+	found = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		if (lib_bsearch(&data[0], n, data[(i * 37) % n]) >= 0) {
+			found = found + 1;
+		}
+	}
+	lib_report(inversions);
+	lib_report(found);
+	lib_report(data[0]);
+	lib_report(data[n - 1]);
+	lib_report(lib_checksum(&data[0], n));
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "tex", Suite: SuiteOtherC, Language: ir.LangC, Seed: 113,
+		About: "typesetter: paragraph line breaking with badness/penalty decisions over word widths",
+		Input: []int64{340, 66},
+		Source: `
+// tex: greedy line breaking with badness scoring.
+int widths[128];
+
+int main() {
+	int paras;
+	int target;
+	int p;
+	int totalBadness;
+	int lines;
+	paras = __input(0);
+	target = __input(1);
+	totalBadness = 0;
+	lines = 0;
+	for (p = 0; p < paras; p = p + 1) {
+		int nwords;
+		int i;
+		int cur;
+		nwords = 20 + __rand() % 40;
+		for (i = 0; i < nwords && i < 128; i = i + 1) {
+			widths[i] = 2 + __rand() % 9;
+		}
+		cur = 0;
+		for (i = 0; i < nwords && i < 128; i = i + 1) {
+			int w;
+			w = widths[i];
+			if (cur + w + 1 > target) {
+				int slack;
+				slack = lib_max(target - cur, 0);
+				totalBadness = totalBadness + lib_min(slack * slack, 10000);
+				lines = lines + 1;
+				cur = w;
+			} else {
+				if (cur > 0) { cur = cur + 1; }
+				cur = cur + w;
+			}
+			// Hyphenation attempt for very long words.
+			if (w > 9 && cur > target / 2) {
+				totalBadness = totalBadness + 1;
+			}
+		}
+		lines = lines + 1;
+	}
+	__print(totalBadness);
+	__print(lines);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "wdiff", Suite: SuiteOtherC, Language: ir.LangC, Seed: 114,
+		About: "word-level diff: two-pointer alignment over similar sequences; very concentrated branch profile (Q-90 of 19 in the paper)",
+		Input: []int64{180, 120},
+		Source: `
+// wdiff: align two mostly-equal word sequences.
+int a[256];
+int b[256];
+
+int main() {
+	int rounds;
+	int len;
+	int r;
+	int same;
+	int changed;
+	rounds = __input(0);
+	len = __input(1);
+	same = 0;
+	changed = 0;
+	for (r = 0; r < rounds; r = r + 1) {
+		int i;
+		for (i = 0; i < len; i = i + 1) {
+			a[i] = __rand() % 100;
+			b[i] = a[i];
+			if (__rand() % 100 < 8) { b[i] = __rand() % 100; }
+		}
+		int pa;
+		int pb;
+		pa = 0;
+		pb = 0;
+		// Fast path: identical sequences need no alignment at all.
+		if (lib_memcmp(&a[0], &b[0], len) == 0) {
+			same = same + len;
+			pa = len;
+			pb = len;
+		}
+		while (pa < len && pb < len) {
+			if (a[pa] == b[pb]) {
+				same = same + 1;
+				pa = pa + 1;
+				pb = pb + 1;
+			} else {
+				// Resynchronize: scan ahead on both sides, bounded by the
+				// shorter remaining stretch.
+				int k;
+				int found;
+				int limit;
+				found = 0;
+				limit = lib_min(lib_min(len - pa, len - pb), 4);
+				if (limit < 1) { limit = 1; }
+				for (k = 1; k <= limit && found == 0; k = k + 1) {
+					if (pa + k < len && a[pa + k] == b[pb]) {
+						pa = pa + k;
+						found = 1;
+					} else if (pb + k < len && a[pa] == b[pb + k]) {
+						pb = pb + k;
+						found = 1;
+					}
+				}
+				if (found == 0) {
+					pa = pa + 1;
+					pb = pb + 1;
+				}
+				changed = changed + 1;
+			}
+		}
+	}
+	__print(same);
+	__print(changed);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "yacr", Suite: SuiteOtherC, Language: ir.LangC, Seed: 115,
+		About: "channel router: grid scanning with dense conditional branches (19% of instructions are branches in the paper)",
+		Input: []int64{70, 40},
+		Source: `
+// yacr: route nets across a channel grid, scanning for free tracks.
+int grid[2048];
+int cols;
+
+int trackFree(int t, int lo, int hi) {
+	int c;
+	for (c = lo; c <= hi; c = c + 1) {
+		if (grid[t * cols + c]) { return 0; }
+	}
+	return 1;
+}
+
+void claim(int t, int lo, int hi) {
+	int c;
+	for (c = lo; c <= hi; c = c + 1) {
+		grid[t * cols + c] = 1;
+	}
+}
+
+int main() {
+	int nets;
+	int tracks;
+	int i;
+	int routed;
+	int failed;
+	nets = __input(0);
+	tracks = 16;
+	cols = __input(1);
+	routed = 0;
+	failed = 0;
+	for (i = 0; i < nets; i = i + 1) {
+		int lo;
+		int hi;
+		int t;
+		int placed;
+		lo = __rand() % cols;
+		hi = lib_min(lo + __rand() % 8, cols - 1);
+		placed = 0;
+		for (t = 0; t < tracks && placed == 0; t = t + 1) {
+			if (trackFree(t, lo, hi)) {
+				claim(t, lo, hi);
+				placed = 1;
+			}
+		}
+		if (placed) { routed = routed + 1; } else { failed = failed + 1; }
+	}
+	__print(routed);
+	__print(failed);
+	return 0;
+}
+`})
+}

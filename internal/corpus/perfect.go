@@ -1,0 +1,610 @@
+package corpus
+
+import "repro/internal/ir"
+
+// The Perfect Club suite (Berry et al. 1989): APS, CSS, LWS, NAS, OCS, SDS,
+// TFS, TIS, WSS — supercomputer application benchmarks, all Fortran.
+
+func init() {
+	register(Entry{
+		Name: "APS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 401,
+		About: "air pollution spectral model: transform loops plus emission thresholds near 50/50",
+		Input: []int64{30, 48},
+		Source: `
+// APS: advect pollutant concentrations with source/sink thresholds.
+float conc[2500];
+float wind[2500];
+
+int main() {
+	int steps;
+	int dim;
+	int s;
+	float total;
+	int sources;
+	steps = __input(0);
+	dim = __input(1);
+	total = 0.0;
+	sources = 0;
+	int i;
+	int j;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		conc[i] = (float) (__rand() % 100) / 100.0;
+		wind[i] = (float) (__rand() % 200 - 100) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				float flux;
+				c = i * dim + j;
+				// Upwind differencing: direction depends on wind sign.
+				if (wind[c] > 0.0) {
+					flux = wind[c] * (conc[c] - conc[c - 1]);
+				} else {
+					flux = wind[c] * (conc[c + 1] - conc[c]);
+				}
+				conc[c] = conc[c] - 0.1 * flux;
+				// Emission events roughly half the time.
+				if (conc[c] < 0.5) {
+					conc[c] = conc[c] + 0.01;
+					sources = sources + 1;
+				}
+			}
+		}
+	}
+	// Exceedance report: histogram of concentration levels.
+	int low;
+	int mid;
+	int high;
+	low = 0;
+	mid = 0;
+	high = 0;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		total = total + conc[i];
+		if (conc[i] < 0.3) {
+			low = low + 1;
+		} else if (conc[i] < 0.7) {
+			mid = mid + 1;
+		} else {
+			high = high + 1;
+		}
+	}
+	__printf(total);
+	__print(sources);
+	__print(low);
+	__print(mid);
+	__print(high);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "CSS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 402,
+		About: "circuit system simulation: device model evaluation with region tests",
+		Input: []int64{900, 30},
+		Source: `
+// CSS: evaluate transistor-ish device models over random operating points.
+float volt[64];
+
+int main() {
+	int evals;
+	int devices;
+	int e;
+	int cutoff;
+	int linear;
+	int saturated;
+	float current;
+	evals = __input(0);
+	devices = __input(1);
+	cutoff = 0;
+	linear = 0;
+	saturated = 0;
+	current = 0.0;
+	int d;
+	for (d = 0; d < devices; d = d + 1) {
+		volt[d] = (float) (__rand() % 300) / 100.0;
+	}
+	for (e = 0; e < evals; e = e + 1) {
+		for (d = 0; d < devices; d = d + 1) {
+			float vgs;
+			float vds;
+			float vth;
+			vgs = volt[d];
+			vds = (float) (__rand() % 300) / 100.0;
+			vth = 0.7;
+			if (vgs < vth) {
+				cutoff = cutoff + 1;
+			} else if (vds < vgs - vth) {
+				linear = linear + 1;
+				current = current + (vgs - vth) * vds - vds * vds * 0.5;
+			} else {
+				saturated = saturated + 1;
+				current = current + 0.5 * (vgs - vth) * (vgs - vth);
+			}
+			volt[d] = volt[d] * 0.99 + vds * 0.01;
+			// Subthreshold leakage and breakdown corner cases.
+			if (vgs < 0.2) {
+				current = current + 0.001;
+			}
+			if (vds > 2.8) {
+				current = current + 0.01;
+				volt[d] = volt[d] * 0.9;
+			}
+		}
+		// Newton-ish convergence damping every few evaluations.
+		if (e % 16 == 15) {
+			float norm;
+			norm = 0.0;
+			for (d = 0; d < devices; d = d + 1) {
+				norm = lib_maxf(norm, volt[d]);
+			}
+			if (norm > 3.5) {
+				for (d = 0; d < devices; d = d + 1) {
+					volt[d] = volt[d] * 0.8;
+				}
+			}
+		}
+	}
+	__print(cutoff);
+	__print(linear);
+	__print(saturated);
+	__printf(current);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "LWS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 403,
+		About: "liquid water simulation: neighbor-list molecular dynamics, ~66% taken",
+		Input: []int64{14, 40},
+		Source: `
+// LWS: water-molecule dynamics with a distance-windowed interaction.
+float mx[48];
+float my[48];
+float mz[48];
+
+int main() {
+	int steps;
+	int mols;
+	int s;
+	float potential;
+	int pairs;
+	steps = __input(0);
+	mols = __input(1);
+	potential = 0.0;
+	pairs = 0;
+	int i;
+	for (i = 0; i < mols; i = i + 1) {
+		mx[i] = (float) (__rand() % 600) / 100.0;
+		my[i] = (float) (__rand() % 600) / 100.0;
+		mz[i] = (float) (__rand() % 600) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		int j;
+		for (i = 0; i < mols; i = i + 1) {
+			for (j = i + 1; j < mols; j = j + 1) {
+				float dx;
+				float dy;
+				float dz;
+				float r2;
+				dx = mx[i] - mx[j];
+				dy = my[i] - my[j];
+				dz = mz[i] - mz[j];
+				r2 = dx * dx + dy * dy + dz * dz;
+				if (r2 < 16.0) {
+					potential = potential + 1.0 / (r2 + 0.2) - 0.05;
+					pairs = pairs + 1;
+					if (r2 < 1.0) {
+						// Hard-core repulsion: rare.
+						potential = potential + 2.0;
+					}
+				}
+			}
+			mx[i] = mx[i] + (float) (__rand() % 3 - 1) / 100.0;
+			my[i] = my[i] + (float) (__rand() % 3 - 1) / 100.0;
+			mz[i] = mz[i] + (float) (__rand() % 3 - 1) / 100.0;
+			// Keep molecules inside the box.
+			mx[i] = lib_clampf(mx[i], 0.0, 6.0);
+			my[i] = lib_clampf(my[i], 0.0, 6.0);
+		}
+		// Hydrogen-bond census each step.
+		int bonds;
+		bonds = 0;
+		for (i = 1; i < mols; i = i + 1) {
+			float dz2;
+			dz2 = (mz[i] - mz[i - 1]) * (mz[i] - mz[i - 1]);
+			if (dz2 < 0.25) { bonds = bonds + 1; }
+		}
+		if (bonds > mols / 4) { potential = potential - 0.1; }
+	}
+	__printf(potential);
+	__print(pairs);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "NAS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 404,
+		About: "NASA Ames kernels: vectorizable loops with rare boundary branches",
+		Input: []int64{26, 500},
+		Source: `
+// NAS: long vector kernels (daxpy, dot, scan) with boundary handling.
+float va[512];
+float vb[512];
+float vc[512];
+
+int main() {
+	int reps;
+	int n;
+	int r;
+	float result;
+	reps = __input(0);
+	n = __input(1);
+	result = 0.0;
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		va[i] = (float) (i % 9) / 9.0;
+		vb[i] = (float) (i % 11) / 11.0;
+	}
+	for (r = 0; r < reps; r = r + 1) {
+		float dot;
+		// daxpy
+		for (i = 0; i < n; i = i + 1) {
+			vc[i] = va[i] * 1.5 + vb[i];
+		}
+		// dot product through the shared BLAS-style kernel
+		dot = lib_vecdot(&va[0], &vc[0], n);
+		// running max scan: data branch, mostly not updating
+		float mx;
+		mx = 0.0 - 1000.0;
+		for (i = 0; i < n; i = i + 1) {
+			if (vc[i] > mx) { mx = vc[i]; }
+		}
+		result = result + dot + mx;
+		// occasional renormalization
+		if (result > 100000.0) { result = result / 2.0; }
+		// tridiagonal solve sweep
+		for (i = 1; i < n; i = i + 1) {
+			vb[i] = vb[i] - 0.25 * vb[i - 1];
+			vb[i] = lib_maxf(vb[i], 0.0 - vb[i] * 0.5);
+		}
+		// sparse gather: indices with a validity check
+		float gathered;
+		gathered = 0.0;
+		for (i = 0; i < n; i = i + 4) {
+			int idx;
+			idx = (i * 7) % n;
+			if (idx >= 0 && idx < n) {
+				gathered = gathered + va[idx];
+			}
+		}
+		result = result + gathered * 0.001;
+	}
+	__printf(result);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "OCS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 405,
+		About: "ocean circulation: stream-function relaxation, heavily loop-dominated (88.6% taken)",
+		Input: []int64{40, 30},
+		Source: `
+// OCS: relax an ocean basin stream function with fixed coasts.
+float psi[1024];
+
+int main() {
+	int iters;
+	int dim;
+	int it;
+	float sum;
+	iters = __input(0);
+	dim = __input(1);
+	int i;
+	int j;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		psi[i] = 0.0;
+	}
+	int coastCells;
+	coastCells = 0;
+	for (it = 0; it < iters; it = it + 1) {
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				float wind;
+				c = i * dim + j;
+				// Irregular coastline: a band of cells stays clamped.
+				if (j < 3 && i % 5 == 0) {
+					psi[c] = 0.0;
+					if (it == 0) { coastCells = coastCells + 1; }
+				} else {
+					wind = (float) (i - dim / 2) / (float) dim;
+					psi[c] = 0.25 * (psi[c - 1] + psi[c + 1] + psi[c - dim] + psi[c + dim])
+					       + wind * 0.01;
+				}
+			}
+		}
+		// Western boundary current diagnostic.
+		float wb;
+		wb = 0.0;
+		for (i = 1; i < dim - 1; i = i + 1) {
+			wb = lib_maxf(wb, lib_absf(psi[i * dim + 1]));
+		}
+		if (wb > 10.0) { break; }
+	}
+	sum = 0.0;
+	for (i = 0; i < dim * dim; i = i + 1) { sum = sum + psi[i]; }
+	__printf(sum);
+	__print(coastCells);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "SDS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 406,
+		About: "structural dynamics: element assembly with material-state branching near 50/50",
+		Input: []int64{60, 80},
+		Source: `
+// SDS: assemble and damp a spring-mass chain with yield checks.
+float disp[128];
+float vel[128];
+float force[128];
+
+int main() {
+	int steps;
+	int nodes;
+	int s;
+	int yields;
+	float energy;
+	steps = __input(0);
+	nodes = __input(1);
+	yields = 0;
+	energy = 0.0;
+	int i;
+	for (i = 0; i < nodes; i = i + 1) {
+		disp[i] = (float) (__rand() % 100 - 50) / 100.0;
+		vel[i] = 0.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		for (i = 1; i < nodes - 1; i = i + 1) {
+			float strain;
+			strain = disp[i + 1] - 2.0 * disp[i] + disp[i - 1];
+			// Material yield: about half the elements exceed the limit.
+			if (lib_absf(strain) > 0.02) {
+				force[i] = strain * 0.5;
+				yields = yields + 1;
+			} else {
+				force[i] = strain;
+			}
+		}
+		for (i = 1; i < nodes - 1; i = i + 1) {
+			vel[i] = vel[i] * 0.99 + force[i] * 0.1;
+			disp[i] = disp[i] + vel[i] * 0.1;
+			energy = energy + vel[i] * vel[i];
+			// Displacement limiter (contact with a stop).
+			if (disp[i] > 1.0) {
+				disp[i] = 1.0;
+				vel[i] = 0.0 - vel[i] * 0.5;
+			} else if (disp[i] < 0.0 - 1.0) {
+				disp[i] = 0.0 - 1.0;
+				vel[i] = 0.0 - vel[i] * 0.5;
+			}
+		}
+		// Modal damping applied when total energy is excessive.
+		if (energy > 1000.0) {
+			for (i = 0; i < nodes; i = i + 1) {
+				vel[i] = vel[i] * 0.9;
+			}
+			energy = energy * 0.81;
+		}
+	}
+	__printf(energy);
+	__print(yields);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "TFS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 407,
+		About: "turbulent flow simulation: spectral-ish sweeps, ~77% taken",
+		Input: []int64{22, 26},
+		Source: `
+// TFS: evolve a vorticity grid with turbulence injection.
+float vort[784];
+float tmp[784];
+
+int main() {
+	int steps;
+	int dim;
+	int s;
+	float enstrophy;
+	int injections;
+	steps = __input(0);
+	dim = __input(1);
+	enstrophy = 0.0;
+	injections = 0;
+	int i;
+	int j;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		vort[i] = (float) (__rand() % 200 - 100) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				c = i * dim + j;
+				tmp[c] = vort[c] + 0.05 * (vort[c - 1] + vort[c + 1]
+				       + vort[c - dim] + vort[c + dim] - 4.0 * vort[c]);
+			}
+		}
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				c = i * dim + j;
+				vort[c] = tmp[c] * 0.999;
+				// Sparse forcing.
+				if (__rand() % 100 < 4) {
+					vort[c] = vort[c] + 0.05;
+					injections = injections + 1;
+				}
+			}
+		}
+	}
+	for (i = 0; i < dim * dim; i = i + 1) {
+		enstrophy = enstrophy + vort[i] * vort[i];
+	}
+	__printf(enstrophy);
+	__print(injections);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "TIS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 408,
+		About: "seismic migration: trace stacking with mute and clip decisions near 50/50",
+		Input: []int64{110, 120},
+		Source: `
+// TIS: stack seismic traces with mute windows and clipping.
+float trace[128];
+float stack[128];
+
+int main() {
+	int ntraces;
+	int nsamples;
+	int t;
+	int muted;
+	int clipped;
+	float power;
+	ntraces = __input(0);
+	nsamples = __input(1);
+	muted = 0;
+	clipped = 0;
+	power = 0.0;
+	int i;
+	for (i = 0; i < nsamples; i = i + 1) { stack[i] = 0.0; }
+	for (t = 0; t < ntraces; t = t + 1) {
+		int muteStart;
+		muteStart = __rand() % nsamples;
+		for (i = 0; i < nsamples; i = i + 1) {
+			trace[i] = (float) (__rand() % 2000 - 1000) / 1000.0;
+			// Mute early samples about half the time.
+			if (i < muteStart) {
+				trace[i] = 0.0;
+				muted = muted + 1;
+			} else {
+				if (trace[i] > 0.9) {
+					trace[i] = 0.9;
+					clipped = clipped + 1;
+				} else if (trace[i] < 0.0 - 0.9) {
+					trace[i] = 0.0 - 0.9;
+					clipped = clipped + 1;
+				}
+			}
+			stack[i] = stack[i] + trace[i];
+		}
+	}
+	// Automatic gain windows and first-break picking over the stack.
+	int picks;
+	picks = 0;
+	for (i = 2; i < nsamples; i = i + 1) {
+		float w;
+		w = lib_absf(stack[i]);
+		power = power + stack[i] * stack[i];
+		if (w > 3.0 && picks < 10) {
+			picks = picks + 1;
+		}
+	}
+	// Normal-moveout style index remap with bounds checks.
+	float nmo;
+	nmo = 0.0;
+	for (i = 0; i < nsamples; i = i + 1) {
+		int src;
+		src = i + i / 8;
+		if (src < nsamples) {
+			nmo = nmo + stack[src];
+		} else {
+			nmo = nmo + stack[nsamples - 1] * 0.5;
+		}
+	}
+	__printf(power);
+	__printf(nmo);
+	__print(muted);
+	__print(clipped);
+	__print(picks);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "WSS", Suite: SuitePerfectClub, Language: ir.LangFortran, Seed: 409,
+		About: "weather simulation: column physics with phase-change branching",
+		Input: []int64{36, 60},
+		Source: `
+// WSS: integrate atmospheric columns with condensation decisions.
+float temp[80];
+float moisture[80];
+
+int main() {
+	int steps;
+	int levels;
+	int s;
+	int condensations;
+	float rain;
+	steps = __input(0);
+	levels = __input(1);
+	condensations = 0;
+	rain = 0.0;
+	int k;
+	for (k = 0; k < levels; k = k + 1) {
+		temp[k] = 300.0 - (float) k * 2.0;
+		moisture[k] = (float) (__rand() % 100) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		for (k = 1; k < levels; k = k + 1) {
+			float capacity;
+			// Convective mixing.
+			temp[k] = temp[k] * 0.98 + temp[k - 1] * 0.02;
+			moisture[k] = moisture[k] * 0.97 + moisture[k - 1] * 0.03;
+			capacity = (temp[k] - 240.0) / 100.0;
+			capacity = lib_maxf(capacity, 0.05);
+			// Condense when super-saturated: happens regularly.
+			if (moisture[k] > capacity) {
+				rain = rain + moisture[k] - capacity;
+				moisture[k] = capacity;
+				condensations = condensations + 1;
+				temp[k] = temp[k] + 0.5;
+			}
+			// Radiative cooling at the top levels.
+			if (k > levels - 10) {
+				temp[k] = temp[k] - 0.1;
+			}
+			// Freezing level bookkeeping.
+			if (temp[k] < 273.0 && moisture[k] > 0.2) {
+				moisture[k] = moisture[k] * 0.98;
+			}
+		}
+		moisture[0] = (float) (__rand() % 100) / 100.0;
+		// Surface heating cycle and storm detection.
+		if (s % 8 < 4) {
+			temp[0] = temp[0] + 0.3;
+		} else {
+			temp[0] = temp[0] - 0.2;
+		}
+		int unstable;
+		unstable = 0;
+		for (k = 1; k < levels; k = k + 1) {
+			if (temp[k] > temp[k - 1]) { unstable = unstable + 1; }
+		}
+		if (unstable > levels / 3) {
+			// Convective adjustment.
+			for (k = 1; k < levels; k = k + 1) {
+				temp[k] = temp[k] * 0.5 + temp[k - 1] * 0.5 - 1.0;
+			}
+		}
+	}
+	__printf(rain);
+	__print(condensations);
+	return 0;
+}
+`})
+}

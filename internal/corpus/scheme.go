@@ -1,0 +1,305 @@
+package corpus
+
+import "repro/internal/ir"
+
+// The Scheme study programs of Section 3.1.2: boyer, corewar, and sccomp
+// (compiled with Scheme-to-C in the paper). They exist to reproduce the
+// paper's observation that C-derived heuristics break on Scheme idioms: the
+// Return heuristic misses ~56% (recursion is the iteration mechanism, so the
+// successor containing a return is frequently the hot path) and the Pointer
+// heuristic misses ~89% (null/pair tests at the end of list recursions
+// *succeed* constantly instead of failing like C pointer guards).
+
+func init() {
+	register(Entry{
+		Name: "boyer", Suite: SuiteScheme, Language: ir.LangScheme, Seed: 501,
+		About: "term rewriting benchmark: deep recursion over cons trees; null tests usually true, returns on the hot path",
+		Input: []int64{700, 9},
+		Source: `
+// boyer: rewrite random terms to normal form over cons cells [tag, car, cdr].
+int cells;
+int lastTag;
+int* lastCar;
+int* lastCdr;
+int* lastCell;
+
+// cons with hash-consing: Scheme runtimes intern structure, so the pointer
+// comparisons here *succeed* most of the time — the anti-C idiom that
+// breaks the Pointer heuristic (89% miss in the paper).
+int* cons(int tag, int* car, int* cdr) {
+	if (car == lastCar && cdr == lastCdr && tag == lastTag && lastCell != null) {
+		return lastCell;
+	}
+	int* c;
+	c = __alloc(3);
+	c[0] = tag;
+	c[1] = (int) car;
+	c[2] = (int) cdr;
+	cells = cells + 1;
+	lastTag = tag;
+	lastCar = car;
+	lastCdr = cdr;
+	lastCell = c;
+	return c;
+}
+
+int* genTerm(int depth) {
+	// Lists are short, so the null base case hits constantly.
+	if (depth <= 0 || __rand() % 100 < 62) { return null; }
+	return cons(__rand() % 4, genTerm(depth - 1), genTerm(depth - 1));
+}
+
+// rewrite: tag-directed rules, recursing to normal form.
+int* rewrite(int* t) {
+	if (t == null) { return null; }
+	int tag;
+	tag = t[0];
+	if (tag == 0) {
+		// (and x y) -> (if x y false)
+		return cons(3, rewrite((int*) t[1]), rewrite((int*) t[2]));
+	}
+	if (tag == 1) {
+		// double negation cancels
+		int* a;
+		a = (int*) t[1];
+		if (a != null && a[0] == 1) {
+			return rewrite((int*) a[1]);
+		}
+		return cons(1, rewrite((int*) t[1]), null);
+	}
+	if (tag == 2) {
+		return cons(2, rewrite((int*) t[2]), rewrite((int*) t[1]));
+	}
+	return cons(tag, rewrite((int*) t[1]), rewrite((int*) t[2]));
+}
+
+int size(int* t) {
+	if (t == null) { return 0; }
+	return 1 + size((int*) t[1]) + size((int*) t[2]);
+}
+
+// eqTerm: Scheme's equal? with the eq? fast path. Interning makes the
+// pointer-equality tests *succeed* most of the time — exactly the idiom
+// that drives the Pointer heuristic to an 89% miss rate on Scheme in the
+// paper.
+int eqTerm(int* a, int* b) {
+	if (a == b) { return 1; }
+	if (a == null || b == null) { return 0; }
+	if (a[0] != b[0]) { return 0; }
+	if (eqTerm((int*) a[1], (int*) b[1]) == 0) { return 0; }
+	return eqTerm((int*) a[2], (int*) b[2]);
+}
+
+int main() {
+	int rounds;
+	int depth;
+	int i;
+	int total;
+	int stable;
+	rounds = __input(0);
+	depth = __input(1);
+	cells = 0;
+	total = 0;
+	stable = 0;
+	for (i = 0; i < rounds; i = i + 1) {
+		int* t;
+		int* t1;
+		int* t2;
+		t = genTerm(depth);
+		t1 = rewrite(t);
+		t2 = rewrite(t1);
+		// Convergence check via equal?: heavy pointer-equality traffic.
+		if (eqTerm(t1, t2)) { stable = stable + 1; }
+		if (eqTerm(t2, rewrite(t2))) { stable = stable + 1; }
+		total = total + size(t2);
+	}
+	__print(total);
+	__print(stable);
+	__print(cells);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "corewar", Suite: SuiteScheme, Language: ir.LangScheme, Seed: 502,
+		About: "core war battle simulator written in Scheme style: instruction lists walked recursively, recursion instead of loops",
+		Input: []int64{26, 160},
+		Source: `
+// corewar: two programs battle in a circular core; the simulation uses
+// Scheme-style recursion over instruction list cells.
+int core[256];
+int owner[256];
+
+// step one warrior recursively; returns cycles survived.
+int run(int pc, int who, int fuel) {
+	int op;
+	int arg;
+	if (fuel <= 0) { return 0; }
+	pc = pc % 256;
+	if (pc < 0) { pc = pc + 256; }
+	if (owner[pc] != who && owner[pc] != 0) {
+		// Stepped on enemy territory: die.
+		return 0;
+	}
+	op = core[pc] % 4;
+	arg = core[pc] / 4 % 16;
+	owner[pc] = who;
+	if (op == 0) {
+		// mov: copy forward.
+		core[(pc + arg) % 256] = core[pc];
+		return 1 + run(pc + 1, who, fuel - 1);
+	}
+	if (op == 1) {
+		// add into target.
+		core[(pc + arg) % 256] = core[(pc + arg) % 256] + core[pc];
+		return 1 + run(pc + 1, who, fuel - 1);
+	}
+	if (op == 2) {
+		// jmp.
+		return 1 + run(pc + arg, who, fuel - 1);
+	}
+	// skip-if-zero.
+	if (core[(pc + arg) % 256] == 0) {
+		return 1 + run(pc + 2, who, fuel - 1);
+	}
+	return 1 + run(pc + 1, who, fuel - 1);
+}
+
+int main() {
+	int battles;
+	int fuel;
+	int b;
+	int scoreA;
+	int scoreB;
+	battles = __input(0);
+	fuel = __input(1);
+	scoreA = 0;
+	scoreB = 0;
+	for (b = 0; b < battles; b = b + 1) {
+		int i;
+		for (i = 0; i < 256; i = i + 1) {
+			core[i] = __rand() % 64;
+			owner[i] = 0;
+		}
+		scoreA = scoreA + run(0, 1, fuel);
+		scoreB = scoreB + run(128, 2, fuel);
+	}
+	__print(scoreA);
+	__print(scoreB);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "sccomp", Suite: SuiteScheme, Language: ir.LangScheme, Seed: 503,
+		About: "Scheme compiler benchmark: recursive AST transforms over cons trees, association-list environments walked to success",
+		Input: []int64{90, 8},
+		Source: `
+// sccomp: alpha-rename and constant-fold random expression trees.
+// Node: [tag, a, b]; tags: 0 const, 1 var, 2 app, 3 lambda, 4 if0.
+int cells;
+
+int* lastNode;
+int lastA;
+
+int* node(int tag, int a, int b) {
+	int* p;
+	// Interning check: identical immediate re-allocations are shared, so
+	// these pointer comparisons usually succeed (Scheme interning).
+	if (lastNode != null && a == lastA && lastNode[0] == tag && lastNode[2] == b) {
+		return lastNode;
+	}
+	p = __alloc(3);
+	p[0] = tag;
+	p[1] = a;
+	p[2] = b;
+	cells = cells + 1;
+	lastNode = p;
+	lastA = a;
+	return p;
+}
+
+int* gen(int depth) {
+	if (depth <= 0 || __rand() % 100 < 48) {
+		if (__rand() % 2 == 0) { return node(0, __rand() % 50, 0); }
+		return node(1, __rand() % 8, 0);
+	}
+	int tag;
+	tag = 2 + __rand() % 3;
+	return node(tag, (int) gen(depth - 1), (int) gen(depth - 1));
+}
+
+// assq walk: environments are short lists searched to a *hit* most times —
+// the anti-C pointer idiom.
+int* env;
+
+int* assq(int* e, int key) {
+	if (e == null) { return null; }
+	int* pair;
+	pair = (int*) e[1];
+	if (pair[0] == key) { return pair; }
+	return assq((int*) e[2], key);
+}
+
+void bind(int key, int v) {
+	int* pair;
+	pair = node(key, v, 0);
+	env = node(9, (int) pair, (int) env);
+}
+
+int* transform(int* t, int depth) {
+	if (t == null) { return null; }
+	int tag;
+	tag = t[0];
+	if (tag == 0) { return t; }
+	if (tag == 1) {
+		int* hit;
+		hit = assq(env, t[1]);
+		if (hit != null) {
+			return node(0, hit[1], 0);
+		}
+		return t;
+	}
+	if (tag == 3) {
+		bind(__rand() % 8, __rand() % 50);
+	}
+	int* a;
+	int* b;
+	a = transform((int*) t[1], depth + 1);
+	b = transform((int*) t[2], depth + 1);
+	// Constant folding for applications of two constants.
+	if (tag == 2 && a != null && b != null) {
+		if (a[0] == 0 && b[0] == 0) {
+			return node(0, (a[1] + b[1]) % 1000, 0);
+		}
+	}
+	return node(tag, (int) a, (int) b);
+}
+
+int count(int* t) {
+	if (t == null) { return 0; }
+	if (t[0] == 0 || t[0] == 1) { return 1; }
+	return 1 + count((int*) t[1]) + count((int*) t[2]);
+}
+
+int main() {
+	int rounds;
+	int depth;
+	int i;
+	int total;
+	rounds = __input(0);
+	depth = __input(1);
+	cells = 0;
+	total = 0;
+	for (i = 0; i < rounds; i = i + 1) {
+		env = null;
+		bind(0, 7);
+		bind(1, 11);
+		total = total + count(transform(gen(depth), 0));
+	}
+	__print(total);
+	__print(cells);
+	return 0;
+}
+`})
+}

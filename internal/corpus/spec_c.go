@@ -1,0 +1,623 @@
+package corpus
+
+import "repro/internal/ir"
+
+// The SPEC92 C suite: alvinn, compress, ear, eqntott, espresso, gcc, li, sc.
+// The analogs match the paper's Table 3 shapes: alvinn and ear are dominated
+// by two or three branch sites (tight numeric loops, ~90-98% taken);
+// eqntott's hot compare loop is the classic conditional-move target;
+// gcc has the flattest distribution (hundreds of live sites).
+
+func init() {
+	register(Entry{
+		Name: "alvinn", Suite: SuiteSPECC, Language: ir.LangC, Seed: 201,
+		About: "neural net trainer: forward/backward dot-product loops; two branch sites cover >90% of executions, ~98% taken",
+		Input: []int64{60},
+		Source: `
+// alvinn: train a tiny two-layer perceptron on synthetic road images.
+float in[128];
+float w1[640];   // 128 x 5
+float wcol[128];
+float hid[5];
+float w2[5];
+
+int main() {
+	int epochs;
+	int e;
+	float out;
+	float err;
+	epochs = __input(0);
+	int i;
+	int j;
+	for (i = 0; i < 640; i = i + 1) { w1[i] = 0.01; }
+	for (j = 0; j < 5; j = j + 1) { w2[j] = 0.1; }
+	err = 0.0;
+	for (e = 0; e < epochs; e = e + 1) {
+		float target;
+		for (i = 0; i < 128; i = i + 1) {
+			in[i] = (float) (__rand() % 100) / 100.0;
+		}
+		target = (float) (e % 2);
+		// Forward pass: the dominant loops run through the BLAS-style
+		// library kernel (the paper's library-subroutine story: the same
+		// dot product runs inside many numeric programs).
+		for (j = 0; j < 5; j = j + 1) {
+			for (i = 0; i < 128; i = i + 1) { wcol[i] = w1[i * 5 + j]; }
+			hid[j] = lib_vecdot(&in[0], &wcol[0], 128) / 128.0;
+		}
+		out = 0.0;
+		for (j = 0; j < 5; j = j + 1) { out = out + hid[j] * w2[j]; }
+		out = lib_clampf(out, 0.0 - 10.0, 10.0);
+		// Backward pass.
+		float delta;
+		delta = (target - out) * 0.05;
+		for (j = 0; j < 5; j = j + 1) {
+			w2[j] = w2[j] + delta * hid[j];
+			for (i = 0; i < 128; i = i + 1) {
+				w1[i * 5 + j] = w1[i * 5 + j] + delta * w2[j] * in[i] * 0.1;
+			}
+		}
+		err = err + (target - out) * (target - out);
+	}
+	__printf(err);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "compress", Suite: SuiteSPECC, Language: ir.LangC, Seed: 202,
+		About: "LZW compressor: hash-table code lookup with collision probing",
+		Input: []int64{5200},
+		Source: `
+// compress: LZW over a synthetic byte stream with an open-addressing table,
+// a code-width tracker, and an output bit-packing phase.
+int codes[1024];
+int keys[1024];
+int outBits[512];
+
+int codeWidth(int next) {
+	if (next < 512) { return 9; }
+	if (next < 1024) { return 10; }
+	if (next < 2048) { return 11; }
+	return 12;
+}
+
+int main() {
+	int n;
+	int i;
+	int nextCode;
+	int cur;
+	int emitted;
+	int resets;
+	int bitPos;
+	int ratioChecks;
+	n = __input(0);
+	for (i = 0; i < 1024; i = i + 1) { keys[i] = -1; }
+	nextCode = 256;
+	cur = __rand() % 16;
+	emitted = 0;
+	resets = 0;
+	bitPos = 0;
+	ratioChecks = 0;
+	for (i = 1; i < n; i = i + 1) {
+		int ch;
+		int key;
+		int h;
+		int found;
+		int probes;
+		ch = __rand() % 16;
+		key = cur * 256 + ch;
+		h = lib_hash(key) % 1024;
+		found = -1;
+		probes = 0;
+		while (keys[h] != -1 && probes < 1024) {
+			if (keys[h] == key) {
+				found = codes[h];
+				break;
+			}
+			h = (h + 1) % 1024;
+			probes = probes + 1;
+		}
+		if (found >= 0) {
+			cur = found;
+		} else {
+			// Emit the current code into the bit stream.
+			int w;
+			w = codeWidth(nextCode);
+			bitPos = bitPos + w;
+			if (bitPos >= 64) {
+				bitPos = bitPos - 64;
+				outBits[emitted % 512] = cur;
+			}
+			emitted = emitted + 1;
+			if (keys[h] == -1 && nextCode < 1100) {
+				keys[h] = key;
+				codes[h] = nextCode;
+				nextCode = nextCode + 1;
+			}
+			cur = ch;
+		}
+		// Compression-ratio check, like compress's block mode.
+		if (i % 256 == 0) {
+			ratioChecks = ratioChecks + 1;
+			if (emitted * 3 > i) {
+				int j;
+				for (j = 0; j < 1024; j = j + 1) { keys[j] = -1; }
+				nextCode = 256;
+				resets = resets + 1;
+			}
+		}
+	}
+	__print(emitted);
+	__print(nextCode);
+	__print(resets);
+	__print(ratioChecks);
+	__print(outBits[0]);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "ear", Suite: SuiteSPECC, Language: ir.LangC, Seed: 203,
+		About: "human ear model: cochlear filterbank cascade, pure FP loops, ~90% taken",
+		Input: []int64{300},
+		Source: `
+// ear: run a cascade of second-order filter sections over samples.
+float state1[32];
+float state2[32];
+float coefA[32];
+float coefB[32];
+
+int main() {
+	int samples;
+	int s;
+	float energy;
+	samples = __input(0);
+	int k;
+	for (k = 0; k < 32; k = k + 1) {
+		coefA[k] = 0.5 + (float) k / 100.0;
+		coefB[k] = 0.3 - (float) k / 200.0;
+		state1[k] = 0.0;
+		state2[k] = 0.0;
+	}
+	energy = 0.0;
+	int peaks;
+	int saturations;
+	float agc;
+	peaks = 0;
+	saturations = 0;
+	agc = 1.0;
+	for (s = 0; s < samples; s = s + 1) {
+		float x;
+		float best;
+		int bestK;
+		x = (float) (__rand() % 200 - 100) / 100.0 * agc;
+		best = 0.0;
+		bestK = 0;
+		for (k = 0; k < 32; k = k + 1) {
+			float y;
+			y = coefA[k] * x - coefB[k] * state1[k] + 0.1 * state2[k];
+			state2[k] = state1[k];
+			state1[k] = y;
+			x = y * 0.9;
+			// Half-wave rectification: the model's one data branch.
+			if (y > 0.0) { energy = energy + y; }
+			// Peak channel tracking.
+			if (y > best) {
+				best = y;
+				bestK = k;
+			}
+		}
+		if (bestK > 16) { peaks = peaks + 1; }
+		// Automatic gain control with saturation detection.
+		if (best > 2.0) {
+			agc = lib_maxf(agc * 0.95, 0.05);
+			saturations = saturations + 1;
+		} else if (best < 0.2) {
+			agc = lib_minf(agc * 1.01, 4.0);
+		}
+	}
+	__printf(energy);
+	__print(peaks);
+	__print(saturations);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "eqntott", Suite: SuiteSPECC, Language: ir.LangC, Seed: 204,
+		About: "truth-table generator: dominated by a bit-vector comparison loop of short conditionals — the conditional-move showcase (90% taken, Q-50 of 2)",
+		Input: []int64{700, 24},
+		Source: `
+// eqntott: compare pterm bit vectors, the cmppt inner loop.
+int pta[64];
+int ptb[64];
+
+int cmppt(int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		int a;
+		int b;
+		a = pta[i];
+		b = ptb[i];
+		if (a != b) {
+			if (a < b) { return -1; }
+			return 1;
+		}
+	}
+	return 0;
+}
+
+int main() {
+	int pairs;
+	int width;
+	int p;
+	int less;
+	int eq;
+	int greater;
+	pairs = __input(0);
+	width = __input(1);
+	less = 0;
+	eq = 0;
+	greater = 0;
+	for (p = 0; p < pairs; p = p + 1) {
+		int i;
+		for (i = 0; i < width; i = i + 1) {
+			pta[i] = __rand() % 2;
+			ptb[i] = pta[i];
+			// Vectors differ rarely and late, so the compare loop runs long.
+			if (__rand() % 100 < 9) { ptb[i] = 1 - ptb[i]; }
+		}
+		int c;
+		c = lib_sign(cmppt(width));
+		if (c < 0) { less = less + 1; }
+		else if (c == 0) { eq = eq + 1; }
+		else { greater = greater + 1; }
+	}
+	lib_report(less);
+	lib_report(eq);
+	lib_report(greater);
+	lib_report(lib_checksum(&pta[0], width));
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "espresso", Suite: SuiteSPECC, Language: ir.LangC, Seed: 205,
+		About: "logic minimizer: cube cover containment and merging over bit matrices; the Table 7 compiler-sensitivity program",
+		Input: []int64{40, 30, 10},
+		Source: `
+// espresso: minimize a random cover of cubes over a boolean space.
+int cover[2048];  // cubes x vars, values 0,1,2 (dont-care)
+int ncubes;
+int nvars;
+
+int contains(int a, int b) {
+	// Does cube a contain cube b?
+	int v;
+	for (v = 0; v < nvars; v = v + 1) {
+		int av;
+		int bv;
+		av = cover[a * nvars + v];
+		bv = cover[b * nvars + v];
+		if (av != 2 && av != bv) { return 0; }
+	}
+	return 1;
+}
+
+int distance(int a, int b) {
+	int v;
+	int d;
+	d = 0;
+	for (v = 0; v < nvars; v = v + 1) {
+		int av;
+		int bv;
+		av = cover[a * nvars + v];
+		bv = cover[b * nvars + v];
+		if (av != 2 && bv != 2 && av != bv) { d = d + 1; }
+	}
+	return d;
+}
+
+int main() {
+	int rounds;
+	int r;
+	int removed;
+	int merged;
+	ncubes = __input(1);
+	nvars = __input(2);
+	rounds = __input(0);
+	removed = 0;
+	merged = 0;
+	for (r = 0; r < rounds; r = r + 1) {
+		int i;
+		int j;
+		for (i = 0; i < ncubes * nvars; i = i + 1) {
+			int x;
+			x = __rand() % 10;
+			if (x < 4) { cover[i] = 0; }
+			else if (x < 8) { cover[i] = 1; }
+			else { cover[i] = 2; }
+		}
+		// Single-cube containment sweep; identical cubes are found with the
+		// library comparator first (the memcmp fast path).
+		for (i = 0; i < ncubes; i = i + 1) {
+			for (j = 0; j < ncubes; j = j + 1) {
+				if (i != j) {
+					if (lib_memcmp(&cover[i * nvars], &cover[j * nvars], nvars) == 0) {
+						removed = removed + 1;
+					} else if (contains(i, j)) {
+						removed = removed + 1;
+					}
+				}
+			}
+		}
+		// Distance-1 merge detection.
+		for (i = 0; i < ncubes; i = i + 1) {
+			for (j = i + 1; j < ncubes; j = j + 1) {
+				if (distance(i, j) == 1) { merged = merged + 1; }
+			}
+		}
+	}
+	lib_report(removed);
+	lib_report(merged);
+	lib_report(lib_checksum(&cover[0], ncubes * nvars));
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "gcc", Suite: SuiteSPECC, Language: ir.LangC, Seed: 206,
+		About: "optimizing compiler: many distinct passes each with its own branches — the flattest site distribution of the suite (Q-50 of 245 in the paper)",
+		Input: []int64{110},
+		Source: `
+// gcc: run a pipeline of small compiler-ish passes over random IR arrays.
+int code[256];
+int use[256];
+int def[256];
+int n;
+
+void genFunction(int size) {
+	int i;
+	n = size;
+	for (i = 0; i < n; i = i + 1) {
+		code[i] = __rand() % 12;
+		use[i] = __rand() % 16;
+		def[i] = __rand() % 16;
+	}
+}
+
+int constantFold() {
+	int i;
+	int folded;
+	folded = 0;
+	for (i = 0; i + 1 < n; i = i + 1) {
+		if (code[i] == 0 && code[i + 1] == 0) {
+			code[i + 1] = 11;
+			folded = folded + 1;
+		} else if (code[i] == 1 && code[i + 1] == 2) {
+			folded = folded + 1;
+		}
+	}
+	return folded;
+}
+
+int deadCode() {
+	int i;
+	int j;
+	int dead;
+	dead = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int used;
+		used = 0;
+		for (j = i + 1; j < n && j < i + 8; j = j + 1) {
+			if (use[j] == def[i]) { used = 1; }
+		}
+		if (used == 0 && code[i] != 9) { dead = dead + 1; }
+	}
+	return dead;
+}
+
+int cse() {
+	int i;
+	int j;
+	int hits;
+	hits = 0;
+	for (i = 0; i < n; i = i + 1) {
+		for (j = i + 1; j < n && j < i + 6; j = j + 1) {
+			if (code[i] == code[j] && use[i] == use[j]) {
+				hits = hits + 1;
+				break;
+			}
+		}
+	}
+	return hits;
+}
+
+int regalloc() {
+	int pressure;
+	int spills;
+	int i;
+	int maxPressure;
+	pressure = 0;
+	spills = 0;
+	maxPressure = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (code[i] < 6) { pressure = pressure + 1; }
+		if (code[i] >= 9) { pressure = pressure - 1; }
+		if (pressure > 8) {
+			spills = spills + 1;
+			pressure = pressure - 2;
+		}
+		pressure = lib_max(pressure, 0);
+		maxPressure = lib_max(maxPressure, pressure);
+		if (lib_bitcount(use[i]) > 2) {
+			spills = spills + 1;
+		}
+	}
+	return spills + maxPressure;
+}
+
+int schedule() {
+	int i;
+	int stalls;
+	stalls = 0;
+	for (i = 1; i < n; i = i + 1) {
+		if (use[i] == def[i - 1]) {
+			stalls = stalls + 1;
+		} else if (code[i] == code[i - 1] && code[i] > 7) {
+			stalls = stalls + 1;
+		}
+	}
+	return stalls;
+}
+
+int peephole() {
+	int i;
+	int wins;
+	wins = 0;
+	for (i = 0; i + 1 < n; i = i + 1) {
+		if (code[i] == 3 && code[i + 1] == 4) { wins = wins + 1; }
+		if (code[i] == 5 && def[i] == use[i + 1] && code[i + 1] == 5) { wins = wins + 1; }
+	}
+	return wins;
+}
+
+int main() {
+	int funcs;
+	int f;
+	int total;
+	funcs = __input(0);
+	total = 0;
+	for (f = 0; f < funcs; f = f + 1) {
+		genFunction(60 + __rand() % 100);
+		total = total + constantFold();
+		total = total + deadCode();
+		total = total + cse();
+		total = total + regalloc();
+		total = total + schedule();
+		total = total + peephole();
+	}
+	__print(total);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "li", Suite: SuiteSPECC, Language: ir.LangC, Seed: 207,
+		About: "xlisp interpreter: recursive eval over cons trees with type dispatch; under half the branches taken",
+		Input: []int64{110, 7},
+		Source: `
+// li: evaluate random s-expression trees. Node: [tag, a, b].
+// tags: 0 number, 1 add, 2 sub, 3 mul, 4 if, 5 let-ish
+int cells;
+
+int* mk(int tag, int a, int b) {
+	int* p;
+	p = __alloc(3);
+	p[0] = tag;
+	p[1] = a;
+	p[2] = b;
+	cells = cells + 1;
+	return p;
+}
+
+int* gen(int depth) {
+	if (depth <= 0 || __rand() % 100 < 30) {
+		return mk(0, __rand() % 100, 0);
+	}
+	int tag;
+	tag = 1 + __rand() % 5;
+	return mk(tag, (int) gen(depth - 1), (int) gen(depth - 1));
+}
+
+int eval(int* e) {
+	int tag;
+	if (e == null) { return 0; }
+	tag = e[0];
+	if (tag == 0) { return e[1]; }
+	if (tag == 1) { return eval((int*) e[1]) + eval((int*) e[2]); }
+	if (tag == 2) { return eval((int*) e[1]) - eval((int*) e[2]); }
+	if (tag == 3) { return lib_wrap(eval((int*) e[1]) % 1009 * (eval((int*) e[2]) % 32), 1009); }
+	if (tag == 4) {
+		if (eval((int*) e[1]) > 0) { return eval((int*) e[2]); }
+		return 0 - eval((int*) e[2]);
+	}
+	// let-ish: evaluate binding then body.
+	int v;
+	v = eval((int*) e[1]);
+	return v + lib_abs(eval((int*) e[2])) % 97;
+}
+
+int main() {
+	int exprs;
+	int depth;
+	int i;
+	int total;
+	exprs = __input(0);
+	depth = __input(1);
+	cells = 0;
+	total = 0;
+	for (i = 0; i < exprs; i = i + 1) {
+		total = total + eval(gen(depth)) % 10007;
+	}
+	__print(total);
+	__print(cells);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "sc", Suite: SuiteSPECC, Language: ir.LangC, Seed: 208,
+		About: "spreadsheet: iterative recalculation over a dependency grid",
+		Input: []int64{26, 40},
+		Source: `
+// sc: recalculate a spreadsheet whose cells reference earlier cells.
+int val[1024];
+int dep1[1024];
+int dep2[1024];
+int op[1024];
+
+int main() {
+	int cellsN;
+	int passes;
+	int i;
+	int p;
+	int changedTotal;
+	passes = __input(0);
+	cellsN = __input(1) * 16;
+	for (i = 0; i < cellsN; i = i + 1) {
+		val[i] = __rand() % 100;
+		if (i > 1) {
+			dep1[i] = __rand() % i;
+			dep2[i] = __rand() % i;
+		} else {
+			dep1[i] = 0;
+			dep2[i] = 0;
+		}
+		op[i] = __rand() % 4;
+	}
+	changedTotal = 0;
+	for (p = 0; p < passes; p = p + 1) {
+		int changed;
+		changed = 0;
+		for (i = 2; i < cellsN; i = i + 1) {
+			int nv;
+			if (op[i] == 0) { nv = lib_clamp(val[dep1[i]] + val[dep2[i]], 0 - 100000, 100000); }
+			else if (op[i] == 1) { nv = val[dep1[i]] - val[dep2[i]]; }
+			else if (op[i] == 2) { nv = lib_max(val[dep1[i]], val[dep2[i]]); }
+			else { nv = val[i]; }
+			if (nv != val[i]) {
+				val[i] = nv;
+				changed = changed + 1;
+			}
+		}
+		changedTotal = changedTotal + changed;
+		if (changed == 0) { break; }
+	}
+	__print(changedTotal);
+	__print(val[cellsN - 1]);
+	return 0;
+}
+`})
+}

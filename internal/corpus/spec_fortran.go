@@ -1,0 +1,798 @@
+package corpus
+
+import "repro/internal/ir"
+
+// The SPEC92 Fortran suite: doduc, fpppp, hydro2d, mdljsp2, nasa7, ora,
+// spice, su2cor, swm256, tomcatv, wave5. The analogs are written in the
+// Fortran dialect of the corpus — counted loops over arrays, no pointers —
+// and are tagged LangFortran (feature 7 of the static feature set).
+// tomcatv reproduces the Figure 2 kernel: a mesh-relaxation loop whose
+// residual-maximum tests (FABS/compare/branch) go one way essentially
+// always, and whose three hot blocks carry most of the program's edge
+// transitions.
+
+func init() {
+	register(Entry{
+		Name: "doduc", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 301,
+		About: "nuclear reactor Monte Carlo: event sampling with near-50/50 data-dependent branches",
+		Input: []int64{5200},
+		Source: `
+// doduc: track particles through material slabs.
+float flux[64];
+
+int main() {
+	int particles;
+	int p;
+	int absorbed;
+	int escaped;
+	int scattered;
+	particles = __input(0);
+	absorbed = 0;
+	escaped = 0;
+	scattered = 0;
+	int k;
+	for (k = 0; k < 64; k = k + 1) { flux[k] = 0.0; }
+	for (p = 0; p < particles; p = p + 1) {
+		int cell;
+		float energy;
+		cell = 32;
+		energy = 1.0 + (float) (__rand() % 100) / 50.0;
+		while (cell >= 0 && cell < 64 && energy > 0.05) {
+			int ev;
+			flux[cell] = flux[cell] + lib_absf(energy);
+			ev = lib_randrange(0, 100);
+			if (ev < 46) {
+				// Scatter: lose energy, random direction.
+				energy = energy * 0.7;
+				scattered = scattered + 1;
+				if (__rand() % 2 == 0) { cell = cell + 1; } else { cell = cell - 1; }
+			} else if (ev < 54) {
+				absorbed = absorbed + 1;
+				energy = 0.0;
+			} else {
+				// Stream to the next cell.
+				if (__rand() % 2 == 0) { cell = cell + 1; } else { cell = cell - 1; }
+			}
+		}
+		if (cell < 0 || cell >= 64) { escaped = escaped + 1; }
+	}
+	__print(absorbed);
+	__print(escaped);
+	__print(scattered);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "fpppp", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 302,
+		About: "two-electron integrals: long straight-line FP blocks with sparse, hard-to-predict branches (the paper's worst heuristic program, 53% APHC miss)",
+		Input: []int64{340},
+		Source: `
+// fpppp: evaluate integral batches; branch only on magnitude tests that are
+// close to 50/50, buried in straight-line FP code.
+float gout[128];
+
+int main() {
+	int batches;
+	int b;
+	float total;
+	int small;
+	int large;
+	batches = __input(0);
+	total = 0.0;
+	small = 0;
+	large = 0;
+	for (b = 0; b < batches; b = b + 1) {
+		int i;
+		for (i = 0; i < 16; i = i + 1) {
+			float p;
+			float q;
+			float r;
+			float s;
+			float t;
+			p = (float) (__rand() % 1000) / 500.0 - 1.0;
+			q = (float) (__rand() % 1000) / 500.0 - 1.0;
+			r = p * q * 0.5 + p * 0.25 - q * 0.125;
+			s = r * r + p * q;
+			t = s * 0.3333 + r * 0.5 - p * 0.0625;
+			t = t + s * r - q * p * 0.2;
+			t = t * 0.75 + (p + q + r + s) * 0.0125;
+			gout[i * 8] = t;
+			// Magnitude classification: nearly even split.
+			t = lib_absf(t);
+			if (t > 0.29) {
+				large = large + 1;
+				total = total + t;
+			} else {
+				small = small + 1;
+				total = total + t * 0.5;
+			}
+			if (p > q) {
+				gout[i * 8 + 1] = p - q;
+			} else {
+				gout[i * 8 + 1] = q - p;
+			}
+			// Shell-pair screening: three more near-even tests.
+			if (p * q > 0.0) {
+				gout[i * 8 + 2] = p * q;
+			} else {
+				gout[i * 8 + 2] = 0.0 - p * q;
+			}
+			if (s > r) {
+				gout[i * 8 + 3] = s - r;
+			}
+			if (p + q > r + s) {
+				gout[i * 8 + 4] = p + q - r - s;
+			} else if (p - q < r - s) {
+				gout[i * 8 + 5] = r - s - p + q;
+			}
+		}
+		// Batch-level symmetry reduction.
+		int half;
+		half = 0;
+		for (i = 0; i < 8; i = i + 1) {
+			if (lib_maxf(gout[i * 8], 0.0) > gout[(15 - i) * 8]) { half = half + 1; }
+		}
+		if (half > 4) { total = total + 0.01; }
+	}
+	__printf(total);
+	__print(small);
+	__print(large);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "hydro2d", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 303,
+		About: "astrophysical hydrodynamics: 2D stencil sweeps, ~73% taken",
+		Input: []int64{26, 34},
+		Source: `
+// hydro2d: relax a 2D grid with a Navier-Stokes-ish stencil.
+float u[1600];
+float un[1600];
+
+int main() {
+	int steps;
+	int dim;
+	int s;
+	float sum;
+	steps = __input(0);
+	dim = __input(1);
+	int i;
+	int j;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		u[i] = (float) (__rand() % 100) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				float v;
+				v = 0.25 * (u[(i - 1) * dim + j] + u[(i + 1) * dim + j]
+				          + u[i * dim + j - 1] + u[i * dim + j + 1]);
+				// Flux limiter: occasionally clamps.
+				v = lib_minf(v, 1.0);
+				un[i * dim + j] = v;
+			}
+		}
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				u[i * dim + j] = un[i * dim + j];
+			}
+		}
+	}
+	sum = 0.0;
+	for (i = 0; i < dim * dim; i = i + 1) { sum = sum + u[i]; }
+	__printf(sum);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "mdljsp2", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 304,
+		About: "molecular dynamics: pairwise interactions with a cutoff test that usually passes (~84% taken)",
+		Input: []int64{9, 54},
+		Source: `
+// mdljsp2: Lennard-Jones-ish particle interactions inside a cutoff radius.
+float px[64];
+float py[64];
+float fx[64];
+float fy[64];
+
+int main() {
+	int steps;
+	int natoms;
+	int s;
+	float virial;
+	int inside;
+	int outside;
+	steps = __input(0);
+	natoms = __input(1);
+	virial = 0.0;
+	inside = 0;
+	outside = 0;
+	int i;
+	for (i = 0; i < natoms; i = i + 1) {
+		px[i] = (float) (__rand() % 1000) / 100.0;
+		py[i] = (float) (__rand() % 1000) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		int j;
+		for (i = 0; i < natoms; i = i + 1) {
+			fx[i] = 0.0;
+			fy[i] = 0.0;
+		}
+		for (i = 0; i < natoms; i = i + 1) {
+			for (j = i + 1; j < natoms; j = j + 1) {
+				float dx;
+				float dy;
+				float r2;
+				dx = px[i] - px[j];
+				dy = py[i] - py[j];
+				r2 = dx * dx + dy * dy;
+				// Generous cutoff: most pairs interact.
+				if (r2 < 64.0) {
+					float inv;
+					float f;
+					inv = 1.0 / (r2 + 0.1);
+					f = inv * inv - 0.01 * inv;
+					fx[i] = fx[i] + f * dx;
+					fy[i] = fy[i] + f * dy;
+					fx[j] = fx[j] - f * dx;
+					fy[j] = fy[j] - f * dy;
+					virial = virial + f * r2;
+					inside = inside + 1;
+				} else {
+					outside = outside + 1;
+				}
+			}
+		}
+		for (i = 0; i < natoms; i = i + 1) {
+			px[i] = px[i] + fx[i] * 0.001;
+			py[i] = py[i] + fy[i] * 0.001;
+			// Periodic box: wrap coordinates that drift out.
+			if (px[i] < 0.0) { px[i] = px[i] + 10.0; }
+			if (px[i] >= 10.0) { px[i] = px[i] - 10.0; }
+			if (py[i] < 0.0) { py[i] = py[i] + 10.0; }
+			if (py[i] >= 10.0) { py[i] = py[i] - 10.0; }
+		}
+		// Temperature rescaling every few steps.
+		if (s % 4 == 3) {
+			float ke;
+			ke = 0.0;
+			for (i = 0; i < natoms; i = i + 1) {
+				ke = ke + fx[i] * fx[i] + fy[i] * fy[i];
+			}
+			if (lib_sqrtf(ke) > 10.0) {
+				for (i = 0; i < natoms; i = i + 1) {
+					fx[i] = fx[i] * 0.5;
+					fy[i] = fy[i] * 0.5;
+				}
+			}
+		}
+	}
+	__printf(virial);
+	__print(inside);
+	__print(outside);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "nasa7", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 305,
+		About: "seven NASA kernels: matrix multiply, FFT butterfly, gaussian elimination passes; ~79% taken",
+		Input: []int64{9, 18},
+		Source: `
+// nasa7: a rotation of numeric kernels over shared matrices.
+float ma[400];
+float mb[400];
+float mc[400];
+
+int main() {
+	int reps;
+	int dim;
+	int r;
+	float check;
+	reps = __input(0);
+	dim = __input(1);
+	check = 0.0;
+	int i;
+	int j;
+	int k;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		ma[i] = (float) (i % 7) / 7.0;
+		mb[i] = (float) (i % 5) / 5.0;
+	}
+	for (r = 0; r < reps; r = r + 1) {
+		// Kernel 1: matrix multiply.
+		for (i = 0; i < dim; i = i + 1) {
+			for (j = 0; j < dim; j = j + 1) {
+				float s;
+				s = 0.0;
+				for (k = 0; k < dim; k = k + 1) {
+					s = s + ma[i * dim + k] * mb[k * dim + j];
+				}
+				mc[i * dim + j] = s;
+			}
+		}
+		// Kernel 2: butterfly-style pass.
+		for (i = 0; i < dim * dim - 1; i = i + 2) {
+			float a;
+			float b;
+			a = mc[i] + mc[i + 1];
+			b = mc[i] - mc[i + 1];
+			mc[i] = a;
+			mc[i + 1] = b;
+		}
+		// Kernel 3: partial pivot selection.
+		for (j = 0; j < dim; j = j + 1) {
+			int best;
+			best = j;
+			for (i = j; i < dim; i = i + 1) {
+				float x;
+				float y;
+				x = lib_absf(mc[i * dim + j]);
+				y = lib_absf(mc[best * dim + j]);
+				if (x > y) { best = i; }
+			}
+			check = check + mc[best * dim + j];
+		}
+	}
+	__printf(check);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "ora", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 306,
+		About: "optical ray tracing: sphere intersection tests near 50/50",
+		Input: []int64{2400},
+		Source: `
+// ora: trace rays against a small sphere array.
+float cx[8];
+float cy[8];
+float cr[8];
+
+int main() {
+	int rays;
+	int r;
+	int hits;
+	int misses;
+	float brightness;
+	rays = __input(0);
+	int k;
+	for (k = 0; k < 8; k = k + 1) {
+		cx[k] = (float) (k * 13 % 40) / 4.0;
+		cy[k] = (float) (k * 7 % 40) / 4.0;
+		cr[k] = 0.8 + (float) k / 8.0;
+	}
+	hits = 0;
+	misses = 0;
+	brightness = 0.0;
+	int shadowed;
+	int refracted;
+	shadowed = 0;
+	refracted = 0;
+	for (r = 0; r < rays; r = r + 1) {
+		float ox;
+		float oy;
+		int hit;
+		int hitK;
+		ox = (float) (__rand() % 100) / 10.0;
+		oy = (float) (__rand() % 100) / 10.0;
+		hit = 0;
+		hitK = 0;
+		for (k = 0; k < 8 && hit == 0; k = k + 1) {
+			float dx;
+			float dy;
+			float d2;
+			dx = ox - cx[k];
+			dy = oy - cy[k];
+			d2 = dx * dx + dy * dy;
+			if (d2 < cr[k] * cr[k]) {
+				hit = 1;
+				hitK = k;
+				brightness = brightness + lib_minf(1.0 / (d2 + 0.1), 5.0);
+			}
+		}
+		if (hit) {
+			hits = hits + 1;
+			// Shadow ray toward the light at the origin.
+			int blocked;
+			blocked = 0;
+			for (k = 0; k < 8; k = k + 1) {
+				if (k != hitK) {
+					float mx;
+					float my;
+					float md;
+					mx = cx[hitK] * 0.5 - cx[k];
+					my = cy[hitK] * 0.5 - cy[k];
+					md = mx * mx + my * my;
+					if (md < cr[k] * cr[k]) { blocked = 1; }
+				}
+			}
+			if (blocked) {
+				shadowed = shadowed + 1;
+			} else if (cr[hitK] > 1.2) {
+				// Large spheres refract a secondary ray.
+				refracted = refracted + 1;
+				brightness = brightness + 0.1;
+			}
+		} else {
+			misses = misses + 1;
+		}
+	}
+	__print(hits);
+	__print(misses);
+	__print(shadowed);
+	__print(refracted);
+	__printf(brightness);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "spice", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 307,
+		About: "circuit simulator: sparse matrix assembly and Gauss-Seidel sweeps with convergence checks",
+		Input: []int64{40, 48},
+		Source: `
+// spice: iterate nodal voltages of a random resistive network.
+float gmat[3000];
+float rhs[60];
+float v[60];
+
+int main() {
+	int iters;
+	int nodes;
+	int it;
+	int converged;
+	iters = __input(0);
+	nodes = __input(1);
+	converged = 0;
+	int i;
+	int j;
+	for (i = 0; i < nodes; i = i + 1) {
+		for (j = 0; j < nodes; j = j + 1) {
+			if (i == j) {
+				gmat[i * nodes + j] = 4.0;
+			} else if (__rand() % 100 < 12) {
+				gmat[i * nodes + j] = 0.0 - 0.5;
+			} else {
+				gmat[i * nodes + j] = 0.0;
+			}
+		}
+		rhs[i] = (float) (__rand() % 100) / 50.0;
+		v[i] = 0.0;
+	}
+	for (it = 0; it < iters; it = it + 1) {
+		float maxDelta;
+		maxDelta = 0.0;
+		for (i = 0; i < nodes; i = i + 1) {
+			float acc;
+			float nv;
+			float d;
+			acc = rhs[i];
+			for (j = 0; j < nodes; j = j + 1) {
+				// Sparse skip: most entries are zero.
+				if (j != i && gmat[i * nodes + j] != 0.0) {
+					acc = acc - gmat[i * nodes + j] * v[j];
+				}
+			}
+			nv = acc / gmat[i * nodes + i];
+			d = lib_absf(nv - v[i]);
+			maxDelta = lib_maxf(maxDelta, d);
+			v[i] = nv;
+		}
+		if (maxDelta < 0.0001) {
+			converged = 1;
+			break;
+		}
+		// Solution-vector norm via the shared BLAS-style kernel.
+		if (lib_vecnorm(&v[0], nodes) > 1000.0) {
+			break;
+		}
+	}
+	__print(converged);
+	__printf(v[0]);
+	__printf(lib_vecnorm(&v[0], nodes));
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "su2cor", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 308,
+		About: "quark-gluon lattice: 4D-ish sweep with staple accumulation, ~73% taken",
+		Input: []int64{7, 10},
+		Source: `
+// su2cor: update a small lattice of SU(2)-ish link values.
+float lat[4000];
+
+int main() {
+	int sweeps;
+	int dim;
+	int s;
+	float action;
+	int accepted;
+	int rejected;
+	sweeps = __input(0);
+	dim = __input(1);
+	action = 0.0;
+	accepted = 0;
+	rejected = 0;
+	int i;
+	for (i = 0; i < dim * dim * dim; i = i + 1) {
+		lat[i] = (float) (__rand() % 100) / 100.0;
+	}
+	for (s = 0; s < sweeps; s = s + 1) {
+		int x;
+		int y;
+		int z;
+		for (x = 1; x < dim - 1; x = x + 1) {
+			for (y = 1; y < dim - 1; y = y + 1) {
+				for (z = 1; z < dim - 1; z = z + 1) {
+					int idx;
+					float staple;
+					float trial;
+					idx = (x * dim + y) * dim + z;
+					staple = lat[idx - 1] + lat[idx + 1]
+					       + lat[idx - dim] + lat[idx + dim]
+					       + lat[idx - dim * dim] + lat[idx + dim * dim];
+					trial = staple / 6.0 + (float) (__rand() % 20 - 10) / 100.0;
+					// Metropolis-ish accept: usually accepted.
+					if (trial * staple > lat[idx] * staple - 0.3) {
+						lat[idx] = trial;
+						accepted = accepted + 1;
+						// Over-relaxation for strongly-coupled sites.
+						if (staple > 4.0) {
+							lat[idx] = lat[idx] * 0.9 + 0.05;
+						}
+					} else {
+						rejected = rejected + 1;
+						if (trial < 0.0) { lat[idx] = 0.0; }
+					}
+					action = action + lat[idx] * staple;
+				}
+			}
+		}
+		// Per-sweep correlation measurement across a time slice.
+		float corr;
+		corr = 0.0;
+		for (x = 1; x < dim - 1; x = x + 1) {
+			int a;
+			int b;
+			a = (x * dim + dim / 2) * dim + dim / 2;
+			b = ((dim - x) * dim + dim / 2) * dim + dim / 2;
+			corr = corr + lib_absf(lat[a] - lat[b]);
+		}
+		action = action + corr * 0.01;
+	}
+	__printf(action);
+	__print(accepted);
+	__print(rejected);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "swm256", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 309,
+		About: "shallow water model: pure stencil sweeps with almost no non-loop branches (98.4% taken, Q-50 of 2)",
+		Input: []int64{11, 30},
+		Source: `
+// swm256: shallow-water time stepping on a 2D grid.
+float hgt[1024];
+float uvel[1024];
+float vvel[1024];
+
+int main() {
+	int steps;
+	int dim;
+	int s;
+	float mass;
+	steps = __input(0);
+	dim = __input(1);
+	int i;
+	int j;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		hgt[i] = 10.0 + (float) (i % 13) / 13.0;
+		uvel[i] = 0.0;
+		vvel[i] = 0.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				c = i * dim + j;
+				uvel[c] = uvel[c] - 0.01 * (hgt[c + 1] - hgt[c - 1]);
+				vvel[c] = vvel[c] - 0.01 * (hgt[c + dim] - hgt[c - dim]);
+			}
+		}
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				c = i * dim + j;
+				hgt[c] = hgt[c] - 0.1 * (uvel[c + 1] - uvel[c - 1] + vvel[c + dim] - vvel[c - dim]);
+			}
+		}
+		// Periodic boundary copy columns/rows.
+		for (i = 0; i < dim; i = i + 1) {
+			hgt[i * dim] = hgt[i * dim + dim - 2];
+			hgt[i * dim + dim - 1] = hgt[i * dim + 1];
+		}
+		for (j = 0; j < dim; j = j + 1) {
+			hgt[j] = hgt[(dim - 2) * dim + j];
+			hgt[(dim - 1) * dim + j] = hgt[dim + j];
+		}
+		// CFL stability check: essentially never trips.
+		float umax;
+		umax = 0.0;
+		for (i = 0; i < dim * dim; i = i + 1) {
+			umax = lib_maxf(umax, uvel[i]);
+		}
+		if (umax > 50.0) {
+			break;
+		}
+	}
+	mass = 0.0;
+	for (i = 0; i < dim * dim; i = i + 1) { mass = mass + hgt[i]; }
+	__printf(mass);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "tomcatv", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 310,
+		About: "mesh generation: the Figure 2 kernel — relaxation sweeps whose residual-maximum tests (FABS/compare/branch) almost never update, 99.3% taken; one procedure dominates",
+		Input: []int64{60, 24},
+		Source: `
+// tomcatv: relax mesh coordinates; track the maximum residuals rxm/rym the
+// way the Figure 2 fragment does (FABS + compare + branch, nearly never
+// taken toward the update).
+float xm[784];
+float ym[784];
+
+int main() {
+	int iters;
+	int dim;
+	int it;
+	float rxm;
+	float rym;
+	iters = __input(0);
+	dim = __input(1);
+	int i;
+	int j;
+	for (i = 0; i < dim * dim; i = i + 1) {
+		xm[i] = (float) (i % 17) / 17.0;
+		ym[i] = (float) (i % 23) / 23.0;
+	}
+	rxm = 0.0;
+	rym = 0.0;
+	for (it = 0; it < iters; it = it + 1) {
+		rxm = 1000.0; // seed max high so later updates are rare
+		rym = 1000.0;
+		for (i = 1; i < dim - 1; i = i + 1) {
+			for (j = 1; j < dim - 1; j = j + 1) {
+				int c;
+				float rx;
+				float ry;
+				float ax;
+				float ay;
+				c = i * dim + j;
+				rx = 0.25 * (xm[c - 1] + xm[c + 1] + xm[c - dim] + xm[c + dim]) - xm[c];
+				ry = 0.25 * (ym[c - 1] + ym[c + 1] + ym[c - dim] + ym[c + dim]) - ym[c];
+				// Figure 2: FABS(rx), FABS(rxm), CMPTLT, FBNE — the branch
+				// to the update path is almost never taken.
+				ax = rx;
+				if (ax < 0.0) { ax = 0.0 - ax; }
+				ay = rxm;
+				if (ay < 0.0) { ay = 0.0 - ay; }
+				if (ay < ax) { rxm = rx; }
+				ax = ry;
+				if (ax < 0.0) { ax = 0.0 - ax; }
+				ay = rym;
+				if (ay < 0.0) { ay = 0.0 - ay; }
+				if (ay < ax) { rym = ry; }
+				xm[c] = xm[c] + rx * 0.9;
+				ym[c] = ym[c] + ry * 0.9;
+			}
+		}
+	}
+	__printf(rxm);
+	__printf(rym);
+	__printf(xm[dim + 1]);
+	return 0;
+}
+`})
+
+	register(Entry{
+		Name: "wave5", Suite: SuiteSPECFortran, Language: ir.LangFortran, Seed: 311,
+		About: "plasma particle-in-cell: particle push plus field deposit with boundary wrapping",
+		Input: []int64{16, 600},
+		Source: `
+// wave5: push particles through a periodic 1D field, deposit charge, and
+// smooth the field each step.
+float field[256];
+float charge[256];
+float ppos[640];
+float pvel[640];
+
+int main() {
+	int steps;
+	int nparts;
+	int s;
+	float energy;
+	int wraps;
+	int reflections;
+	steps = __input(0);
+	nparts = __input(1);
+	energy = 0.0;
+	wraps = 0;
+	reflections = 0;
+	int i;
+	for (i = 0; i < 256; i = i + 1) {
+		field[i] = (float) (i % 11) / 11.0 - 0.5;
+		charge[i] = 0.0;
+	}
+	for (i = 0; i < nparts; i = i + 1) {
+		ppos[i] = (float) (__rand() % 2560) / 10.0;
+		// Fast particles: boundary events happen constantly.
+		pvel[i] = (float) (__rand() % 4000 - 2000) / 100.0;
+	}
+	for (s = 0; s < steps; s = s + 1) {
+		// Push phase.
+		for (i = 0; i < nparts; i = i + 1) {
+			int cell;
+			cell = (int) ppos[i];
+			if (cell < 0) { cell = 0; }
+			if (cell > 255) { cell = 255; }
+			pvel[i] = pvel[i] + field[cell] * 0.1;
+			ppos[i] = ppos[i] + pvel[i];
+			// Periodic boundaries: wrap when leaving the domain.
+			if (ppos[i] < 0.0) {
+				ppos[i] = ppos[i] + 256.0;
+				wraps = wraps + 1;
+				if (ppos[i] < 0.0) {
+					// Very fast particle: reflect instead.
+					ppos[i] = 0.0 - ppos[i];
+					pvel[i] = 0.0 - pvel[i];
+					reflections = reflections + 1;
+					if (ppos[i] >= 256.0) { ppos[i] = 255.0; }
+				}
+			} else if (ppos[i] >= 256.0) {
+				ppos[i] = ppos[i] - 256.0;
+				wraps = wraps + 1;
+				if (ppos[i] >= 256.0) {
+					ppos[i] = 511.9 - ppos[i];
+					pvel[i] = 0.0 - pvel[i];
+					reflections = reflections + 1;
+					if (ppos[i] < 0.0) { ppos[i] = 0.0; }
+				}
+			}
+			energy = energy + pvel[i] * pvel[i];
+		}
+		// Deposit phase.
+		for (i = 0; i < 256; i = i + 1) { charge[i] = 0.0; }
+		for (i = 0; i < nparts; i = i + 1) {
+			int cell;
+			cell = (int) ppos[i];
+			if (cell >= 0 && cell < 256) {
+				charge[cell] = charge[cell] + 1.0;
+			}
+		}
+		// Field solve: smooth charge into field.
+		for (i = 1; i < 255; i = i + 1) {
+			field[i] = field[i] * 0.98
+			         + (charge[i - 1] - 2.0 * charge[i] + charge[i + 1]) * 0.001;
+			// Field clamp: rare.
+			field[i] = lib_clampf(field[i], 0.0 - 2.0, 2.0);
+		}
+		// Diagnostic: peak field magnitude via the shared kernel.
+		if (lib_vecmax(&field[0], 256) > 1.9) {
+			reflections = reflections + 0; // saturated field: no-op path
+		}
+	}
+	__printf(energy);
+	__print(wraps);
+	__print(reflections);
+	return 0;
+}
+`})
+}

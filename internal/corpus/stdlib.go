@@ -1,0 +1,323 @@
+package corpus
+
+// StdlibSource is the MinC runtime library linked into every corpus
+// program, playing the role of libc/libm/libFutil in the paper's traces:
+// "These library routines are part of the native operating system, and not
+// part of the distributed benchmark suite." Branches inside these routines
+// appear in every binary with similar dynamic behaviour across programs —
+// the effect the paper calls out when proposing a library-subroutine
+// feature — so the evidence-based predictor can learn them from the corpus
+// while the fixed heuristics treat each occurrence in isolation.
+//
+// Every function is prefixed lib_. Programs may not redefine these names.
+const StdlibSource = `
+// ---- integer math ----------------------------------------------------------
+
+int lib_abs(int x) {
+	if (x < 0) { return 0 - x; }
+	return x;
+}
+
+int lib_sign(int x) {
+	if (x < 0) { return 0 - 1; }
+	if (x > 0) { return 1; }
+	return 0;
+}
+
+int lib_max(int a, int b) {
+	if (a > b) { return a; }
+	return b;
+}
+
+int lib_min(int a, int b) {
+	if (a < b) { return a; }
+	return b;
+}
+
+int lib_clamp(int x, int lo, int hi) {
+	if (x < lo) { return lo; }
+	if (x > hi) { return hi; }
+	return x;
+}
+
+// lib_wrap folds an index into [0, n); callers keep indices nearly in
+// range, so both tests usually fail.
+int lib_wrap(int i, int n) {
+	if (n <= 0) { return 0; }
+	while (i >= n) { i = i - n; }
+	while (i < 0) { i = i + n; }
+	return i;
+}
+
+int lib_gcd(int a, int b) {
+	a = lib_abs(a);
+	b = lib_abs(b);
+	while (b != 0) {
+		int t;
+		t = a % b;
+		a = b;
+		b = t;
+	}
+	return a;
+}
+
+// lib_isqrt computes the integer square root by Newton iteration.
+int lib_isqrt(int x) {
+	int r;
+	int prev;
+	if (x <= 0) { return 0; }
+	r = x;
+	prev = 0;
+	while (r != prev) {
+		prev = r;
+		r = (r + x / r) / 2;
+	}
+	return r;
+}
+
+int lib_ipow(int base, int exp) {
+	int r;
+	r = 1;
+	while (exp > 0) {
+		if (exp % 2 == 1) { r = r * base; }
+		base = base * base;
+		exp = exp / 2;
+	}
+	return r;
+}
+
+int lib_log2i(int x) {
+	int l;
+	l = 0;
+	while (x > 1) {
+		x = x / 2;
+		l = l + 1;
+	}
+	return l;
+}
+
+int lib_bitcount(int v) {
+	int c;
+	c = 0;
+	if (v < 0) { v = 0 - v; }
+	while (v != 0) {
+		if (v % 2 == 1) { c = c + 1; }
+		v = v / 2;
+	}
+	return c;
+}
+
+int lib_median3(int a, int b, int c) {
+	if (a > b) {
+		int t;
+		t = a;
+		a = b;
+		b = t;
+	}
+	if (b > c) { b = c; }
+	if (a > b) { return a; }
+	return b;
+}
+
+// ---- float math ------------------------------------------------------------
+
+float lib_absf(float x) {
+	if (x < 0.0) { return 0.0 - x; }
+	return x;
+}
+
+float lib_maxf(float a, float b) {
+	if (a > b) { return a; }
+	return b;
+}
+
+float lib_minf(float a, float b) {
+	if (a < b) { return a; }
+	return b;
+}
+
+float lib_clampf(float x, float lo, float hi) {
+	if (x < lo) { return lo; }
+	if (x > hi) { return hi; }
+	return x;
+}
+
+// lib_lerp interpolates with a clamped parameter.
+float lib_lerp(float a, float b, float t) {
+	if (t < 0.0) { t = 0.0; }
+	if (t > 1.0) { t = 1.0; }
+	return a + (b - a) * t;
+}
+
+// lib_sqrtf: Newton iterations with a convergence test that exits early.
+float lib_sqrtf(float x) {
+	float r;
+	float prev;
+	int iter;
+	if (x <= 0.0) { return 0.0; }
+	r = x;
+	if (r > 1.0) { r = r * 0.5; }
+	prev = 0.0;
+	iter = 0;
+	while (iter < 20) {
+		prev = r;
+		r = 0.5 * (r + x / r);
+		float d;
+		d = r - prev;
+		if (d < 0.0) { d = 0.0 - d; }
+		if (d < 0.000001) { return r; }
+		iter = iter + 1;
+	}
+	return r;
+}
+
+// ---- hashing and formatting -------------------------------------------------
+
+// lib_hash mixes an integer key; the negative-fold branch almost never
+// fires because callers hash non-negative values.
+int lib_hash(int x) {
+	int h;
+	h = x * 2654435761 % 1000003;
+	if (h < 0) { h = h + 1000003; }
+	return h;
+}
+
+int lib_hash2(int a, int b) {
+	return lib_hash(a * 31 + b);
+}
+
+// lib_fmtint returns the width of the decimal rendering (sign included),
+// like the inner loop of printf's %d.
+int lib_fmtint(int v) {
+	int w;
+	w = 0;
+	if (v < 0) {
+		w = 1;
+		v = 0 - v;
+	}
+	if (v == 0) { return w + 1; }
+	while (v > 0) {
+		v = v / 10;
+		w = w + 1;
+	}
+	return w;
+}
+
+// lib_report formats and emits a value; the standard output path of every
+// corpus program.
+void lib_report(int v) {
+	int w;
+	w = lib_fmtint(v);
+	if (w > 18) { w = 18; }
+	__print(v);
+}
+
+// lib_reportf emits a float, flushing denormal-scale noise to zero.
+void lib_reportf(float v) {
+	float a;
+	a = lib_absf(v);
+	if (a < 0.000000000001) {
+		__printf(0.0);
+	} else {
+		__printf(v);
+	}
+}
+
+// ---- array utilities --------------------------------------------------------
+
+void lib_memset(int* p, int v, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		p[i] = v;
+	}
+}
+
+void lib_memcpy(int* dst, int* src, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		dst[i] = src[i];
+	}
+}
+
+// lib_memcmp compares two buffers, exiting at the first difference.
+int lib_memcmp(int* a, int* b, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		if (a[i] != b[i]) {
+			if (a[i] < b[i]) { return 0 - 1; }
+			return 1;
+		}
+	}
+	return 0;
+}
+
+int lib_sum(int* p, int n) {
+	int s;
+	int i;
+	s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		s = s + p[i];
+	}
+	return s;
+}
+
+int lib_maxidx(int* p, int n) {
+	int best;
+	int i;
+	best = 0;
+	for (i = 1; i < n; i = i + 1) {
+		if (p[i] > p[best]) { best = i; }
+	}
+	return best;
+}
+
+// lib_bsearch over a sorted array; returns the index or -1.
+int lib_bsearch(int* p, int n, int key) {
+	int lo;
+	int hi;
+	lo = 0;
+	hi = n - 1;
+	while (lo <= hi) {
+		int mid;
+		mid = (lo + hi) / 2;
+		if (p[mid] == key) { return mid; }
+		if (p[mid] < key) {
+			lo = mid + 1;
+		} else {
+			hi = mid - 1;
+		}
+	}
+	return 0 - 1;
+}
+
+// lib_sortsmall: insertion sort for small runs (qsort's base case).
+void lib_sortsmall(int* p, int n) {
+	int i;
+	for (i = 1; i < n; i = i + 1) {
+		int v;
+		int j;
+		v = p[i];
+		j = i - 1;
+		while (j >= 0 && p[j] > v) {
+			p[j + 1] = p[j];
+			j = j - 1;
+		}
+		p[j + 1] = v;
+	}
+}
+
+// lib_checksum folds a buffer into one value (Adler-ish).
+int lib_checksum(int* p, int n) {
+	int a;
+	int b;
+	int i;
+	a = 1;
+	b = 0;
+	for (i = 0; i < n; i = i + 1) {
+		a = (a + lib_abs(p[i])) % 65521;
+		b = (b + a) % 65521;
+		if (b < 0) { b = b + 65521; }
+	}
+	return b * 65536 + a;
+}
+`

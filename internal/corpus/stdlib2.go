@@ -1,0 +1,302 @@
+package corpus
+
+// Stdlib2Source is the second half of the linked runtime: the libm/libutil
+// analog (sorting, heaps, hash tables, string-ish buffers, vector math,
+// run-length coding, sampling). Like StdlibSource it is linked into every
+// corpus binary, so its branch sites appear in every program's static site
+// count — exactly as the paper's statically-linked OS libraries did — and
+// the programs that call it on warm paths give the corpus shared dynamic
+// behaviour for ESP to learn.
+const Stdlib2Source = `
+// ---- sorting and selection --------------------------------------------------
+
+// lib_qsort: quicksort with median-of-three pivots and an insertion-sort
+// cutoff for small runs, like every libc qsort.
+void lib_qsort(int* a, int lo, int hi) {
+	while (hi - lo >= 12) {
+		int pivot;
+		int i;
+		int j;
+		pivot = lib_median3(a[lo], a[(lo + hi) / 2], a[hi]);
+		i = lo;
+		j = hi;
+		while (i <= j) {
+			while (a[i] < pivot) { i = i + 1; }
+			while (a[j] > pivot) { j = j - 1; }
+			if (i <= j) {
+				int t;
+				t = a[i];
+				a[i] = a[j];
+				a[j] = t;
+				i = i + 1;
+				j = j - 1;
+			}
+		}
+		// Recurse on the smaller side, loop on the larger (bounded stack).
+		if (j - lo < hi - i) {
+			lib_qsort(a, lo, j);
+			lo = i;
+		} else {
+			lib_qsort(a, i, hi);
+			hi = j;
+		}
+	}
+	lib_sortsmall(&a[lo], hi - lo + 1);
+}
+
+// lib_select returns the k-th smallest element (destructive quickselect).
+int lib_select(int* a, int n, int k) {
+	int lo;
+	int hi;
+	if (n <= 0) { return 0; }
+	k = lib_clamp(k, 0, n - 1);
+	lo = 0;
+	hi = n - 1;
+	while (lo < hi) {
+		int pivot;
+		int i;
+		int j;
+		pivot = lib_median3(a[lo], a[(lo + hi) / 2], a[hi]);
+		i = lo;
+		j = hi;
+		while (i <= j) {
+			while (a[i] < pivot) { i = i + 1; }
+			while (a[j] > pivot) { j = j - 1; }
+			if (i <= j) {
+				int t;
+				t = a[i];
+				a[i] = a[j];
+				a[j] = t;
+				i = i + 1;
+				j = j - 1;
+			}
+		}
+		if (k <= j) {
+			hi = j;
+		} else if (k >= i) {
+			lo = i;
+		} else {
+			return a[k];
+		}
+	}
+	return a[k];
+}
+
+// ---- binary heap ------------------------------------------------------------
+
+// lib_heappush inserts v into a min-heap of n elements; returns n + 1.
+int lib_heappush(int* h, int n, int v) {
+	int i;
+	h[n] = v;
+	i = n;
+	while (i > 0) {
+		int parent;
+		parent = (i - 1) / 2;
+		if (h[parent] <= h[i]) { break; }
+		int t;
+		t = h[parent];
+		h[parent] = h[i];
+		h[i] = t;
+		i = parent;
+	}
+	return n + 1;
+}
+
+// lib_heappop removes the minimum of an n-element min-heap; returns it.
+// The heap size becomes n - 1.
+int lib_heappop(int* h, int n) {
+	int top;
+	int i;
+	if (n <= 0) { return 0; }
+	top = h[0];
+	h[0] = h[n - 1];
+	n = n - 1;
+	i = 0;
+	while (1) {
+		int l;
+		int r;
+		int m;
+		l = 2 * i + 1;
+		r = 2 * i + 2;
+		m = i;
+		if (l < n && h[l] < h[m]) { m = l; }
+		if (r < n && h[r] < h[m]) { m = r; }
+		if (m == i) { break; }
+		int t;
+		t = h[i];
+		h[i] = h[m];
+		h[m] = t;
+		i = m;
+	}
+	return top;
+}
+
+// ---- open-addressing hash table ----------------------------------------------
+
+// The table stores key/value pairs in caller-provided parallel arrays of
+// capacity cap; empty slots hold key -1. Linear probing.
+
+int lib_htput(int* keys, int* vals, int cap, int key, int val) {
+	int h;
+	int probes;
+	h = lib_hash(key) % cap;
+	probes = 0;
+	while (probes < cap) {
+		if (keys[h] == -1 || keys[h] == key) {
+			keys[h] = key;
+			vals[h] = val;
+			return 1;
+		}
+		h = h + 1;
+		if (h >= cap) { h = 0; }
+		probes = probes + 1;
+	}
+	return 0; // table full
+}
+
+int lib_htget(int* keys, int* vals, int cap, int key, int missing) {
+	int h;
+	int probes;
+	h = lib_hash(key) % cap;
+	probes = 0;
+	while (probes < cap) {
+		if (keys[h] == -1) { return missing; }
+		if (keys[h] == key) { return vals[h]; }
+		h = h + 1;
+		if (h >= cap) { h = 0; }
+		probes = probes + 1;
+	}
+	return missing;
+}
+
+// ---- buffers (sentinel-terminated "strings") ---------------------------------
+
+int lib_strlen(int* s) {
+	int n;
+	n = 0;
+	while (s[n] != 0) { n = n + 1; }
+	return n;
+}
+
+// lib_strcmp compares sentinel-terminated buffers like C strcmp.
+int lib_strcmp(int* a, int* b) {
+	int i;
+	i = 0;
+	while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+	return lib_sign(a[i] - b[i]);
+}
+
+// lib_strchr returns the index of c in s, or -1.
+int lib_strchr(int* s, int c) {
+	int i;
+	i = 0;
+	while (s[i] != 0) {
+		if (s[i] == c) { return i; }
+		i = i + 1;
+	}
+	return 0 - 1;
+}
+
+// ---- run-length coding --------------------------------------------------------
+
+// lib_rle encodes src[0..n) as (value, runLength) pairs into dst; returns
+// the number of pairs. dst must have room for 2*n.
+int lib_rle(int* src, int n, int* dst) {
+	int i;
+	int pairs;
+	i = 0;
+	pairs = 0;
+	while (i < n) {
+		int v;
+		int run;
+		v = src[i];
+		run = 1;
+		while (i + run < n && src[i + run] == v && run < 255) {
+			run = run + 1;
+		}
+		dst[pairs * 2] = v;
+		dst[pairs * 2 + 1] = run;
+		pairs = pairs + 1;
+		i = i + run;
+	}
+	return pairs;
+}
+
+// ---- float vector kernels -----------------------------------------------------
+
+float lib_vecdot(float* a, float* b, int n) {
+	float s;
+	int i;
+	s = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		s = s + a[i] * b[i];
+	}
+	return s;
+}
+
+float lib_vecnorm(float* a, int n) {
+	return lib_sqrtf(lib_vecdot(a, a, n));
+}
+
+// lib_vecmax returns the maximum absolute element (the BLAS iamax value).
+float lib_vecmax(float* a, int n) {
+	float m;
+	int i;
+	m = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		m = lib_maxf(m, lib_absf(a[i]));
+	}
+	return m;
+}
+
+// lib_polyeval evaluates a polynomial by Horner's rule.
+float lib_polyeval(float* coef, int n, float x) {
+	float acc;
+	int i;
+	acc = 0.0;
+	for (i = n - 1; i >= 0; i = i - 1) {
+		acc = acc * x + coef[i];
+	}
+	return acc;
+}
+
+// lib_expf: truncated series with a convergence exit, libm style.
+float lib_expf(float x) {
+	float term;
+	float sum;
+	int i;
+	x = lib_clampf(x, 0.0 - 8.0, 8.0);
+	term = 1.0;
+	sum = 1.0;
+	for (i = 1; i < 30; i = i + 1) {
+		term = term * x / (float) i;
+		sum = sum + term;
+		if (lib_absf(term) < 0.0000001) { break; }
+	}
+	return sum;
+}
+
+// ---- sampling -----------------------------------------------------------------
+
+// lib_randrange returns a uniform value in [lo, hi) by rejection, the
+// unbiased libc idiom: the rejection branch is almost never taken.
+int lib_randrange(int lo, int hi) {
+	int span;
+	int limit;
+	int v;
+	span = hi - lo;
+	if (span <= 0) { return lo; }
+	limit = (2147483647 / span) * span;
+	v = __rand();
+	while (v >= limit) {
+		v = __rand();
+	}
+	return lo + v % span;
+}
+
+// lib_randbiased returns 1 with probability pct/100.
+int lib_randbiased(int pct) {
+	if (__rand() % 100 < pct) { return 1; }
+	return 0;
+}
+`

@@ -1,0 +1,207 @@
+package dtree
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/features"
+)
+
+// ex builds an example with one feature set and the rest empty.
+func ex(f int, val string, takenW, notW float64) Example {
+	var e Example
+	for i := range e.Values {
+		e.Values[i] = "-"
+	}
+	e.Values[f] = val
+	e.TakenW = takenW
+	e.NotW = notW
+	return e
+}
+
+func TestEntropy(t *testing.T) {
+	if e := entropy(1, 1); math.Abs(e-math.Log(2)) > 1e-12 {
+		t.Errorf("entropy(1,1) = %g, want ln 2", e)
+	}
+	if e := entropy(1, 0); e != 0 {
+		t.Errorf("entropy(1,0) = %g, want 0", e)
+	}
+	if e := entropy(0, 0); e != 0 {
+		t.Errorf("entropy(0,0) = %g, want 0", e)
+	}
+}
+
+func TestBuildSeparable(t *testing.T) {
+	// Feature 0 separates perfectly: "T" always taken, "N" never.
+	var exs []Example
+	for i := 0; i < 10; i++ {
+		exs = append(exs, ex(0, "T", 1, 0))
+		exs = append(exs, ex(0, "N", 0, 1))
+	}
+	tree := Build(exs, Config{})
+	if tree.Root.Feature != 0 {
+		t.Fatalf("root splits on %d, want 0", tree.Root.Feature)
+	}
+	var tv, nv [features.NumFeatures]string
+	for i := range tv {
+		tv[i], nv[i] = "-", "-"
+	}
+	tv[0], nv[0] = "T", "N"
+	if p := tree.Predict(tv); p <= 0.99 {
+		t.Errorf("P(taken | T) = %g", p)
+	}
+	if p := tree.Predict(nv); p >= 0.01 {
+		t.Errorf("P(taken | N) = %g", p)
+	}
+}
+
+func TestPredictUnseenFallsBack(t *testing.T) {
+	exs := []Example{ex(0, "A", 3, 1), ex(0, "B", 0, 4)}
+	tree := Build(exs, Config{})
+	var v [features.NumFeatures]string
+	for i := range v {
+		v[i] = "-"
+	}
+	v[0] = "ZZZ" // never seen: root's own distribution must answer
+	want := 3.0 / 8.0
+	if p := tree.Predict(v); math.Abs(p-want) > 1e-12 {
+		t.Errorf("fallback probability = %g, want %g", p, want)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	// Data where every feature splits a little: the tree must respect
+	// MaxDepth.
+	var exs []Example
+	for i := 0; i < 64; i++ {
+		var e Example
+		for f := 0; f < features.NumFeatures; f++ {
+			if i&(1<<(f%6)) != 0 {
+				e.Values[f] = "x"
+			} else {
+				e.Values[f] = "y"
+			}
+		}
+		// Target = AND of two feature bits: each feature has positive
+		// marginal gain, and full purity needs two levels of splits.
+		if i&1 == 1 && (i>>1)&1 == 1 {
+			e.TakenW = 1
+		} else {
+			e.NotW = 1
+		}
+		exs = append(exs, e)
+	}
+	tree := Build(exs, Config{MaxDepth: 3})
+	if d := tree.Depth(); d > 4 { // root + 3 levels
+		t.Errorf("depth = %d exceeds limit", d)
+	}
+	if tree.Size() < 2 {
+		t.Error("tree did not split at all")
+	}
+}
+
+func TestNoSplitOnPure(t *testing.T) {
+	exs := []Example{ex(0, "A", 1, 0), ex(0, "B", 2, 0)}
+	tree := Build(exs, Config{})
+	if tree.Root.Feature != -1 {
+		t.Error("pure data must yield a leaf")
+	}
+	if tree.Root.ProbTaken != 1 {
+		t.Errorf("leaf probability = %g", tree.Root.ProbTaken)
+	}
+}
+
+func TestRules(t *testing.T) {
+	exs := []Example{ex(1, "LB", 10, 1), ex(1, "NLB", 1, 10)}
+	tree := Build(exs, Config{})
+	rules := tree.Rules()
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules: %v", len(rules), rules)
+	}
+	joined := strings.Join(rules, "\n")
+	if !strings.Contains(joined, features.Name(1)+"=LB") {
+		t.Errorf("rules missing the split condition:\n%s", joined)
+	}
+	if !strings.Contains(joined, "predict taken") || !strings.Contains(joined, "predict not-taken") {
+		t.Errorf("rules missing predictions:\n%s", joined)
+	}
+}
+
+func TestSerializationRoundtrip(t *testing.T) {
+	exs := []Example{ex(0, "A", 3, 1), ex(0, "B", 0, 4), ex(2, "C", 1, 1)}
+	tree := Build(exs, Config{})
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	var v [features.NumFeatures]string
+	v[0] = "A"
+	if tree.Predict(v) != back.Predict(v) {
+		t.Error("serialized tree predicts differently")
+	}
+}
+
+// TestPredictBounded: predictions are probabilities for any weighted data.
+func TestPredictBounded(t *testing.T) {
+	f := func(weights [8]float64, vals [8]uint8) bool {
+		var exs []Example
+		for i := 0; i < 8; i++ {
+			w := math.Abs(weights[i])
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 1
+			}
+			w = math.Mod(w, 100)
+			e := ex(int(vals[i])%4, string(rune('A'+vals[i]%3)), w, math.Mod(w*1.7, 50))
+			exs = append(exs, e)
+		}
+		tree := Build(exs, Config{})
+		var v [features.NumFeatures]string
+		for i := range v {
+			v[i] = "-"
+		}
+		v[0] = "A"
+		p := tree.Predict(v)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureNotReusedOnPath(t *testing.T) {
+	// With a single informative feature, the tree must not split on it
+	// twice along one path (used-feature tracking).
+	var exs []Example
+	for i := 0; i < 20; i++ {
+		val := "A"
+		taken := 1.0
+		if i%2 == 0 {
+			val, taken = "B", 0
+		}
+		e := ex(0, val, taken, 1-taken)
+		exs = append(exs, e)
+	}
+	tree := Build(exs, Config{})
+	var walk func(n *Node, seen map[int]bool)
+	walk = func(n *Node, seen map[int]bool) {
+		if n.Feature < 0 {
+			return
+		}
+		if seen[n.Feature] {
+			t.Fatalf("feature %d reused on a path", n.Feature)
+		}
+		seen[n.Feature] = true
+		for _, c := range n.Children {
+			walk(c, seen)
+		}
+		delete(seen, n.Feature)
+	}
+	walk(tree.Root, map[int]bool{})
+}

@@ -1,0 +1,88 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Tables 1-7, Figures 1-2, the Section 3.1.2 Scheme
+// study, and the corpus-size observation of Section 3.1.2), plus the
+// ablation studies listed in DESIGN.md. Each driver returns the rendered
+// table and a structured result that the benchmarks and tests assert on.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+// Context caches compiled programs, profiles, and feature extraction per
+// (program, target) so the table drivers can share work. It is safe for
+// concurrent use.
+type Context struct {
+	mu   sync.Mutex
+	data map[string]*entryState
+}
+
+type entryState struct {
+	once sync.Once
+	pd   *core.ProgramData
+	err  error
+}
+
+// NewContext returns an empty cache.
+func NewContext() *Context {
+	return &Context{data: make(map[string]*entryState)}
+}
+
+// Data compiles, profiles, and analyzes one corpus entry under a target,
+// caching the result.
+func (c *Context) Data(e corpus.Entry, tgt codegen.Target) (*core.ProgramData, error) {
+	key := e.Name + "\x00" + tgt.Name
+	c.mu.Lock()
+	st := c.data[key]
+	if st == nil {
+		st = &entryState{}
+		c.data[key] = st
+	}
+	c.mu.Unlock()
+	st.once.Do(func() {
+		prog, err := e.Compile(tgt)
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.pd, st.err = core.Analyze(prog, e.Language, e.RunConfig())
+	})
+	return st.pd, st.err
+}
+
+// Batch analyzes a set of entries under one target, in parallel.
+func (c *Context) Batch(entries []corpus.Entry, tgt codegen.Target) ([]*core.ProgramData, error) {
+	out := make([]*core.ProgramData, len(entries))
+	errs := make([]error, len(entries))
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func(i int, e corpus.Entry) {
+			defer wg.Done()
+			out[i], errs[i] = c.Data(e, tgt)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", entries[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// StudyData analyzes the full 43-program study corpus under a target.
+func (c *Context) StudyData(tgt codegen.Target) ([]*core.ProgramData, error) {
+	return c.Batch(corpus.Study(), tgt)
+}
+
+// LanguageData analyzes one cross-validation language group.
+func (c *Context) LanguageData(lang ir.Language, tgt codegen.Target) ([]*core.ProgramData, error) {
+	return c.Batch(corpus.ByLanguage(lang), tgt)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/ir"
+	"repro/internal/stats"
+)
+
+// CorpusSizePoint is ESP's cross-validated miss rate with a corpus prefix
+// of the given size, against APHC on the same held-out programs.
+type CorpusSizePoint struct {
+	Programs int
+	ESP      float64
+	APHC     float64
+}
+
+// CorpusSizeResult reproduces the paper's corpus-size observation (Section
+// 3.1.2): with only 8 C programs ESP matched APHC/DSHC; growing the corpus
+// to all 23 C programs made ESP clearly better.
+type CorpusSizeResult struct {
+	Points []CorpusSizePoint
+}
+
+// CorpusSize cross-validates ESP within growing prefixes of the C group.
+func CorpusSize(ctx *Context, sizes []int, cfg core.Config) (*CorpusSizeResult, error) {
+	group, err := ctx.LanguageData(ir.LangC, codegen.Default)
+	if err != nil {
+		return nil, err
+	}
+	aphc := heuristics.NewAPHC()
+	res := &CorpusSizeResult{}
+	for _, size := range sizes {
+		if size < 2 || size > len(group) {
+			return nil, fmt.Errorf("experiments: corpus size %d out of range [2,%d]", size, len(group))
+		}
+		sub := group[:size]
+		folds := core.CrossValidate(sub, cfg)
+		var am float64
+		for i := range sub {
+			am += heuristics.MissRate(sub[i].Sites, sub[i].Profile, aphc)
+		}
+		res.Points = append(res.Points, CorpusSizePoint{
+			Programs: size,
+			ESP:      core.MeanMiss(folds),
+			APHC:     am / float64(size),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r *CorpusSizeResult) Render() string {
+	t := stats.NewTable("C Programs In Corpus", "ESP Miss", "APHC Miss")
+	for _, p := range r.Points {
+		t.Row(p.Programs, stats.Pct1(p.ESP), stats.Pct1(p.APHC))
+	}
+	return "Corpus-size study (Section 3.1.2): ESP vs APHC as the C corpus grows\n" + t.String()
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/neural"
+	"repro/internal/stats"
+)
+
+// Figure1 renders the branch-prediction network architecture (Figure 1).
+func Figure1(inputs, hidden int) string {
+	n := neural.New(neural.Config{Inputs: inputs, Hidden: hidden, Seed: 1})
+	return n.Describe()
+}
+
+// Figure2Edge is one control-flow edge of the hot fragment with its share
+// of all edge transitions.
+type Figure2Edge struct {
+	Edge       interp.EdgeRef
+	Count      int64
+	PctOfTotal float64
+	// Taken marks edges that correspond to a conditional branch being
+	// taken (the dotted edges of the paper's figure).
+	Taken bool
+}
+
+// Figure2Result reproduces Figure 2: the tomcatv code fragment that
+// contributes most of the program's branches, with per-edge transition
+// percentages.
+type Figure2Result struct {
+	Program string
+	// HotFunc is the function containing the fragment.
+	HotFunc string
+	// Edges lists the hottest control-flow edges, descending.
+	Edges []Figure2Edge
+	// TopBlockSharePct is the share of all edge transitions carried by the
+	// fragment's three hottest blocks (the paper: "most of the basic block
+	// transitions in that procedure involve three basic blocks").
+	TopBlockSharePct float64
+	// Fragment is the disassembled hot region.
+	Fragment string
+}
+
+// Figure2 profiles tomcatv with edge collection and extracts the hot
+// fragment.
+func Figure2(ctx *Context) (*Figure2Result, error) {
+	e, ok := corpus.ByName("tomcatv")
+	if !ok {
+		return nil, fmt.Errorf("experiments: corpus has no tomcatv")
+	}
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		return nil, err
+	}
+	cfgRun := e.RunConfig()
+	cfgRun.CollectEdges = true
+	prof, err := interp.Run(prog, cfgRun)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, c := range prof.Edges {
+		total += c
+	}
+	edges := make([]Figure2Edge, 0, len(prof.Edges))
+	for ref, c := range prof.Edges {
+		edges = append(edges, Figure2Edge{Edge: ref, Count: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Count != edges[j].Count {
+			return edges[i].Count > edges[j].Count
+		}
+		if edges[i].Edge.From != edges[j].Edge.From {
+			return edges[i].Edge.From < edges[j].Edge.From
+		}
+		return edges[i].Edge.To < edges[j].Edge.To
+	})
+	res := &Figure2Result{Program: e.Name}
+	fn := prog.FuncByName("main")
+	res.HotFunc = fn.Name
+	blockShare := make(map[int]int64)
+	for i := range edges {
+		edges[i].PctOfTotal = 100 * float64(edges[i].Count) / float64(total)
+		if b := fn.BlockByID(edges[i].Edge.From); b != nil {
+			if br := b.Branch(); br != nil && br.Target == edges[i].Edge.To {
+				edges[i].Taken = true
+			}
+		}
+		blockShare[edges[i].Edge.From] += edges[i].Count
+	}
+	if len(edges) > 12 {
+		edges = edges[:12]
+	}
+	res.Edges = edges
+	// Share carried by the three hottest source blocks.
+	type bs struct {
+		id int
+		c  int64
+	}
+	var shares []bs
+	for id, c := range blockShare {
+		shares = append(shares, bs{id, c})
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].c != shares[j].c {
+			return shares[i].c > shares[j].c
+		}
+		return shares[i].id < shares[j].id
+	})
+	var top3 int64
+	hot := map[int]bool{}
+	for i := 0; i < 3 && i < len(shares); i++ {
+		top3 += shares[i].c
+		hot[shares[i].id] = true
+	}
+	res.TopBlockSharePct = 100 * float64(top3) / float64(total)
+	res.Fragment = disassembleBlocks(fn, hot)
+	return res, nil
+}
+
+func disassembleBlocks(fn *ir.Func, ids map[int]bool) string {
+	var sb strings.Builder
+	for _, b := range fn.Blocks {
+		if !ids[b.ID] {
+			continue
+		}
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for i := range b.Insns {
+			fmt.Fprintf(&sb, "\t%s\n", b.Insns[i].String())
+		}
+	}
+	return sb.String()
+}
+
+// Render formats the figure as text.
+func (r *Figure2Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 2: hot fragment of %s (procedure %s)\n", r.Program, r.HotFunc)
+	fmt.Fprintf(&sb, "three hottest blocks carry %.1f%% of all edge transitions\n\n", r.TopBlockSharePct)
+	t := stats.NewTable("Edge", "Transitions", "% Of All Edges", "Kind")
+	for _, e := range r.Edges {
+		kind := "fall-through"
+		if e.Taken {
+			kind = "taken"
+		}
+		t.Row(fmt.Sprintf("%s: b%d->b%d", e.Edge.Func, e.Edge.From, e.Edge.To),
+			e.Count, fmt.Sprintf("%.1f", e.PctOfTotal), kind)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nhot fragment disassembly (FABS/compare/branch kernel):\n")
+	sb.WriteString(r.Fragment)
+	return sb.String()
+}

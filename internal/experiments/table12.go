@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/features"
+	"repro/internal/heuristics"
+	"repro/internal/stats"
+)
+
+// Table1 renders the Ball/Larus heuristic summary (Table 1 of the paper) as
+// implemented by this reproduction, including the Call-polarity note.
+func Table1() string {
+	t := stats.NewTable("Heuristic", "Description")
+	rows := []struct{ name, desc string }{
+		{"Loop Branch", "predict the edge back to the loop's head taken; the edge exiting the loop not taken"},
+		{"Pointer", "a comparison of a pointer against null or of two pointers is predicted false"},
+		{"Opcode", "integer tests 'x < 0', 'x <= 0', 'x == constant' are predicted false"},
+		{"Guard", "a successor that uses the branch's operand before defining it and does not post-dominate is predicted"},
+		{"Loop Exit", "inside a loop, with no successor a loop head, the loop-exiting edge is predicted not taken"},
+		{"Loop Header", "a successor that is a loop header or pre-header and does not post-dominate is predicted taken"},
+		{"Call", "a successor containing a call that does not post-dominate is predicted not taken (Ball/Larus polarity; the paper's OCR-damaged Table 1 prints 'taken' — see Config.CallPredictsTaken)"},
+		{"Store", "a successor containing a (non-stack) store that does not post-dominate is predicted not taken"},
+		{"Return", "a successor containing a return is predicted not taken"},
+	}
+	for _, r := range rows {
+		t.Row(r.name, r.desc)
+	}
+	return "Table 1: summary of the Ball/Larus heuristics\n" + t.String()
+}
+
+// Table2 renders the static feature set (Table 2 of the paper) with the
+// values this implementation produces.
+func Table2() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: static feature set used by ESP\n")
+	t := stats.NewTable("#", "Feature", "Values")
+	domains := []string{
+		"conditional branch opcodes (beq, bne, blt, ..., fbne, beq2, ...)",
+		"F forward, B backward",
+		"opcode defining the tested register, or ? if defined in a previous block",
+		"opcode defining that instruction's first operand, or ?",
+		"opcode defining its second operand, IMM for immediates, or ?",
+		"LH loop header, NLH not",
+		"C, FORT, SCHEME",
+		"Leaf, NonLeaf, CallSelf",
+	}
+	succ := []string{
+		"D dominates / ND",
+		"PD post-dominates / NPD",
+		"FT, CBR, UBR, BSR, JUMP, IJUMP, JSR, IJSR, RETURN, NOTHING",
+		"LH reaches a loop header unconditionally / NLH",
+		"LB back edge / NLB",
+		"LE loop exit edge / NLE",
+		"UBD uses branch variable before defining it / NU",
+		"PC reaches a procedure call unconditionally / NPC",
+	}
+	for i := 0; i < 8; i++ {
+		t.Row(i+1, features.Name(i), domains[i])
+	}
+	for i := 0; i < 8; i++ {
+		t.Row(i+9, features.Name(8+i), "taken successor: "+succ[i])
+	}
+	for i := 0; i < 8; i++ {
+		t.Row(i+17, features.Name(16+i), "not-taken successor: "+succ[i])
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// heuristicOrderString names the default APHC order.
+func heuristicOrderString() string {
+	names := make([]string, len(heuristics.DefaultOrder))
+	for i, h := range heuristics.DefaultOrder {
+		names[i] = h.String()
+	}
+	return fmt.Sprintf("APHC order: %s", strings.Join(names, " > "))
+}

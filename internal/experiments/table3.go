@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+// Table3Row is one program's measured attributes (Table 3 of the paper).
+type Table3Row struct {
+	Program   string
+	Suite     corpus.Suite
+	Insns     int64
+	PctCond   float64
+	PctTaken  float64
+	Quantiles []int // Q-50, Q-75, Q-90, Q-95, Q-99, Q-100
+	Static    int
+}
+
+// Table3Result is the full table.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3Percents are the quantile levels of Table 3.
+var Table3Percents = []float64{50, 75, 90, 95, 99, 100}
+
+// Table3 measures the attributes of every traced program.
+func Table3(ctx *Context) (*Table3Result, error) {
+	data, err := ctx.StudyData(codegen.Default)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{}
+	entries := corpus.Study()
+	for i, pd := range data {
+		prof := pd.Profile
+		res.Rows = append(res.Rows, Table3Row{
+			Program:   pd.Name,
+			Suite:     entries[i].Suite,
+			Insns:     prof.Insns,
+			PctCond:   prof.PercentCondBranches(),
+			PctTaken:  prof.PercentTaken(),
+			Quantiles: prof.Quantiles(Table3Percents),
+			Static:    prof.StaticSites(),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the table in the paper's layout.
+func (r *Table3Result) Render() string {
+	t := stats.NewTable("Program", "# Insns Traced", "% Cond Branches", "% Taken",
+		"Q-50", "Q-75", "Q-90", "Q-95", "Q-99", "Q-100", "Static")
+	var lastSuite corpus.Suite
+	for i, row := range r.Rows {
+		if i > 0 && row.Suite != lastSuite {
+			t.Separator()
+		}
+		lastSuite = row.Suite
+		t.Row(row.Program, row.Insns,
+			fmt.Sprintf("%.2f", row.PctCond), fmt.Sprintf("%.2f", row.PctTaken),
+			row.Quantiles[0], row.Quantiles[1], row.Quantiles[2],
+			row.Quantiles[3], row.Quantiles[4], row.Quantiles[5], row.Static)
+	}
+	return "Table 3: measured attributes of the traced programs\n" + t.String()
+}
+
+// dataByName indexes analysis results by program name.
+func dataByName(data []*core.ProgramData) map[string]*core.ProgramData {
+	out := make(map[string]*core.ProgramData, len(data))
+	for _, pd := range data {
+		out[pd.Name] = pd
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Encoder turns categorical feature vectors into the neural network's
+// numeric inputs: each (feature, value) pair becomes a one-hot input column,
+// every column is normalized to zero mean and unit standard deviation over
+// the training corpus (Section 3.1.1), and an Unknown ("?") dependent
+// feature contributes zero activity to all of its columns after
+// normalization — the paper's gating of nonmeaningful dependent features.
+type Encoder struct {
+	// Vocab lists the known values per feature, sorted.
+	Vocab [NumFeatures][]string
+	// Offsets locates each feature's first column.
+	Offsets [NumFeatures]int
+	// Dim is the total input dimension.
+	Dim int
+	// Mean and Std hold the per-column normalization statistics.
+	Mean []float64
+	Std  []float64
+
+	index [NumFeatures]map[string]int
+}
+
+// NewEncoder builds the vocabulary and normalization statistics from a
+// training set of feature vectors.
+func NewEncoder(train []Vector) *Encoder {
+	e := &Encoder{}
+	var seen [NumFeatures]map[string]bool
+	for f := 0; f < NumFeatures; f++ {
+		seen[f] = make(map[string]bool)
+	}
+	for _, v := range train {
+		for f, val := range v.Values {
+			if val != Unknown && val != "" {
+				seen[f][val] = true
+			}
+		}
+	}
+	dim := 0
+	for f := 0; f < NumFeatures; f++ {
+		vals := make([]string, 0, len(seen[f]))
+		for val := range seen[f] {
+			vals = append(vals, val)
+		}
+		sort.Strings(vals)
+		e.Vocab[f] = vals
+		e.Offsets[f] = dim
+		e.index[f] = make(map[string]int, len(vals))
+		for i, val := range vals {
+			e.index[f][val] = dim + i
+		}
+		dim += len(vals)
+	}
+	e.Dim = dim
+	e.Mean = make([]float64, dim)
+	e.Std = make([]float64, dim)
+	if len(train) == 0 {
+		for i := range e.Std {
+			e.Std[i] = 1
+		}
+		return e
+	}
+	raw := make([]float64, dim)
+	counts := make([]float64, dim)
+	for _, v := range train {
+		e.rawOneHot(v, raw)
+		for i, x := range raw {
+			counts[i] += x
+		}
+	}
+	n := float64(len(train))
+	for i := range e.Mean {
+		p := counts[i] / n
+		e.Mean[i] = p
+		// One-hot columns are Bernoulli(p): std = sqrt(p(1-p)).
+		s := math.Sqrt(p * (1 - p))
+		if s < 1e-9 {
+			s = 0 // constant column: encode as zero activity always
+		}
+		e.Std[i] = s
+	}
+	return e
+}
+
+// Rebuild reconstructs the internal value-to-column index after the encoder
+// has been deserialized (the index is derived state and is not serialized).
+func (e *Encoder) Rebuild() {
+	for f := 0; f < NumFeatures; f++ {
+		e.index[f] = make(map[string]int, len(e.Vocab[f]))
+		for i, val := range e.Vocab[f] {
+			e.index[f][val] = e.Offsets[f] + i
+		}
+	}
+}
+
+// rawOneHot writes the unnormalized 0/1 encoding into dst (length Dim).
+func (e *Encoder) rawOneHot(v Vector, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for f, val := range v.Values {
+		if val == Unknown || val == "" {
+			continue
+		}
+		if col, ok := e.index[f][val]; ok {
+			dst[col] = 1
+		}
+	}
+}
+
+// Encode writes the normalized input vector for v into dst, which must have
+// length Dim. Unknown dependent features yield zero activity across their
+// columns; unseen values (possible for programs outside the training corpus)
+// likewise contribute nothing.
+func (e *Encoder) Encode(v Vector, dst []float64) {
+	if len(dst) != e.Dim {
+		panic(fmt.Sprintf("features: Encode dst length %d, want %d", len(dst), e.Dim))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for f, val := range v.Values {
+		lo := e.Offsets[f]
+		hi := lo + len(e.Vocab[f])
+		if val == Unknown || val == "" {
+			// Gated: zero activity for the whole feature block.
+			continue
+		}
+		col, known := e.index[f][val]
+		for i := lo; i < hi; i++ {
+			if e.Std[i] == 0 {
+				dst[i] = 0
+				continue
+			}
+			x := 0.0
+			if known && i == col {
+				x = 1
+			}
+			dst[i] = (x - e.Mean[i]) / e.Std[i]
+		}
+	}
+}
+
+// EncodeAll encodes a batch into a freshly allocated matrix.
+func (e *Encoder) EncodeAll(vs []Vector) [][]float64 {
+	out := make([][]float64, len(vs))
+	backing := make([]float64, len(vs)*e.Dim)
+	for i, v := range vs {
+		out[i] = backing[i*e.Dim : (i+1)*e.Dim]
+		e.Encode(v, out[i])
+	}
+	return out
+}
+
+// Mask reports, per input column, whether the column belongs to one of the
+// given feature indices; the feature-ablation experiments use it to zero
+// feature groups.
+func (e *Encoder) Mask(feats []int) []bool {
+	m := make([]bool, e.Dim)
+	for _, f := range feats {
+		lo := e.Offsets[f]
+		for i := 0; i < len(e.Vocab[f]); i++ {
+			m[lo+i] = true
+		}
+	}
+	return m
+}

@@ -1,0 +1,332 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// compile builds a MinC program for feature tests.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := minic.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(ast, ir.LangC, codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// siteIn finds the branch site inside the named function whose feature
+// vector satisfies pred (first match in site order).
+func siteIn(ps *ProgramSites, fn string) []*Site {
+	var out []*Site
+	for _, s := range ps.Sites {
+		if s.Ref.Func == fn {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestLoopFeatures(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 10; i = i + 1) { s = s + i; }
+	return s;
+}`)
+	ps := Collect(prog)
+	sites := siteIn(ps, "main")
+	if len(sites) != 2 {
+		t.Fatalf("expected guard + iteration branches, got %d sites", len(sites))
+	}
+	var backSite *Site
+	for _, s := range sites {
+		v := Of(s)
+		if v.Values[FTakenSuccBackedge] == "LB" {
+			backSite = s
+			if v.Values[FBrDirection] != "B" {
+				t.Error("back-edge branch must be backward")
+			}
+			if v.Values[FNotTakenSuccExit] != "LE" {
+				t.Error("the fall-through of the iteration branch exits the loop")
+			}
+		}
+	}
+	if backSite == nil {
+		t.Fatal("no branch with a taken back edge (loop inversion broken?)")
+	}
+}
+
+func TestLanguageAndProcedureFeatures(t *testing.T) {
+	prog := compile(t, `
+int leafFn(int x) { if (x > 0) { return 1; } return 0; }
+int selfFn(int x) { if (x > 0) { return selfFn(x - 1); } return 0; }
+int main() { return leafFn(3) + selfFn(2); }`)
+	ps := Collect(prog)
+	leaf := siteIn(ps, "leafFn")[0]
+	self := siteIn(ps, "selfFn")[0]
+	mainS := siteIn(ps, "main")
+	if v := Of(leaf); v.Values[FProcedureType] != "Leaf" {
+		t.Errorf("leafFn type = %s", v.Values[FProcedureType])
+	}
+	if v := Of(self); v.Values[FProcedureType] != "CallSelf" {
+		t.Errorf("selfFn type = %s", v.Values[FProcedureType])
+	}
+	if len(mainS) > 0 {
+		if v := Of(mainS[0]); v.Values[FProcedureType] != "NonLeaf" {
+			t.Errorf("main type = %s", v.Values[FProcedureType])
+		}
+	}
+	if v := Of(leaf); v.Values[FLanguage] != "C" {
+		t.Errorf("language = %s", v.Values[FLanguage])
+	}
+}
+
+func TestCondInfoPatterns(t *testing.T) {
+	prog := compile(t, `
+int g;
+int* gp;
+int main() {
+	int x;
+	x = g;
+	gp = &g; // a pointer store types the global slot for the analysis
+	if (x < 0) { g = 1; }
+	if (x == 7) { g = 2; }
+	if (gp == null) { g = 3; }
+	float f;
+	f = 0.5;
+	if (f < 0.0) { g = 4; }
+	return 0;
+}`)
+	ps := Collect(prog)
+	sites := siteIn(ps, "main")
+	if len(sites) != 4 {
+		t.Fatalf("got %d sites, want 4", len(sites))
+	}
+	// Site order follows block order: x<0, x==7, gp==null, f<0.
+	c0 := sites[0].Cond
+	if !c0.RightZero || c0.Float || c0.LeftPtr {
+		t.Errorf("x<0 cond = %+v", c0)
+	}
+	c1 := sites[1].Cond
+	if !c1.RightConst || c1.RightZero {
+		t.Errorf("x==7 cond = %+v", c1)
+	}
+	c2 := sites[2].Cond
+	if !c2.LeftPtr || !c2.RightZero {
+		t.Errorf("gp==null cond = %+v", c2)
+	}
+	c3 := sites[3].Cond
+	if !c3.Float || !c3.RightZero {
+		t.Errorf("f<0.0 cond = %+v", c3)
+	}
+}
+
+func TestSuccessorCallFeature(t *testing.T) {
+	prog := compile(t, `
+int helper() { return 1; }
+int main() {
+	int x;
+	x = __input(0);
+	if (x > 0) {
+		x = helper();
+	}
+	return x;
+}`)
+	ps := Collect(prog)
+	s := siteIn(ps, "main")[0]
+	v := Of(s)
+	// The branch skips the call: its fall-through contains the call and its
+	// taken side (the join) does not lead to one unconditionally... the
+	// then-block falls into the join, so taken side reaches no call.
+	if v.Values[FNotTakenSuccCall] != "PC" {
+		t.Errorf("fall-through call feature = %s, want PC", v.Values[FNotTakenSuccCall])
+	}
+}
+
+func TestDependentFeatureGating(t *testing.T) {
+	vecs := []Vector{
+		{Values: [NumFeatures]string{FBrOpcode: "bne", FRAOpcode: "ldq"}},
+		{Values: [NumFeatures]string{FBrOpcode: "beq", FRAOpcode: Unknown}},
+	}
+	enc := NewEncoder(vecs)
+	x := make([]float64, enc.Dim)
+	enc.Encode(vecs[1], x)
+	// All columns of the RA-opcode feature must be exactly zero for the
+	// Unknown vector.
+	lo := enc.Offsets[FRAOpcode]
+	for i := 0; i < len(enc.Vocab[FRAOpcode]); i++ {
+		if x[lo+i] != 0 {
+			t.Errorf("gated feature column %d = %g, want 0", lo+i, x[lo+i])
+		}
+	}
+	// And the branch-opcode feature must be non-zero somewhere (normalized
+	// one-hot of a non-constant column).
+	found := false
+	lo = enc.Offsets[FBrOpcode]
+	for i := 0; i < len(enc.Vocab[FBrOpcode]); i++ {
+		if x[lo+i] != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("known feature encoded as all zeros")
+	}
+}
+
+func TestEncoderNormalization(t *testing.T) {
+	// 3 of 4 vectors have value "a": mean 0.75, std sqrt(0.1875).
+	var vecs []Vector
+	for i := 0; i < 4; i++ {
+		v := Vector{}
+		if i < 3 {
+			v.Values[0] = "a"
+		} else {
+			v.Values[0] = "b"
+		}
+		for f := 1; f < NumFeatures; f++ {
+			v.Values[f] = "x"
+		}
+		vecs = append(vecs, v)
+	}
+	enc := NewEncoder(vecs)
+	colA := enc.Offsets[0] // "a" sorts before "b"
+	if math.Abs(enc.Mean[colA]-0.75) > 1e-9 {
+		t.Errorf("mean = %g, want 0.75", enc.Mean[colA])
+	}
+	if math.Abs(enc.Std[colA]-math.Sqrt(0.1875)) > 1e-9 {
+		t.Errorf("std = %g", enc.Std[colA])
+	}
+	// Constant columns ("x" everywhere) must encode to zero.
+	x := make([]float64, enc.Dim)
+	enc.Encode(vecs[0], x)
+	colX := enc.Offsets[1]
+	if x[colX] != 0 {
+		t.Errorf("constant column = %g, want 0", x[colX])
+	}
+	// Normalized mean over the training set must be ~0 for column A.
+	var sum float64
+	for _, v := range vecs {
+		enc.Encode(v, x)
+		sum += x[colA]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("normalized column mean = %g, want 0", sum/4)
+	}
+}
+
+func TestEncoderUnseenValue(t *testing.T) {
+	vecs := []Vector{{Values: [NumFeatures]string{FBrOpcode: "bne"}}}
+	enc := NewEncoder(vecs)
+	unseen := Vector{Values: [NumFeatures]string{FBrOpcode: "fbgt"}}
+	x := make([]float64, enc.Dim)
+	enc.Encode(unseen, x) // must not panic
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("unseen value produced a non-finite input")
+		}
+	}
+}
+
+func TestEncoderRebuildRoundtrip(t *testing.T) {
+	vecs := []Vector{
+		{Values: [NumFeatures]string{FBrOpcode: "bne", FBrDirection: "F"}},
+		{Values: [NumFeatures]string{FBrOpcode: "beq", FBrDirection: "B"}},
+	}
+	enc := NewEncoder(vecs)
+	// Simulate deserialization: wipe the index, Rebuild, compare encodings.
+	clone := &Encoder{Vocab: enc.Vocab, Offsets: enc.Offsets, Dim: enc.Dim,
+		Mean: enc.Mean, Std: enc.Std}
+	clone.Rebuild()
+	a := make([]float64, enc.Dim)
+	b := make([]float64, enc.Dim)
+	for _, v := range vecs {
+		enc.Encode(v, a)
+		clone.Encode(v, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rebuilt encoder differs at column %d", i)
+			}
+		}
+	}
+}
+
+// TestEncoderFiniteProperty: any vector over the known vocabulary encodes
+// to finite values.
+func TestEncoderFiniteProperty(t *testing.T) {
+	vecs := []Vector{
+		{Values: [NumFeatures]string{FBrOpcode: "bne", FBrDirection: "F", FLanguage: "C"}},
+		{Values: [NumFeatures]string{FBrOpcode: "beq", FBrDirection: "B", FLanguage: "FORT"}},
+		{Values: [NumFeatures]string{FBrOpcode: "blt", FBrDirection: "F", FLanguage: "C"}},
+	}
+	enc := NewEncoder(vecs)
+	f := func(choice [NumFeatures]uint8) bool {
+		var v Vector
+		for fi := 0; fi < NumFeatures; fi++ {
+			vocab := enc.Vocab[fi]
+			if len(vocab) == 0 || int(choice[fi])%(len(vocab)+1) == len(vocab) {
+				v.Values[fi] = Unknown
+			} else {
+				v.Values[fi] = vocab[int(choice[fi])%(len(vocab)+1)]
+			}
+		}
+		x := make([]float64, enc.Dim)
+		enc.Encode(v, x)
+		for _, val := range x {
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUsesBeforeDefAndLocs(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	int x;
+	x = __input(0);
+	if (x > 0) {
+		x = x + 1;   // reads x before writing it: use-before-def
+	}
+	return x;
+}`)
+	ps := Collect(prog)
+	s := siteIn(ps, "main")[0]
+	if len(s.SourceLocs) == 0 {
+		t.Fatal("branch has no source locations")
+	}
+	v := Of(s)
+	// The then-block (fall-through) reads x first.
+	if v.Values[FNotTakenSuccUseDef] != "UBD" {
+		t.Errorf("use-before-def feature = %s, want UBD", v.Values[FNotTakenSuccUseDef])
+	}
+}
+
+func TestFeatureNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumFeatures; i++ {
+		n := Name(i)
+		if n == "" || seen[n] {
+			t.Errorf("feature %d has empty or duplicate name %q", i, n)
+		}
+		seen[n] = true
+	}
+	if Name(-1) == "" || Name(NumFeatures) == "" {
+		t.Error("out-of-range names must still render")
+	}
+}

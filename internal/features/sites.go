@@ -1,0 +1,466 @@
+// Package features implements the paper's Table 2 static feature set: for
+// every two-way conditional branch it extracts the 24 categorical features
+// of the paper (the branch opcode and direction, the opcodes defining the
+// branch's operands, loop and language context, and eight structural
+// features for each of the two successors) plus the Section 6
+// library-subroutine extension, together with the shared condition analysis
+// that both the feature extractor and the Ball/Larus heuristics consume.
+package features
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Site is one static conditional branch with the analysis context shared by
+// feature extraction and the prediction heuristics.
+type Site struct {
+	Ref      ir.BranchRef
+	Fn       *ir.Func
+	G        *cfg.Graph
+	BlockIdx int       // dense index of the branch block
+	Branch   *ir.Instr // the conditional branch terminator
+	TakenIdx int       // dense index of the taken successor
+	FallIdx  int       // dense index of the fall-through successor
+
+	// DefInstr is the in-block instruction defining the branch's tested
+	// register, or nil when the register is defined in a previous block.
+	DefInstr *ir.Instr
+	// DefIdx is the instruction index of DefInstr within the block (-1).
+	DefIdx int
+
+	// Cond is the recovered source-level condition of the branch.
+	Cond CondInfo
+
+	// ProcType is the enclosing procedure's type (Leaf/NonLeaf/CallSelf).
+	ProcType string
+
+	// SourceLocs are the memory locations (frame slots and globals) whose
+	// values determined the branch direction — the variables "used in the
+	// branch comparison" at source level. The Guard heuristic and feature
+	// 15 test whether a successor reads one of them before writing it.
+	SourceLocs []MemLoc
+}
+
+// MemLoc is an abstract memory location: a stack-frame word (Base == "") or
+// a word of a named global.
+type MemLoc struct {
+	Base string
+	Off  int64
+}
+
+// CondInfo describes the semantic comparison a conditional branch performs,
+// reconstructed from the instruction stream the way the paper reconstructed
+// abstract syntax trees from Alpha binaries (Section 5.2.1).
+type CondInfo struct {
+	// Kind is the comparison relation with respect to the *taken* direction:
+	// the branch is taken exactly when "Left Kind Right" holds.
+	Kind CmpKind
+	// Float marks floating-point comparisons.
+	Float bool
+	// LeftPtr/RightPtr mark pointer-valued operands.
+	LeftPtr  bool
+	RightPtr bool
+	// RightZero marks comparison against constant zero (x < 0, p == null…).
+	RightZero bool
+	// RightConst marks comparison against a compile-time constant (including
+	// zero).
+	RightConst bool
+}
+
+// CmpKind is a comparison relation.
+type CmpKind int
+
+// Comparison relations. CmpNone means the branch tests a raw value that was
+// not produced by a recognizable comparison (tested against zero).
+const (
+	CmpNone CmpKind = iota
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Negate returns the complementary relation.
+func (k CmpKind) Negate() CmpKind {
+	switch k {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpLt:
+		return CmpGe
+	case CmpGe:
+		return CmpLt
+	case CmpLe:
+		return CmpGt
+	case CmpGt:
+		return CmpLe
+	}
+	return CmpNone
+}
+
+// String names the relation.
+func (k CmpKind) String() string {
+	switch k {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// ProgramSites collects every two-way conditional branch site of the
+// program, in deterministic order, with graphs and pointer analysis shared
+// across sites.
+type ProgramSites struct {
+	Prog   *ir.Program
+	Graphs map[string]*cfg.Graph
+	Ptrs   map[string]*cfg.PointerInfo
+	Sites  []*Site
+	byRef  map[ir.BranchRef]*Site
+}
+
+// Collect analyzes a program and returns all of its branch sites.
+func Collect(prog *ir.Program) *ProgramSites {
+	ps := &ProgramSites{
+		Prog:   prog,
+		Graphs: make(map[string]*cfg.Graph, len(prog.Funcs)),
+		byRef:  make(map[ir.BranchRef]*Site),
+	}
+	for _, fn := range prog.Funcs {
+		ps.Graphs[fn.Name] = cfg.New(fn)
+	}
+	ps.Ptrs = cfg.ProgramPointers(prog, ps.Graphs)
+	for _, fn := range prog.Funcs {
+		g := ps.Graphs[fn.Name]
+		procType := procedureType(fn)
+		for i := 0; i < g.N(); i++ {
+			if !g.IsBranchBlock(i) {
+				continue
+			}
+			s := &Site{
+				Ref:      ir.BranchRef{Func: fn.Name, Block: g.Block(i).ID},
+				Fn:       fn,
+				G:        g,
+				BlockIdx: i,
+				Branch:   g.Block(i).Branch(),
+				ProcType: procType,
+			}
+			s.TakenIdx, s.FallIdx = g.TakenSucc(i)
+			s.DefInstr, s.DefIdx = defInstr(g.Block(i), len(g.Block(i).Insns)-1, s.Branch.A)
+			s.Cond = condInfo(ps.Ptrs[fn.Name], g, i, s)
+			s.SourceLocs = sourceLocs(g.Block(i), s)
+			ps.Sites = append(ps.Sites, s)
+		}
+	}
+	sort.Slice(ps.Sites, func(a, b int) bool {
+		if ps.Sites[a].Ref.Func != ps.Sites[b].Ref.Func {
+			return ps.Sites[a].Ref.Func < ps.Sites[b].Ref.Func
+		}
+		return ps.Sites[a].Ref.Block < ps.Sites[b].Ref.Block
+	})
+	for _, s := range ps.Sites {
+		ps.byRef[s.Ref] = s
+	}
+	return ps
+}
+
+// Site returns the site for a branch reference, or nil.
+func (ps *ProgramSites) Site(ref ir.BranchRef) *Site { return ps.byRef[ref] }
+
+// procedureType classifies the function: Leaf (no calls), CallSelf
+// (recursive), or NonLeaf — feature 8 of Table 2.
+func procedureType(fn *ir.Func) string {
+	hasCall := false
+	for _, b := range fn.Blocks {
+		for i := range b.Insns {
+			in := &b.Insns[i]
+			if in.Op.IsCall() {
+				hasCall = true
+				if in.Op == ir.OpBsr && in.Sym == fn.Name {
+					return "CallSelf"
+				}
+			}
+		}
+	}
+	if hasCall {
+		return "NonLeaf"
+	}
+	return "Leaf"
+}
+
+// defInstr scans backward from instruction index before in the block for the
+// instruction defining register r. It returns (nil, -1) if r is defined in a
+// previous block (or is an argument).
+func defInstr(b *ir.Block, before int, r ir.Reg) (*ir.Instr, int) {
+	for j := before - 1; j >= 0; j-- {
+		if d, ok := b.Insns[j].Def(); ok && d == r {
+			return &b.Insns[j], j
+		}
+	}
+	return nil, -1
+}
+
+// condInfo reconstructs the branch's source-level condition.
+func condInfo(pi *cfg.PointerInfo, g *cfg.Graph, blockIdx int, s *Site) CondInfo {
+	br := s.Branch
+	branchInsnIdx := len(g.Block(blockIdx).Insns) - 1
+	var ci CondInfo
+
+	// MIPS-style two-register branch: x ==/!= y directly.
+	if br.Op.IsTwoRegBranch() {
+		if br.Op == ir.OpBeq2 {
+			ci.Kind = CmpEq
+		} else {
+			ci.Kind = CmpNe
+		}
+		if pi != nil {
+			ci.LeftPtr = pi.OperandIsPointer(blockIdx, branchInsnIdx, 0)
+			ci.RightPtr = pi.OperandIsPointer(blockIdx, branchInsnIdx, 1)
+		}
+		return ci
+	}
+
+	baseKind := branchRelation(br.Op)
+	def := s.DefInstr
+	if def == nil || !def.Op.IsCompare() {
+		// The branch tests a raw value against zero. If the value is a
+		// pointer, this is a null comparison (p ==/!= null).
+		ci.Kind = baseKind
+		ci.Float = br.Op.IsFloat()
+		ci.RightZero = true
+		ci.RightConst = true
+		if pi != nil {
+			ci.LeftPtr = pi.OperandIsPointer(blockIdx, branchInsnIdx, 0)
+		}
+		return ci
+	}
+
+	// The branch tests the boolean result of a compare instruction: recover
+	// the compare relation; BEQ on the result negates it.
+	switch def.Op {
+	case ir.OpCmpEq, ir.OpCmpTEq:
+		ci.Kind = CmpEq
+	case ir.OpCmpLt, ir.OpCmpTLt:
+		ci.Kind = CmpLt
+	case ir.OpCmpLe, ir.OpCmpTLe:
+		ci.Kind = CmpLe
+	}
+	ci.Float = def.Op.Class() == ir.ClassFloatCmp
+	switch baseKind {
+	case CmpEq: // branch taken when compare result == 0: negated
+		ci.Kind = ci.Kind.Negate()
+	case CmpNe: // taken when result != 0: as-is
+	default:
+		// Relational branch on a 0/1 compare result (unusual); treat the
+		// compare relation as the condition.
+	}
+	if pi != nil {
+		ci.LeftPtr = pi.OperandIsPointer(blockIdx, s.DefIdx, 0)
+		ci.RightPtr = !def.UseImm && pi.OperandIsPointer(blockIdx, s.DefIdx, 1)
+	}
+	if def.UseImm {
+		ci.RightConst = true
+		ci.RightZero = def.Imm == 0
+	} else if rdef, _ := defInstr(g.Block(blockIdx), s.DefIdx, def.B); rdef != nil && rdef.Op == ir.OpLdiQ {
+		ci.RightConst = true
+		ci.RightZero = rdef.Imm == 0
+	}
+	return ci
+}
+
+// branchRelation maps a conditional branch opcode to the relation it tests
+// (against zero for the single-register forms).
+func branchRelation(op ir.Op) CmpKind {
+	switch op {
+	case ir.OpBeq, ir.OpFbeq:
+		return CmpEq
+	case ir.OpBne, ir.OpFbne:
+		return CmpNe
+	case ir.OpBlt, ir.OpFblt:
+		return CmpLt
+	case ir.OpBle, ir.OpFble:
+		return CmpLe
+	case ir.OpBgt, ir.OpFbgt:
+		return CmpGt
+	case ir.OpBge, ir.OpFbge:
+		return CmpGe
+	}
+	return CmpNone
+}
+
+// sourceLocs recovers the memory locations whose loads fed the branch: the
+// branch's tested register(s) and, when the branch tests a compare result,
+// the compare's operands, each traced back to an in-block load from a frame
+// slot or a global.
+func sourceLocs(b *ir.Block, s *Site) []MemLoc {
+	var locs []MemLoc
+	add := func(loc MemLoc) {
+		for _, have := range locs {
+			if have == loc {
+				return
+			}
+		}
+		locs = append(locs, loc)
+	}
+	trace := func(before int, r ir.Reg) {
+		def, idx := defInstr(b, before, r)
+		if def == nil {
+			return
+		}
+		if loc, ok := loadLoc(b, idx, def); ok {
+			add(loc)
+		}
+	}
+	branchIdx := len(b.Insns) - 1
+	for _, r := range s.Branch.Uses() {
+		trace(branchIdx, r)
+	}
+	if s.DefInstr != nil && s.DefInstr.Op.IsCompare() {
+		for _, r := range s.DefInstr.Uses() {
+			trace(s.DefIdx, r)
+		}
+	}
+	return locs
+}
+
+// loadLoc resolves a load instruction's address to an abstract location:
+// SP-relative directly, or via an in-block LDA for globals.
+func loadLoc(b *ir.Block, idx int, in *ir.Instr) (MemLoc, bool) {
+	if !in.Op.IsLoad() {
+		return MemLoc{}, false
+	}
+	if in.A == ir.RegSP {
+		return MemLoc{Base: "", Off: in.Imm}, true
+	}
+	base, _ := defInstr(b, idx, in.A)
+	if base != nil && base.Op == ir.OpLda {
+		return MemLoc{Base: base.Sym, Off: base.Imm + in.Imm}, true
+	}
+	return MemLoc{}, false
+}
+
+// ReadsLocBeforeWrite reports whether dense block idx loads one of the
+// locations before storing to it — the memory-level reading of "a register
+// is used before being defined in a successor block" for code whose
+// variables live in frame slots.
+func ReadsLocBeforeWrite(g *cfg.Graph, idx int, locs []MemLoc) bool {
+	if len(locs) == 0 {
+		return false
+	}
+	written := make(map[MemLoc]bool)
+	b := g.Block(idx)
+	for i := range b.Insns {
+		in := &b.Insns[i]
+		if in.Op.IsLoad() {
+			if loc, ok := loadLoc(b, i, in); ok && !written[loc] {
+				for _, want := range locs {
+					if loc == want {
+						return true
+					}
+				}
+			}
+			continue
+		}
+		if in.Op.IsStore() {
+			if loc, ok := storeLoc(b, i, in); ok {
+				written[loc] = true
+			}
+		}
+	}
+	return false
+}
+
+func storeLoc(b *ir.Block, idx int, in *ir.Instr) (MemLoc, bool) {
+	if in.A == ir.RegSP {
+		return MemLoc{Base: "", Off: in.Imm}, true
+	}
+	base, _ := defInstr(b, idx, in.A)
+	if base != nil && base.Op == ir.OpLda {
+		return MemLoc{Base: base.Sym, Off: base.Imm + in.Imm}, true
+	}
+	return MemLoc{}, false
+}
+
+// ContainsRealStore reports whether dense block idx contains a store to
+// memory other than the stack frame. Stack-pointer-relative stores model
+// register-allocated locals (no memory traffic at -O), so the Store
+// heuristic must not see them.
+func ContainsRealStore(g *cfg.Graph, idx int) bool {
+	b := g.Block(idx)
+	for i := range b.Insns {
+		in := &b.Insns[i]
+		if in.Op.IsStore() && in.A != ir.RegSP {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesBeforeDef reports whether, in dense block succIdx, any of the given
+// registers is used before being defined. The register-level reading of the
+// Guard/feature-15 test; production paths use ReadsLocBeforeWrite (the
+// memory-location reading suited to this IR's slot-allocated variables),
+// but the register form is kept for analyses over hand-built or
+// register-allocated IR.
+func UsesBeforeDef(g *cfg.Graph, succIdx int, regs []ir.Reg) bool {
+	defined := make(map[ir.Reg]bool)
+	for i := range g.Block(succIdx).Insns {
+		in := &g.Block(succIdx).Insns[i]
+		for _, u := range in.Uses() {
+			if u.IsZero() || u == ir.RegSP {
+				continue
+			}
+			for _, r := range regs {
+				if u == r && !defined[u] {
+					return true
+				}
+			}
+		}
+		if d, ok := in.Def(); ok {
+			defined[d] = true
+		}
+	}
+	return false
+}
+
+// BranchSourceRegs returns the registers that determined the branch's
+// destination: the branch's own operands plus, when the branch tests a
+// compare result, the compare's register operands.
+func (s *Site) BranchSourceRegs() []ir.Reg {
+	var regs []ir.Reg
+	add := func(r ir.Reg) {
+		if r.IsZero() || r == ir.RegSP {
+			return
+		}
+		for _, have := range regs {
+			if have == r {
+				return
+			}
+		}
+		regs = append(regs, r)
+	}
+	for _, r := range s.Branch.Uses() {
+		add(r)
+	}
+	if s.DefInstr != nil && s.DefInstr.Op.IsCompare() {
+		for _, r := range s.DefInstr.Uses() {
+			add(r)
+		}
+	}
+	return regs
+}

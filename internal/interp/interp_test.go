@@ -1,0 +1,341 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// mini builds a one-function program from a builder callback.
+func mini(build func(fb *ir.FuncBuilder)) *ir.Program {
+	fb := ir.NewFuncBuilder("main", ir.LangC)
+	build(fb)
+	return &ir.Program{Name: "t", Funcs: []*ir.Func{fb.Func()}}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	prog := mini(func(fb *ir.FuncBuilder) {
+		fb.LoadInt(ir.R(1), 100)
+		fb.LoadInt(ir.R(2), 7)
+		emit := func(op ir.Op) {
+			fb.Op3(op, ir.R(3), ir.R(1), ir.R(2))
+			fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.RegA0, A: ir.R(3)})
+			fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrint})
+		}
+		emit(ir.OpAddQ)
+		emit(ir.OpSubQ)
+		emit(ir.OpMulQ)
+		emit(ir.OpDivQ)
+		emit(ir.OpRemQ)
+		emit(ir.OpAndQ)
+		emit(ir.OpOrQ)
+		emit(ir.OpXorQ)
+		emit(ir.OpCmpEq)
+		emit(ir.OpCmpLt)
+		emit(ir.OpCmpLe)
+		fb.LoadInt(ir.RegV0, 0)
+		fb.Ret()
+	})
+	prof, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{107, 93, 700, 14, 2, 100 & 7, 100 | 7, 100 ^ 7, 0, 0, 0}
+	if len(prof.Outputs) != len(want) {
+		t.Fatalf("outputs = %v", prof.Outputs)
+	}
+	for i, w := range want {
+		if prof.Outputs[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, prof.Outputs[i], w)
+		}
+	}
+}
+
+func TestZeroRegisterReadsZero(t *testing.T) {
+	prog := mini(func(fb *ir.FuncBuilder) {
+		fb.LoadInt(ir.RegZero, 99) // writing is a no-op on read
+		fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.RegA0, A: ir.RegZero})
+		fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrint})
+		fb.Ret()
+	})
+	prof, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Outputs[0] != 0 {
+		t.Errorf("R31 read %d, want 0", prof.Outputs[0])
+	}
+}
+
+func TestErrorConditions(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(fb *ir.FuncBuilder)
+		want  error
+	}{
+		{"div by zero", func(fb *ir.FuncBuilder) {
+			fb.LoadInt(ir.R(1), 1)
+			fb.Op3(ir.OpDivQ, ir.R(2), ir.R(1), ir.RegZero)
+			fb.Ret()
+		}, ErrDivZero},
+		{"rem by zero", func(fb *ir.FuncBuilder) {
+			fb.LoadInt(ir.R(1), 1)
+			fb.Op3(ir.OpRemQ, ir.R(2), ir.R(1), ir.RegZero)
+			fb.Ret()
+		}, ErrDivZero},
+		{"store to null", func(fb *ir.FuncBuilder) {
+			fb.Emit(ir.Instr{Op: ir.OpStq, A: ir.RegZero, B: ir.R(1)})
+			fb.Ret()
+		}, ErrMemBounds},
+		{"load out of bounds", func(fb *ir.FuncBuilder) {
+			fb.LoadInt(ir.R(1), 1<<40)
+			fb.Emit(ir.Instr{Op: ir.OpLdq, Dst: ir.R(2), A: ir.R(1)})
+			fb.Ret()
+		}, ErrMemBounds},
+		{"fuel exhausted", func(fb *ir.FuncBuilder) {
+			loop := fb.NewBlock()
+			fb.Jump(loop)
+			fb.SetBlock(loop)
+			fb.Jump(loop)
+		}, ErrFuel},
+		{"bad jump index", func(fb *ir.FuncBuilder) {
+			fb.LoadInt(ir.R(1), 5)
+			nb := fb.NewBlockDetached()
+			fb.Emit(ir.Instr{Op: ir.OpJmp, A: ir.R(1), Targets: []int{1}})
+			fb.Place(nb)
+			fb.SetBlock(nb)
+			fb.Ret()
+		}, ErrBadJump},
+	}
+	for _, c := range cases {
+		prog := mini(c.build)
+		_, err := Run(prog, Config{MaxInsns: 10_000})
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStackOverflowOnRunawayRecursion(t *testing.T) {
+	fb := ir.NewFuncBuilder("main", ir.LangC)
+	fb.Call("main")
+	fb.Ret()
+	fn := fb.Func()
+	fn.FrameSize = 8
+	prog := &ir.Program{Name: "t", Funcs: []*ir.Func{fn}}
+	_, err := Run(prog, Config{})
+	if !errors.Is(err, ErrStack) && !errors.Is(err, ErrCallDepth) {
+		t.Errorf("runaway recursion: err = %v", err)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	prog := mini(func(fb *ir.FuncBuilder) {
+		loop := fb.NewBlock()
+		fb.Jump(loop)
+		fb.SetBlock(loop)
+		fb.LoadInt(ir.RegA0, 1<<20)
+		fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtAlloc})
+		fb.Jump(loop)
+	})
+	_, err := Run(prog, Config{MemWords: 1 << 18})
+	if !errors.Is(err, ErrHeap) {
+		t.Errorf("err = %v, want heap exhaustion", err)
+	}
+}
+
+func TestBranchProfileCounts(t *testing.T) {
+	// A branch taken exactly 3 of 5 times: loop i=0..4, branch when i%2==0
+	// is false... simpler: branch on (i < 3).
+	prog := mini(func(fb *ir.FuncBuilder) {
+		// R1 = i, counts 0..4; R2 = 1 constant
+		fb.LoadInt(ir.R(1), 0)
+		loop := fb.NewBlock()
+		fb.SetBlock(loop)
+		// test i < 3 -> R3
+		fb.OpImm(ir.OpCmpLt, ir.R(3), ir.R(1), 3)
+		taken := fb.NewBlockDetached()
+		fb.Branch(ir.OpBne, ir.R(3), taken) // taken while i < 3
+		fb.Place(taken)
+		fb.SetBlock(taken)
+		fb.OpImm(ir.OpAddQ, ir.R(1), ir.R(1), 1)
+		exit := fb.NewBlockDetached()
+		done := fb.NewBlockDetached()
+		fb.OpImm(ir.OpCmpLt, ir.R(3), ir.R(1), 5)
+		fb.Branch(ir.OpBne, ir.R(3), loop)
+		fb.Place(exit)
+		fb.SetBlock(exit)
+		fb.Jump(done)
+		fb.Place(done)
+		fb.SetBlock(done)
+		fb.Ret()
+	})
+	prof, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ir.BranchRef{Func: "main", Block: 1}
+	c := prof.Branches[ref]
+	if c == nil {
+		t.Fatal("no count for the loop-test branch")
+	}
+	if c.Executed != 5 || c.Taken != 3 {
+		t.Errorf("branch counts = %d/%d, want taken 3 of 5", c.Taken, c.Executed)
+	}
+	if got := c.TakenFraction(); got != 0.6 {
+		t.Errorf("TakenFraction = %v", got)
+	}
+}
+
+func TestEdgeCollection(t *testing.T) {
+	prog := mini(func(fb *ir.FuncBuilder) {
+		next := fb.NewBlockDetached()
+		fb.Jump(next)
+		fb.Place(next)
+		fb.SetBlock(next)
+		fb.Ret()
+	})
+	prof, err := Run(prog, Config{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Edges[EdgeRef{Func: "main", From: 0, To: 1}] != 1 {
+		t.Errorf("edges = %v", prof.Edges)
+	}
+	// Without the flag no edges are collected.
+	prof2, _ := Run(prog, Config{})
+	if prof2.Edges != nil {
+		t.Error("edge map allocated without CollectEdges")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	p := &Profile{Branches: map[ir.BranchRef]*BranchCount{
+		{Func: "f", Block: 0}: {Executed: 90},
+		{Func: "f", Block: 1}: {Executed: 5},
+		{Func: "f", Block: 2}: {Executed: 3},
+		{Func: "f", Block: 3}: {Executed: 2},
+		{Func: "f", Block: 4}: {Executed: 0},
+	}}
+	got := p.Quantiles([]float64{50, 90, 95, 99, 100})
+	// Totals: 90, 95, 98, 100 — so 99% needs four sites.
+	want := []int{1, 1, 2, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("quantile %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if p.StaticSites() != 5 || p.ExecutedSites() != 4 {
+		t.Errorf("sites = %d/%d", p.StaticSites(), p.ExecutedSites())
+	}
+}
+
+func TestInputAndRandDeterminism(t *testing.T) {
+	prog := mini(func(fb *ir.FuncBuilder) {
+		for i := 0; i < 4; i++ {
+			fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtRand})
+			fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.RegA0, A: ir.RegV0})
+			fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrint})
+		}
+		fb.LoadInt(ir.RegA0, 2)
+		fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtInput})
+		fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.RegA0, A: ir.RegV0})
+		fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrint})
+		fb.Ret()
+	})
+	f := func(seed uint64, a, b, c int64) bool {
+		cfg := Config{Seed: seed, Input: []int64{a, b, c}}
+		p1, err1 := Run(prog, cfg)
+		p2, err2 := Run(prog, cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(p1.Outputs) != 5 || p1.Outputs[4] != c {
+			return false
+		}
+		for i := range p1.Outputs {
+			if p1.Outputs[i] != p2.Outputs[i] {
+				return false
+			}
+			if i < 4 && p1.Outputs[i] < 0 {
+				return false // __rand must be non-negative
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedWeights(t *testing.T) {
+	p := &Profile{
+		CondExec: 10,
+		Branches: map[ir.BranchRef]*BranchCount{
+			{Func: "f", Block: 0}: {Executed: 7, Taken: 3},
+			{Func: "f", Block: 1}: {Executed: 3, Taken: 3},
+		},
+	}
+	if w := p.NormalizedWeight(ir.BranchRef{Func: "f", Block: 0}); w != 0.7 {
+		t.Errorf("weight = %v, want 0.7", w)
+	}
+	if w := p.NormalizedWeight(ir.BranchRef{Func: "f", Block: 9}); w != 0 {
+		t.Errorf("missing branch weight = %v, want 0", w)
+	}
+}
+
+func TestIndirectJumpDispatch(t *testing.T) {
+	// A jump table selecting between three return values.
+	prog := mini(func(fb *ir.FuncBuilder) {
+		c1 := fb.NewBlockDetached()
+		c2 := fb.NewBlockDetached()
+		c3 := fb.NewBlockDetached()
+		fb.LoadInt(ir.RegA0, 1)
+		fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtInput})
+		fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.R(1), A: ir.RegV0})
+		fb.Emit(ir.Instr{Op: ir.OpJmp, A: ir.R(1), Targets: []int{c1.ID, c2.ID, c3.ID}})
+		fb.Place(c1)
+		fb.SetBlock(c1)
+		fb.LoadInt(ir.RegV0, 10)
+		fb.Ret()
+		fb.Place(c2)
+		fb.SetBlock(c2)
+		fb.LoadInt(ir.RegV0, 20)
+		fb.Ret()
+		fb.Place(c3)
+		fb.SetBlock(c3)
+		fb.LoadInt(ir.RegV0, 30)
+		fb.Ret()
+	})
+	for want, sel := range map[int64]int64{10: 0, 20: 1, 30: 2} {
+		prof, err := Run(prog, Config{Input: []int64{0, sel}})
+		if err != nil {
+			t.Fatalf("sel %d: %v", sel, err)
+		}
+		if prof.Result != want {
+			t.Errorf("sel %d: result %d, want %d", sel, prof.Result, want)
+		}
+	}
+}
+
+func TestFloatConversionSemantics(t *testing.T) {
+	prog := mini(func(fb *ir.FuncBuilder) {
+		fb.LoadInt(ir.R(1), -7)
+		fb.Emit(ir.Instr{Op: ir.OpCvtQT, Dst: ir.F(1), A: ir.R(1)})
+		fb.Emit(ir.Instr{Op: ir.OpFAbs, Dst: ir.F(2), A: ir.F(1)})
+		fb.Emit(ir.Instr{Op: ir.OpFNeg, Dst: ir.F(3), A: ir.F(2)})
+		fb.Emit(ir.Instr{Op: ir.OpCvtTQ, Dst: ir.R(2), A: ir.F(3)})
+		fb.Emit(ir.Instr{Op: ir.OpMov, Dst: ir.RegA0, A: ir.R(2)})
+		fb.Emit(ir.Instr{Op: ir.OpRtcall, Imm: ir.RtPrint})
+		fb.Ret()
+	})
+	prof, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Outputs[0] != -7 {
+		t.Errorf("abs/neg roundtrip = %d, want -7", prof.Outputs[0])
+	}
+}

@@ -1,0 +1,453 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Config controls an execution.
+type Config struct {
+	// Input is the program's input vector, served by the __input intrinsic
+	// (index modulo length; an empty vector serves zeros).
+	Input []int64
+	// Seed seeds the deterministic generator behind the __rand intrinsic.
+	Seed uint64
+	// MaxInsns bounds execution; 0 means DefaultMaxInsns.
+	MaxInsns int64
+	// MemWords sizes the flat word memory; 0 means DefaultMemWords.
+	MemWords int64
+	// CollectEdges enables per-edge transition counting (needed only for
+	// the Figure 2 experiment; branch counts are always collected).
+	CollectEdges bool
+}
+
+// Defaults for Config.
+const (
+	DefaultMaxInsns = int64(50_000_000)
+	DefaultMemWords = int64(1 << 21)
+	maxCallDepth    = 4096
+)
+
+// Execution errors.
+var (
+	ErrFuel       = errors.New("interp: instruction budget exhausted")
+	ErrMemBounds  = errors.New("interp: memory access out of bounds")
+	ErrDivZero    = errors.New("interp: integer division by zero")
+	ErrStack      = errors.New("interp: stack overflow")
+	ErrHeap       = errors.New("interp: heap exhausted")
+	ErrNoMain     = errors.New("interp: program has no main function")
+	ErrBadJump    = errors.New("interp: indirect jump index out of range")
+	ErrCallDepth  = errors.New("interp: call depth exceeded")
+	ErrBadRuntime = errors.New("interp: unknown runtime intrinsic")
+)
+
+// machine is one execution of a program.
+type machine struct {
+	prog    *ir.Program
+	cfg     Config
+	mem     []int64
+	heapPtr int64 // bump allocator cursor
+	heapTop int64 // stack/heap collision guard: stack may not descend below
+	rng     uint64
+	fuel    int64
+	prof    *Profile
+	depth   int
+
+	funcs   map[string]*funcImage
+	globals map[string]int64
+}
+
+type funcImage struct {
+	fn      *ir.Func
+	idToIdx map[int]int
+}
+
+// Run executes the program's main function under the given configuration and
+// returns the collected profile.
+func Run(p *ir.Program, cfg Config) (*Profile, error) {
+	if cfg.MaxInsns == 0 {
+		cfg.MaxInsns = DefaultMaxInsns
+	}
+	if cfg.MemWords == 0 {
+		cfg.MemWords = DefaultMemWords
+	}
+	m := &machine{
+		prog:    p,
+		cfg:     cfg,
+		mem:     make([]int64, cfg.MemWords),
+		rng:     cfg.Seed*2862933555777941757 + 3037000493,
+		fuel:    cfg.MaxInsns,
+		funcs:   make(map[string]*funcImage, len(p.Funcs)),
+		globals: make(map[string]int64, len(p.Globals)),
+	}
+	m.prof = &Profile{
+		Program:  p.Name,
+		Branches: make(map[ir.BranchRef]*BranchCount),
+	}
+	if cfg.CollectEdges {
+		m.prof.Edges = make(map[EdgeRef]int64)
+	}
+	// Lay out globals starting at word 1 (0 stays null).
+	base := int64(1)
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		m.globals[g.Name] = base
+		for j, v := range g.Init {
+			if base+int64(j) < cfg.MemWords {
+				m.mem[base+int64(j)] = v
+			}
+		}
+		base += g.Size
+	}
+	m.heapPtr = base
+	// Stacks grow downward from the top of memory; the heap may not grow
+	// into the reserved stack region and stacks may not descend below it.
+	m.heapTop = cfg.MemWords - 64*1024
+	if m.heapTop < m.heapPtr {
+		m.heapTop = m.heapPtr
+	}
+	for _, f := range p.Funcs {
+		fi := &funcImage{fn: f, idToIdx: make(map[int]int, len(f.Blocks))}
+		for i, b := range f.Blocks {
+			fi.idToIdx[b.ID] = i
+		}
+		m.funcs[f.Name] = fi
+		// Register every static branch site so StaticSites covers
+		// never-executed branches too.
+		for _, b := range f.Blocks {
+			if b.Branch() != nil {
+				m.prof.Branch(ir.BranchRef{Func: f.Name, Block: b.ID})
+			}
+		}
+	}
+	mainFn := m.funcs["main"]
+	if mainFn == nil {
+		return nil, ErrNoMain
+	}
+	var args [12]int64 // 6 int (A0..A5) + 6 float arg registers
+	ret, _, err := m.call(mainFn, args, cfg.MemWords)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %s: %w", p.Name, err)
+	}
+	m.prof.Result = ret
+	return m.prof, nil
+}
+
+// call executes one function activation. args holds the incoming A0..A5 and
+// FA0..FA5 register values; sp is the caller's stack pointer.
+func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, retFloat int64, err error) {
+	if m.depth++; m.depth > maxCallDepth {
+		return 0, 0, ErrCallDepth
+	}
+	defer func() { m.depth-- }()
+
+	var regs [ir.NumRegs]int64
+	for i := 0; i < 6; i++ {
+		regs[int(ir.RegA0)+i] = args[i]
+		regs[int(ir.RegFA0)+i] = args[6+i]
+	}
+	sp -= fi.fn.FrameSize
+	if sp < m.heapTop {
+		return 0, 0, ErrStack
+	}
+	regs[ir.RegSP] = sp
+
+	fn := fi.fn
+	blockIdx := 0
+	for {
+		b := fn.Blocks[blockIdx]
+		nextIdx := blockIdx + 1 // default: fall through in layout order
+		fell := true
+		for pc := 0; pc < len(b.Insns); pc++ {
+			in := &b.Insns[pc]
+			if m.fuel--; m.fuel < 0 {
+				return 0, 0, ErrFuel
+			}
+			m.prof.Insns++
+			// Reads of the zero registers always see zero.
+			regs[ir.RegZero] = 0
+			regs[ir.RegFZero] = 0
+			switch in.Op {
+			case ir.OpAddQ, ir.OpSubQ, ir.OpMulQ, ir.OpDivQ, ir.OpRemQ,
+				ir.OpAndQ, ir.OpOrQ, ir.OpXorQ, ir.OpSllQ, ir.OpSrlQ,
+				ir.OpCmpEq, ir.OpCmpLt, ir.OpCmpLe:
+				bval := regs[in.B]
+				if in.UseImm {
+					bval = in.Imm
+				}
+				v, derr := intALU(in.Op, regs[in.A], bval)
+				if derr != nil {
+					return 0, 0, derr
+				}
+				regs[in.Dst] = v
+			case ir.OpLdiQ:
+				regs[in.Dst] = in.Imm
+			case ir.OpLda:
+				base, ok := m.globals[in.Sym]
+				if !ok {
+					return 0, 0, fmt.Errorf("interp: unknown global %q", in.Sym)
+				}
+				regs[in.Dst] = base + in.Imm
+			case ir.OpMov, ir.OpFMov:
+				regs[in.Dst] = regs[in.A]
+			case ir.OpCmovEq:
+				if regs[in.A] == 0 {
+					regs[in.Dst] = regs[in.B]
+				}
+			case ir.OpCmovNe:
+				if regs[in.A] != 0 {
+					regs[in.Dst] = regs[in.B]
+				}
+			case ir.OpFCmovEq:
+				if math.Float64frombits(uint64(regs[in.A])) == 0 {
+					regs[in.Dst] = regs[in.B]
+				}
+			case ir.OpFCmovNe:
+				if math.Float64frombits(uint64(regs[in.A])) != 0 {
+					regs[in.Dst] = regs[in.B]
+				}
+			case ir.OpLdq, ir.OpLdt:
+				addr := regs[in.A] + in.Imm
+				if addr < 0 || addr >= int64(len(m.mem)) {
+					return 0, 0, fmt.Errorf("%w: load at %d in %s", ErrMemBounds, addr, fn.Name)
+				}
+				regs[in.Dst] = m.mem[addr]
+			case ir.OpStq, ir.OpStt:
+				addr := regs[in.A] + in.Imm
+				if addr <= 0 || addr >= int64(len(m.mem)) {
+					return 0, 0, fmt.Errorf("%w: store at %d in %s", ErrMemBounds, addr, fn.Name)
+				}
+				m.mem[addr] = regs[in.B]
+			case ir.OpAddT, ir.OpSubT, ir.OpMulT, ir.OpDivT:
+				a := math.Float64frombits(uint64(regs[in.A]))
+				bv := math.Float64frombits(uint64(regs[in.B]))
+				var r float64
+				switch in.Op {
+				case ir.OpAddT:
+					r = a + bv
+				case ir.OpSubT:
+					r = a - bv
+				case ir.OpMulT:
+					r = a * bv
+				case ir.OpDivT:
+					r = a / bv
+				}
+				regs[in.Dst] = int64(math.Float64bits(r))
+			case ir.OpFAbs:
+				a := math.Float64frombits(uint64(regs[in.A]))
+				regs[in.Dst] = int64(math.Float64bits(math.Abs(a)))
+			case ir.OpFNeg:
+				a := math.Float64frombits(uint64(regs[in.A]))
+				regs[in.Dst] = int64(math.Float64bits(-a))
+			case ir.OpLdiT:
+				regs[in.Dst] = in.Imm
+			case ir.OpCvtQT:
+				regs[in.Dst] = int64(math.Float64bits(float64(regs[in.A])))
+			case ir.OpCvtTQ:
+				regs[in.Dst] = int64(math.Float64frombits(uint64(regs[in.A])))
+			case ir.OpCmpTEq, ir.OpCmpTLt, ir.OpCmpTLe:
+				a := math.Float64frombits(uint64(regs[in.A]))
+				bv := math.Float64frombits(uint64(regs[in.B]))
+				var cond bool
+				switch in.Op {
+				case ir.OpCmpTEq:
+					cond = a == bv
+				case ir.OpCmpTLt:
+					cond = a < bv
+				case ir.OpCmpTLe:
+					cond = a <= bv
+				}
+				r := 0.0
+				if cond {
+					r = 1.0
+				}
+				regs[in.Dst] = int64(math.Float64bits(r))
+			case ir.OpBeq, ir.OpBne, ir.OpBlt, ir.OpBle, ir.OpBgt, ir.OpBge,
+				ir.OpFbeq, ir.OpFbne, ir.OpFblt, ir.OpFble, ir.OpFbgt, ir.OpFbge,
+				ir.OpBeq2, ir.OpBne2:
+				taken := branchTaken(in, regs[:])
+				m.prof.CondExec++
+				bc := m.prof.Branch(ir.BranchRef{Func: fn.Name, Block: b.ID})
+				bc.Executed++
+				if taken {
+					m.prof.CondTaken++
+					bc.Taken++
+					nextIdx = fi.idToIdx[in.Target]
+				}
+				fell = false
+				goto endBlock
+			case ir.OpBr:
+				nextIdx = fi.idToIdx[in.Target]
+				fell = false
+				goto endBlock
+			case ir.OpJmp:
+				idx := regs[in.A]
+				if idx < 0 || idx >= int64(len(in.Targets)) {
+					return 0, 0, ErrBadJump
+				}
+				nextIdx = fi.idToIdx[in.Targets[idx]]
+				fell = false
+				goto endBlock
+			case ir.OpBsr:
+				callee := m.funcs[in.Sym]
+				if callee == nil {
+					return 0, 0, fmt.Errorf("interp: call to unknown function %q", in.Sym)
+				}
+				var cargs [12]int64
+				for i := 0; i < 6; i++ {
+					cargs[i] = regs[int(ir.RegA0)+i]
+					cargs[6+i] = regs[int(ir.RegFA0)+i]
+				}
+				ri, rf, cerr := m.call(callee, cargs, sp)
+				if cerr != nil {
+					return 0, 0, cerr
+				}
+				regs[ir.RegV0] = ri
+				regs[ir.RegFV0] = rf
+			case ir.OpRet:
+				return regs[ir.RegV0], regs[ir.RegFV0], nil
+			case ir.OpRtcall:
+				if rerr := m.runtime(in.Imm, regs[:]); rerr != nil {
+					return 0, 0, rerr
+				}
+			default:
+				return 0, 0, fmt.Errorf("interp: unimplemented opcode %s", in.Op)
+			}
+		}
+	endBlock:
+		if fell && blockIdx+1 >= len(fn.Blocks) {
+			return 0, 0, fmt.Errorf("interp: %s: control fell off the end", fn.Name)
+		}
+		if m.prof.Edges != nil {
+			from := fn.Blocks[blockIdx].ID
+			to := fn.Blocks[nextIdx].ID
+			m.prof.Edges[EdgeRef{Func: fn.Name, From: from, To: to}]++
+		}
+		blockIdx = nextIdx
+	}
+}
+
+// branchTaken evaluates a conditional branch against the register file.
+func branchTaken(in *ir.Instr, regs []int64) bool {
+	switch in.Op {
+	case ir.OpBeq:
+		return regs[in.A] == 0
+	case ir.OpBne:
+		return regs[in.A] != 0
+	case ir.OpBlt:
+		return regs[in.A] < 0
+	case ir.OpBle:
+		return regs[in.A] <= 0
+	case ir.OpBgt:
+		return regs[in.A] > 0
+	case ir.OpBge:
+		return regs[in.A] >= 0
+	case ir.OpBeq2:
+		return regs[in.A] == regs[in.B]
+	case ir.OpBne2:
+		return regs[in.A] != regs[in.B]
+	case ir.OpFbeq, ir.OpFbne, ir.OpFblt, ir.OpFble, ir.OpFbgt, ir.OpFbge:
+		a := math.Float64frombits(uint64(regs[in.A]))
+		switch in.Op {
+		case ir.OpFbeq:
+			return a == 0
+		case ir.OpFbne:
+			return a != 0
+		case ir.OpFblt:
+			return a < 0
+		case ir.OpFble:
+			return a <= 0
+		case ir.OpFbgt:
+			return a > 0
+		case ir.OpFbge:
+			return a >= 0
+		}
+	}
+	panic("interp: branchTaken on non-branch " + in.Op.String())
+}
+
+func intALU(op ir.Op, a, b int64) (int64, error) {
+	switch op {
+	case ir.OpAddQ:
+		return a + b, nil
+	case ir.OpSubQ:
+		return a - b, nil
+	case ir.OpMulQ:
+		return a * b, nil
+	case ir.OpDivQ:
+		if b == 0 {
+			return 0, ErrDivZero
+		}
+		return a / b, nil
+	case ir.OpRemQ:
+		if b == 0 {
+			return 0, ErrDivZero
+		}
+		return a % b, nil
+	case ir.OpAndQ:
+		return a & b, nil
+	case ir.OpOrQ:
+		return a | b, nil
+	case ir.OpXorQ:
+		return a ^ b, nil
+	case ir.OpSllQ:
+		return a << (uint64(b) & 63), nil
+	case ir.OpSrlQ:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case ir.OpCmpEq:
+		if a == b {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.OpCmpLt:
+		if a < b {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.OpCmpLe:
+		if a <= b {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	panic("interp: intALU on " + op.String())
+}
+
+// runtime dispatches the OpRtcall intrinsics.
+func (m *machine) runtime(id int64, regs []int64) error {
+	switch id {
+	case ir.RtAlloc:
+		n := regs[ir.RegA0]
+		if n < 0 {
+			n = 0
+		}
+		if m.heapPtr+n >= m.heapTop {
+			return ErrHeap
+		}
+		regs[ir.RegV0] = m.heapPtr
+		m.heapPtr += n
+	case ir.RtInput:
+		if len(m.cfg.Input) == 0 {
+			regs[ir.RegV0] = 0
+		} else {
+			i := regs[ir.RegA0] % int64(len(m.cfg.Input))
+			if i < 0 {
+				i += int64(len(m.cfg.Input))
+			}
+			regs[ir.RegV0] = m.cfg.Input[i]
+		}
+	case ir.RtPrint:
+		m.prof.Outputs = append(m.prof.Outputs, regs[ir.RegA0])
+	case ir.RtPrintF:
+		m.prof.FOutputs = append(m.prof.FOutputs, math.Float64frombits(uint64(regs[ir.RegFA0])))
+	case ir.RtRand:
+		m.rng = m.rng*6364136223846793005 + 1442695040888963407
+		regs[ir.RegV0] = int64((m.rng >> 33) & 0x7FFFFFFF)
+	default:
+		return ErrBadRuntime
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package ir
+
+import "fmt"
+
+// FuncBuilder incrementally constructs a Func. It is used by the code
+// generator and by tests that need hand-built CFGs.
+type FuncBuilder struct {
+	fn   *Func
+	cur  *Block
+	next int
+}
+
+// NewFuncBuilder starts a function with an initial entry block selected as
+// the current block.
+func NewFuncBuilder(name string, lang Language) *FuncBuilder {
+	b := &FuncBuilder{fn: &Func{Name: name, Language: lang}}
+	entry := b.NewBlock()
+	b.SetBlock(entry)
+	return b
+}
+
+// Func returns the function under construction.
+func (b *FuncBuilder) Func() *Func { return b.fn }
+
+// NewBlock appends a fresh empty block to the layout and returns it. The
+// current block is unchanged.
+func (b *FuncBuilder) NewBlock() *Block {
+	blk := &Block{ID: b.next}
+	b.next++
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+// NewBlockDetached creates a block with a fresh ID but does not place it in
+// the layout; use Place to insert it at the end later. This lets the code
+// generator create join points before their position is known.
+func (b *FuncBuilder) NewBlockDetached() *Block {
+	blk := &Block{ID: b.next}
+	b.next++
+	return blk
+}
+
+// Place appends a detached block to the layout.
+func (b *FuncBuilder) Place(blk *Block) {
+	for _, have := range b.fn.Blocks {
+		if have == blk {
+			panic(fmt.Sprintf("ir: block b%d placed twice", blk.ID))
+		}
+	}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+}
+
+// SetBlock makes blk the current emission target.
+func (b *FuncBuilder) SetBlock(blk *Block) { b.cur = blk }
+
+// Block returns the current emission target.
+func (b *FuncBuilder) Block() *Block { return b.cur }
+
+// Emit appends an instruction to the current block.
+func (b *FuncBuilder) Emit(in Instr) {
+	if b.cur == nil {
+		panic("ir: Emit with no current block")
+	}
+	if t := b.cur.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emit %v after terminator %v in b%d", in.String(), t.String(), b.cur.ID))
+	}
+	b.cur.Insns = append(b.cur.Insns, in)
+}
+
+// Terminated reports whether the current block already ends with a
+// terminator (so no further instructions may be emitted into it).
+func (b *FuncBuilder) Terminated() bool {
+	return b.cur != nil && b.cur.Terminator() != nil
+}
+
+// Op3 emits a three-register instruction Dst = A op B.
+func (b *FuncBuilder) Op3(op Op, dst, a, rb Reg) {
+	b.Emit(Instr{Op: op, Dst: dst, A: a, B: rb})
+}
+
+// OpImm emits Dst = A op #imm.
+func (b *FuncBuilder) OpImm(op Op, dst, a Reg, imm int64) {
+	b.Emit(Instr{Op: op, Dst: dst, A: a, Imm: imm, UseImm: true})
+}
+
+// LoadInt emits Dst = #imm.
+func (b *FuncBuilder) LoadInt(dst Reg, imm int64) {
+	b.Emit(Instr{Op: OpLdiQ, Dst: dst, Imm: imm})
+}
+
+// Lda emits Dst = &sym + off.
+func (b *FuncBuilder) Lda(dst Reg, sym string, off int64) {
+	b.Emit(Instr{Op: OpLda, Dst: dst, Sym: sym, Imm: off})
+}
+
+// Branch emits a conditional branch on reg to the taken block.
+func (b *FuncBuilder) Branch(op Op, reg Reg, taken *Block) {
+	if !op.IsCondBranch() {
+		panic("ir: Branch with non-branch opcode " + op.String())
+	}
+	b.Emit(Instr{Op: op, A: reg, Target: taken.ID})
+}
+
+// Branch2 emits a MIPS-style two-register conditional branch.
+func (b *FuncBuilder) Branch2(op Op, a, rb Reg, taken *Block) {
+	if !op.IsTwoRegBranch() {
+		panic("ir: Branch2 with non-two-register branch " + op.String())
+	}
+	b.Emit(Instr{Op: op, A: a, B: rb, Target: taken.ID})
+}
+
+// Jump emits an unconditional branch.
+func (b *FuncBuilder) Jump(target *Block) {
+	b.Emit(Instr{Op: OpBr, Target: target.ID})
+}
+
+// Call emits a direct call.
+func (b *FuncBuilder) Call(callee string) {
+	b.Emit(Instr{Op: OpBsr, Sym: callee})
+}
+
+// Ret emits a return.
+func (b *FuncBuilder) Ret() { b.Emit(Instr{Op: OpRet}) }

@@ -1,0 +1,401 @@
+// Package ir defines the Alpha-like intermediate representation that the
+// whole reproduction is built on: the MinC code generator lowers programs to
+// it, the interpreter executes it to collect branch profiles (standing in for
+// ATOM instrumentation of Alpha binaries), and the CFG analyses, feature
+// extraction, and branch-prediction heuristics all consume it.
+package ir
+
+import "fmt"
+
+// Reg names a machine register. Values 0..31 are the integer registers
+// R0..R31; values 32..63 are the floating-point registers F0..F31.
+// Following Alpha conventions, R31 and F31 always read as zero.
+type Reg uint8
+
+// Register conventions (a simplified Alpha calling standard).
+const (
+	RegV0   Reg = 0  // integer return value
+	RegA0   Reg = 16 // first integer argument (R16..R21 are A0..A5)
+	RegSP   Reg = 30 // stack pointer
+	RegZero Reg = 31 // integer zero register
+
+	RegFV0   Reg = 32 + 0  // float return value (F0)
+	RegFA0   Reg = 32 + 16 // first float argument (F16..F21)
+	RegFZero Reg = 32 + 31 // float zero register (F31)
+
+	// NumRegs is the total register file size (32 int + 32 float).
+	NumRegs = 64
+)
+
+// R returns the i'th integer register.
+func R(i int) Reg {
+	if i < 0 || i > 31 {
+		panic(fmt.Sprintf("ir: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// F returns the i'th floating-point register.
+func F(i int) Reg {
+	if i < 0 || i > 31 {
+		panic(fmt.Sprintf("ir: float register index %d out of range", i))
+	}
+	return Reg(32 + i)
+}
+
+// IsFloat reports whether r is a floating-point register.
+func (r Reg) IsFloat() bool { return r >= 32 }
+
+// IsZero reports whether r is a hardwired zero register.
+func (r Reg) IsZero() bool { return r == RegZero || r == RegFZero }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if r.IsFloat() {
+		return fmt.Sprintf("F%d", int(r-32))
+	}
+	return fmt.Sprintf("R%d", int(r))
+}
+
+// NoReg is the canonical "no register" operand placeholder (reads as zero).
+const NoReg = RegZero
+
+// Instr is a single IR instruction. The meaning of the fields depends on the
+// opcode:
+//
+//   - ALU/compare: Dst = A op B, or Dst = A op Imm when UseImm is set.
+//   - OpLdiQ/OpLdiT: Dst = Imm (for OpLdiT, Imm holds the float's bits).
+//   - OpLda: Dst = &Sym + Imm.
+//   - Loads/stores: address is A + Imm; loads write Dst, stores read B.
+//   - Conditional branches: test A (against zero, or against B for the
+//     MIPS-style two-register forms); Target is the taken successor block ID.
+//   - OpBr: Target is the successor block ID.
+//   - OpJmp: A holds a block-table index; Targets lists the candidates.
+//   - OpBsr: call function Sym; arguments are in A0.../FA0... by convention.
+//   - OpRtcall: Imm selects the runtime intrinsic.
+type Instr struct {
+	Op     Op
+	Dst    Reg
+	A      Reg
+	B      Reg
+	Imm    int64
+	UseImm bool
+	Sym    string
+	Target int
+	// Targets lists candidate successor blocks for OpJmp (jump tables).
+	Targets []int
+}
+
+// Uses returns the registers read by the instruction.
+func (in *Instr) Uses() []Reg {
+	switch in.Op.Class() {
+	case ClassIntALU, ClassFloatALU, ClassIntCmp, ClassFloatCmp:
+		if in.Op == OpFAbs || in.Op == OpFNeg || in.Op == OpCvtQT || in.Op == OpCvtTQ {
+			return []Reg{in.A}
+		}
+		if in.UseImm {
+			return []Reg{in.A}
+		}
+		return []Reg{in.A, in.B}
+	case ClassMove:
+		return []Reg{in.A}
+	case ClassCmov:
+		return []Reg{in.A, in.B, in.Dst}
+	case ClassLoad:
+		return []Reg{in.A}
+	case ClassStore:
+		return []Reg{in.A, in.B}
+	case ClassCondBranch:
+		if in.Op.IsTwoRegBranch() {
+			return []Reg{in.A, in.B}
+		}
+		return []Reg{in.A}
+	case ClassIndirectJump, ClassIndirectCall:
+		return []Reg{in.A}
+	}
+	return nil
+}
+
+// Def returns the register written by the instruction and whether it writes
+// one at all.
+func (in *Instr) Def() (Reg, bool) {
+	switch in.Op.Class() {
+	case ClassIntALU, ClassFloatALU, ClassIntCmp, ClassFloatCmp,
+		ClassConst, ClassMove, ClassCmov, ClassLoad:
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembler-like syntax.
+func (in *Instr) String() string {
+	switch in.Op.Class() {
+	case ClassIntALU, ClassFloatALU, ClassIntCmp, ClassFloatCmp:
+		if in.Op == OpFAbs || in.Op == OpFNeg || in.Op == OpCvtQT || in.Op == OpCvtTQ {
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.A)
+		}
+		if in.UseImm {
+			return fmt.Sprintf("%s %s, %s, #%d", in.Op, in.Dst, in.A, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.A, in.B)
+	case ClassConst:
+		if in.Op == OpLda {
+			return fmt.Sprintf("lda %s, %s+%d", in.Dst, in.Sym, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, #%d", in.Op, in.Dst, in.Imm)
+	case ClassMove:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.A)
+	case ClassCmov:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.A, in.B, in.Dst)
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Dst, in.Imm, in.A)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.B, in.Imm, in.A)
+	case ClassCondBranch:
+		if in.Op.IsTwoRegBranch() {
+			return fmt.Sprintf("%s %s, %s, b%d", in.Op, in.A, in.B, in.Target)
+		}
+		return fmt.Sprintf("%s %s, b%d", in.Op, in.A, in.Target)
+	case ClassUncondBranch:
+		return fmt.Sprintf("br b%d", in.Target)
+	case ClassIndirectJump:
+		return fmt.Sprintf("jmp (%s) %v", in.A, in.Targets)
+	case ClassCall:
+		return fmt.Sprintf("bsr %s", in.Sym)
+	case ClassIndirectCall:
+		return fmt.Sprintf("jsr (%s)", in.A)
+	case ClassReturn:
+		return "ret"
+	case ClassRuntime:
+		return fmt.Sprintf("rtcall #%d", in.Imm)
+	}
+	return fmt.Sprintf("%s ???", in.Op)
+}
+
+// Block is a basic block: a maximal straight-line instruction sequence. A
+// block may end with a terminator (branch, jump, or return); a block whose
+// last instruction is not a terminator falls through to the next block in
+// the function's layout order.
+type Block struct {
+	ID    int
+	Insns []Instr
+}
+
+// Terminator returns the block's terminating instruction, or nil if the
+// block falls through implicitly.
+func (b *Block) Terminator() *Instr {
+	if len(b.Insns) == 0 {
+		return nil
+	}
+	last := &b.Insns[len(b.Insns)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Branch returns the block's conditional-branch terminator, or nil.
+func (b *Block) Branch() *Instr {
+	t := b.Terminator()
+	if t != nil && t.Op.IsCondBranch() {
+		return t
+	}
+	return nil
+}
+
+// ContainsCall reports whether any instruction in the block is a call.
+func (b *Block) ContainsCall() bool {
+	for i := range b.Insns {
+		if b.Insns[i].Op.IsCall() {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsStore reports whether any instruction in the block writes memory.
+func (b *Block) ContainsStore() bool {
+	for i := range b.Insns {
+		if b.Insns[i].Op.IsStore() {
+			return true
+		}
+	}
+	return false
+}
+
+// Language tags the source language of a procedure, one of the static
+// features in Table 2 of the paper (value "C" or "FORT"; the Scheme-style
+// corpus programs use "SCHEME" for the Section 3.1.2 study).
+type Language string
+
+// Source-language values.
+const (
+	LangC       Language = "C"
+	LangFortran Language = "FORT"
+	LangScheme  Language = "SCHEME"
+)
+
+// Func is a procedure: an ordered list of basic blocks. Blocks[0] is the
+// entry block and block layout order defines branch direction (a branch to a
+// lower-indexed block is a backward branch).
+type Func struct {
+	Name      string
+	Blocks    []*Block
+	NIntArgs  int
+	NFltArgs  int
+	FrameSize int64 // stack frame size in words
+	Language  Language
+}
+
+// Succs returns the successor block IDs of block b in control-flow order:
+// for a conditional branch the taken successor (branch target) comes first
+// and the fall-through successor second.
+func (f *Func) Succs(b *Block) []int {
+	t := b.Terminator()
+	if t == nil {
+		if next := f.layoutNext(b.ID); next >= 0 {
+			return []int{next}
+		}
+		return nil
+	}
+	switch t.Op.Class() {
+	case ClassCondBranch:
+		succs := []int{t.Target}
+		if next := f.layoutNext(b.ID); next >= 0 {
+			succs = append(succs, next)
+		}
+		return succs
+	case ClassUncondBranch:
+		return []int{t.Target}
+	case ClassIndirectJump:
+		return append([]int(nil), t.Targets...)
+	case ClassReturn:
+		return nil
+	}
+	return nil
+}
+
+// layoutNext returns the ID of the block following block id in layout order,
+// or -1 if id is the last block.
+func (f *Func) layoutNext(id int) int {
+	for i, b := range f.Blocks {
+		if b.ID == id {
+			if i+1 < len(f.Blocks) {
+				return f.Blocks[i+1].ID
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// BlockByID returns the block with the given ID, or nil.
+func (f *Func) BlockByID(id int) *Block {
+	for _, b := range f.Blocks {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// LayoutIndex returns the position of block id in layout order, or -1.
+func (f *Func) LayoutIndex(id int) int {
+	for i, b := range f.Blocks {
+		if b.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumInsns returns the static instruction count of the function.
+func (f *Func) NumInsns() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insns)
+	}
+	return n
+}
+
+// Global is a program global variable: a named region of Size words,
+// optionally with initial integer values.
+type Global struct {
+	Name  string
+	Size  int64
+	Init  []int64
+	Float bool
+}
+
+// Program is a complete compiled program: a set of functions (with "main" as
+// the entry point) and global variables.
+type Program struct {
+	Name    string
+	Funcs   []*Func
+	Globals []Global
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalByName returns the global with the given name, or nil.
+func (p *Program) GlobalByName(name string) *Global {
+	for i := range p.Globals {
+		if p.Globals[i].Name == name {
+			return &p.Globals[i]
+		}
+	}
+	return nil
+}
+
+// NumInsns returns the static instruction count of the whole program.
+func (p *Program) NumInsns() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.NumInsns()
+	}
+	return n
+}
+
+// NumCondBranches returns the number of static conditional branch sites.
+func (p *Program) NumCondBranches() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Branch() != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BranchRef identifies a static conditional branch site within a program.
+type BranchRef struct {
+	Func  string
+	Block int
+}
+
+// String renders the site as func:bN.
+func (r BranchRef) String() string { return fmt.Sprintf("%s:b%d", r.Func, r.Block) }
+
+// Branches enumerates every static conditional branch site in the program,
+// in deterministic (function then layout) order.
+func (p *Program) Branches() []BranchRef {
+	var refs []BranchRef
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Branch() != nil {
+				refs = append(refs, BranchRef{Func: f.Name, Block: b.ID})
+			}
+		}
+	}
+	return refs
+}

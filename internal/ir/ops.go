@@ -1,0 +1,310 @@
+package ir
+
+import "fmt"
+
+// Op identifies an IR instruction opcode. The instruction set is modeled on
+// the DEC Alpha AXP (the paper's evaluation architecture): integer and
+// floating-point ALU operations, compares that write a register, loads and
+// stores, conditional branches that compare a single register against zero,
+// and direct calls. A small number of MIPS-style extensions (two-register
+// branch forms) exist so the cross-architecture study of Table 6 can be
+// reproduced; the Alpha-style code generator never emits them.
+type Op int
+
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU. Dst = A op B (or A op Imm when UseImm is set).
+	OpAddQ
+	OpSubQ
+	OpMulQ
+	OpDivQ
+	OpRemQ
+	OpAndQ
+	OpOrQ
+	OpXorQ
+	OpSllQ
+	OpSrlQ
+
+	// Integer compares, writing 1 or 0 to Dst.
+	OpCmpEq
+	OpCmpLt
+	OpCmpLe
+
+	// Constants and addresses.
+	OpLdiQ // Dst = Imm (integer literal)
+	OpLda  // Dst = address of global Sym + Imm
+	OpMov  // Dst = A
+
+	// Conditional moves (the Alpha feature the paper credits with removing
+	// short conditional branches; see Section 5.2).
+	OpCmovEq  // if A == 0 then Dst = B
+	OpCmovNe  // if A != 0 then Dst = B
+	OpFCmovEq // if A (float) == 0 then Dst = B (float registers)
+	OpFCmovNe // if A (float) != 0 then Dst = B (float registers)
+
+	// Memory. Addresses are word offsets: effective address = A + Imm.
+	OpLdq // Dst = mem[A+Imm] (integer)
+	OpStq // mem[A+Imm] = B (integer)
+	OpLdt // Dst = mem[A+Imm] (float)
+	OpStt // mem[A+Imm] = B (float)
+
+	// Floating point ALU.
+	OpAddT
+	OpSubT
+	OpMulT
+	OpDivT
+	OpFAbs
+	OpFNeg
+	OpFMov
+	OpLdiT  // Dst = float literal (bits in Imm)
+	OpCvtQT // Dst(float) = float(A(int))
+	OpCvtTQ // Dst(int) = trunc(A(float))
+
+	// Floating point compares; per the Alpha, the boolean result is written
+	// to a floating-point register (as 0.0 or 1.0) and tested by FB* branches.
+	OpCmpTEq
+	OpCmpTLt
+	OpCmpTLe
+
+	// Conditional branches, Alpha style: compare one register against zero.
+	// Target is the taken-successor block ID; fall-through is the next block
+	// in layout order.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBle
+	OpBgt
+	OpBge
+	OpFbeq
+	OpFbne
+	OpFblt
+	OpFble
+	OpFbgt
+	OpFbge
+
+	// Conditional branches, MIPS style: compare two registers directly.
+	OpBeq2 // taken if A == B
+	OpBne2 // taken if A != B
+
+	// Control transfer.
+	OpBr     // unconditional branch to Target
+	OpJmp    // indirect jump (jump-table); interpreter resolves via A
+	OpBsr    // direct call to function Sym
+	OpJsr    // indirect call (unused by the code generator; kept for fidelity)
+	OpRet    // return; value in R0 / F0 by convention
+	OpRtcall // runtime intrinsic call; Imm selects the Runtime function
+)
+
+// Runtime intrinsic identifiers for OpRtcall.
+const (
+	RtAlloc  = iota // R0 = address of a fresh zeroed heap block of R16 words
+	RtInput         // R0 = input word R16 of the program's input vector
+	RtPrint         // record R16 as program output (integer)
+	RtPrintF        // record F16 as program output (float)
+	RtRand          // R0 = next value of the deterministic per-run LCG
+	numRuntime
+)
+
+// OpClass partitions opcodes for feature extraction and heuristic analysis.
+type OpClass int
+
+const (
+	ClassInvalid OpClass = iota
+	ClassIntALU
+	ClassIntCmp
+	ClassConst
+	ClassMove
+	ClassCmov
+	ClassLoad
+	ClassStore
+	ClassFloatALU
+	ClassFloatCmp
+	ClassCondBranch
+	ClassUncondBranch
+	ClassIndirectJump
+	ClassCall
+	ClassIndirectCall
+	ClassReturn
+	ClassRuntime
+)
+
+type opInfo struct {
+	name  string
+	class OpClass
+	// float marks opcodes whose Dst (for ALU/compare) or tested register
+	// (for branches) is a floating-point register.
+	float bool
+}
+
+var opTable = [...]opInfo{
+	OpInvalid: {"invalid", ClassInvalid, false},
+
+	OpAddQ: {"addq", ClassIntALU, false},
+	OpSubQ: {"subq", ClassIntALU, false},
+	OpMulQ: {"mulq", ClassIntALU, false},
+	OpDivQ: {"divq", ClassIntALU, false},
+	OpRemQ: {"remq", ClassIntALU, false},
+	OpAndQ: {"andq", ClassIntALU, false},
+	OpOrQ:  {"orq", ClassIntALU, false},
+	OpXorQ: {"xorq", ClassIntALU, false},
+	OpSllQ: {"sllq", ClassIntALU, false},
+	OpSrlQ: {"srlq", ClassIntALU, false},
+
+	OpCmpEq: {"cmpeq", ClassIntCmp, false},
+	OpCmpLt: {"cmplt", ClassIntCmp, false},
+	OpCmpLe: {"cmple", ClassIntCmp, false},
+
+	OpLdiQ: {"ldiq", ClassConst, false},
+	OpLda:  {"lda", ClassConst, false},
+	OpMov:  {"mov", ClassMove, false},
+
+	OpCmovEq:  {"cmoveq", ClassCmov, false},
+	OpCmovNe:  {"cmovne", ClassCmov, false},
+	OpFCmovEq: {"fcmoveq", ClassCmov, true},
+	OpFCmovNe: {"fcmovne", ClassCmov, true},
+
+	OpLdq: {"ldq", ClassLoad, false},
+	OpStq: {"stq", ClassStore, false},
+	OpLdt: {"ldt", ClassLoad, true},
+	OpStt: {"stt", ClassStore, true},
+
+	OpAddT:  {"addt", ClassFloatALU, true},
+	OpSubT:  {"subt", ClassFloatALU, true},
+	OpMulT:  {"mult", ClassFloatALU, true},
+	OpDivT:  {"divt", ClassFloatALU, true},
+	OpFAbs:  {"fabs", ClassFloatALU, true},
+	OpFNeg:  {"fneg", ClassFloatALU, true},
+	OpFMov:  {"fmov", ClassMove, true},
+	OpLdiT:  {"ldit", ClassConst, true},
+	OpCvtQT: {"cvtqt", ClassFloatALU, true},
+	OpCvtTQ: {"cvttq", ClassIntALU, false},
+
+	OpCmpTEq: {"cmpteq", ClassFloatCmp, true},
+	OpCmpTLt: {"cmptlt", ClassFloatCmp, true},
+	OpCmpTLe: {"cmptle", ClassFloatCmp, true},
+
+	OpBeq:  {"beq", ClassCondBranch, false},
+	OpBne:  {"bne", ClassCondBranch, false},
+	OpBlt:  {"blt", ClassCondBranch, false},
+	OpBle:  {"ble", ClassCondBranch, false},
+	OpBgt:  {"bgt", ClassCondBranch, false},
+	OpBge:  {"bge", ClassCondBranch, false},
+	OpFbeq: {"fbeq", ClassCondBranch, true},
+	OpFbne: {"fbne", ClassCondBranch, true},
+	OpFblt: {"fblt", ClassCondBranch, true},
+	OpFble: {"fble", ClassCondBranch, true},
+	OpFbgt: {"fbgt", ClassCondBranch, true},
+	OpFbge: {"fbge", ClassCondBranch, true},
+
+	OpBeq2: {"beq2", ClassCondBranch, false},
+	OpBne2: {"bne2", ClassCondBranch, false},
+
+	OpBr:     {"br", ClassUncondBranch, false},
+	OpJmp:    {"jmp", ClassIndirectJump, false},
+	OpBsr:    {"bsr", ClassCall, false},
+	OpJsr:    {"jsr", ClassIndirectCall, false},
+	OpRet:    {"ret", ClassReturn, false},
+	OpRtcall: {"rtcall", ClassRuntime, false},
+}
+
+// NumOps is the number of defined opcodes (including OpInvalid).
+const NumOps = int(OpRtcall) + 1
+
+func (o Op) valid() bool { return o > OpInvalid && int(o) < len(opTable) }
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if !o.valid() {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opTable[o].name
+}
+
+// Class returns the opcode's classification.
+func (o Op) Class() OpClass {
+	if !o.valid() {
+		return ClassInvalid
+	}
+	return opTable[o].class
+}
+
+// IsFloat reports whether the opcode operates on floating-point registers.
+func (o Op) IsFloat() bool {
+	if !o.valid() {
+		return false
+	}
+	return opTable[o].float
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool { return o.Class() == ClassCondBranch }
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o.Class() {
+	case ClassCondBranch, ClassUncondBranch, ClassIndirectJump, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the opcode transfers control to a procedure and
+// returns (direct or indirect).
+func (o Op) IsCall() bool {
+	c := o.Class()
+	return c == ClassCall || c == ClassIndirectCall
+}
+
+// IsStore reports whether the opcode writes memory.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// IsLoad reports whether the opcode reads memory.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsCompare reports whether the opcode is an integer or float compare that
+// writes a boolean register result.
+func (o Op) IsCompare() bool {
+	c := o.Class()
+	return c == ClassIntCmp || c == ClassFloatCmp
+}
+
+// IsTwoRegBranch reports whether the opcode is a MIPS-style branch that
+// compares two registers directly.
+func (o Op) IsTwoRegBranch() bool { return o == OpBeq2 || o == OpBne2 }
+
+// BranchNegate returns the conditional branch opcode with the opposite
+// condition, e.g. beq <-> bne. It panics if o is not a conditional branch.
+func (o Op) BranchNegate() Op {
+	switch o {
+	case OpBeq:
+		return OpBne
+	case OpBne:
+		return OpBeq
+	case OpBlt:
+		return OpBge
+	case OpBge:
+		return OpBlt
+	case OpBle:
+		return OpBgt
+	case OpBgt:
+		return OpBle
+	case OpFbeq:
+		return OpFbne
+	case OpFbne:
+		return OpFbeq
+	case OpFblt:
+		return OpFbge
+	case OpFbge:
+		return OpFblt
+	case OpFble:
+		return OpFbgt
+	case OpFbgt:
+		return OpFble
+	case OpBeq2:
+		return OpBne2
+	case OpBne2:
+		return OpBeq2
+	}
+	panic("ir: BranchNegate on non-branch opcode " + o.String())
+}

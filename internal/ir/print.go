@@ -1,0 +1,42 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the function as text, one block per paragraph, with
+// successor annotations. The output is stable and used in golden tests.
+func (f *Func) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (int args %d, float args %d, frame %d, lang %s):\n",
+		f.Name, f.NIntArgs, f.NFltArgs, f.FrameSize, f.Language)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if succs := f.Succs(b); len(succs) > 0 {
+			fmt.Fprintf(&sb, "  ; succs=%v", succs)
+		}
+		sb.WriteByte('\n')
+		for i := range b.Insns {
+			fmt.Fprintf(&sb, "\t%s\n", b.Insns[i].String())
+		}
+	}
+	return sb.String()
+}
+
+// Disassemble renders the whole program (globals, then functions).
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, g := range p.Globals {
+		kind := "int"
+		if g.Float {
+			kind = "float"
+		}
+		fmt.Fprintf(&sb, "global %s %s[%d]\n", kind, g.Name, g.Size)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.Disassemble())
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Verify checks structural invariants of the program:
+//
+//   - block IDs are unique within each function and branch targets resolve;
+//   - terminators appear only as the last instruction of a block;
+//   - the last block of a function does not fall off the end;
+//   - calls name functions that exist; LDA names globals that exist;
+//   - register operands are within the register file;
+//   - float/int register classes match the opcode where the ISA requires it.
+//
+// It returns the first violation found, or nil.
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if err := p.verifyFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	if p.FuncByName("main") == nil {
+		return fmt.Errorf("program %s: no main function", p.Name)
+	}
+	return nil
+}
+
+func (p *Program) verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	ids := make(map[int]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if ids[b.ID] {
+			return fmt.Errorf("duplicate block id b%d", b.ID)
+		}
+		ids[b.ID] = true
+	}
+	for li, b := range f.Blocks {
+		for i := range b.Insns {
+			in := &b.Insns[i]
+			if in.Op.IsTerminator() && i != len(b.Insns)-1 {
+				return fmt.Errorf("b%d: terminator %s not at end of block", b.ID, in.String())
+			}
+			if err := p.verifyInstr(f, in); err != nil {
+				return fmt.Errorf("b%d: %s: %w", b.ID, in.String(), err)
+			}
+		}
+		if b.Terminator() == nil && li == len(f.Blocks)-1 {
+			return fmt.Errorf("b%d: last block falls off the end of the function", b.ID)
+		}
+		for _, s := range f.Succs(b) {
+			if !ids[s] {
+				return fmt.Errorf("b%d: successor b%d does not exist", b.ID, s)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) verifyInstr(f *Func, in *Instr) error {
+	if !in.Op.valid() {
+		return fmt.Errorf("invalid opcode")
+	}
+	for _, r := range in.Uses() {
+		if int(r) >= NumRegs {
+			return fmt.Errorf("register %d out of range", r)
+		}
+	}
+	if d, ok := in.Def(); ok {
+		if int(d) >= NumRegs {
+			return fmt.Errorf("destination register %d out of range", d)
+		}
+		if d.IsZero() {
+			// Writing the zero register is legal (discard) but suspicious in
+			// generated code; permit it for hand-written tests.
+			_ = d
+		}
+		wantFloat := in.Op.IsFloat()
+		// Loads/converts define the class named by the opcode; moves carry
+		// their class too.
+		if d.IsFloat() != wantFloat {
+			return fmt.Errorf("destination %s has wrong register class for %s", d, in.Op)
+		}
+	}
+	switch in.Op.Class() {
+	case ClassCondBranch:
+		if in.Op.IsFloat() != in.A.IsFloat() {
+			return fmt.Errorf("branch tests %s with wrong register class", in.A)
+		}
+	case ClassCall:
+		if p.FuncByName(in.Sym) == nil {
+			return fmt.Errorf("call to undefined function %q", in.Sym)
+		}
+	case ClassConst:
+		if in.Op == OpLda && p.GlobalByName(in.Sym) == nil {
+			return fmt.Errorf("lda of undefined global %q", in.Sym)
+		}
+	case ClassRuntime:
+		if in.Imm < 0 || in.Imm >= numRuntime {
+			return fmt.Errorf("unknown runtime intrinsic %d", in.Imm)
+		}
+	}
+	return nil
+}

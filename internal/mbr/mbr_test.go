@@ -1,0 +1,153 @@
+package mbr
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/features"
+)
+
+func ex(f int, val string, target, weight float64) Example {
+	var e Example
+	for i := range e.Values {
+		e.Values[i] = "-"
+	}
+	e.Values[f] = val
+	e.Target = target
+	e.Weight = weight
+	return e
+}
+
+func TestEmptyMemory(t *testing.T) {
+	m := New(nil, Config{})
+	var v [features.NumFeatures]string
+	if p := m.Predict(v); p != 0.5 {
+		t.Errorf("empty memory predicts %g, want the 0.5 prior", p)
+	}
+}
+
+func TestExactRecall(t *testing.T) {
+	// With K=1, an exact match must return its own target.
+	exs := []Example{
+		ex(0, "A", 0.9, 0.5),
+		ex(0, "B", 0.1, 0.5),
+	}
+	m := New(exs, Config{K: 1})
+	if p := m.Predict(exs[0].Values); math.Abs(p-0.9) > 1e-9 {
+		t.Errorf("recall of A = %g, want 0.9", p)
+	}
+	if p := m.Predict(exs[1].Values); math.Abs(p-0.1) > 1e-9 {
+		t.Errorf("recall of B = %g, want 0.1", p)
+	}
+}
+
+func TestNeighborhoodBlending(t *testing.T) {
+	// Two memories at equal similarity and weight: prediction is their mean.
+	exs := []Example{
+		ex(0, "A", 1.0, 0.5),
+		ex(0, "A", 0.0, 0.5),
+	}
+	m := New(exs, Config{K: 2, InformationWeights: false})
+	if p := m.Predict(exs[0].Values); math.Abs(p-0.5) > 1e-6 {
+		t.Errorf("blend = %g, want 0.5", p)
+	}
+}
+
+func TestWeightDominance(t *testing.T) {
+	// The heavier memory dominates the blend.
+	exs := []Example{
+		ex(0, "A", 1.0, 0.99),
+		ex(0, "A", 0.0, 0.01),
+	}
+	m := New(exs, Config{K: 2, InformationWeights: false})
+	if p := m.Predict(exs[0].Values); p < 0.9 {
+		t.Errorf("heavy memory lost the blend: %g", p)
+	}
+}
+
+func TestInformationWeights(t *testing.T) {
+	// Feature 0 perfectly separates; feature 1 is constant noise. The
+	// learned weight of feature 0 must exceed feature 1's.
+	var exs []Example
+	for i := 0; i < 20; i++ {
+		e := ex(0, "A", 1, 0.05)
+		if i%2 == 1 {
+			e = ex(0, "B", 0, 0.05)
+		}
+		e.Values[1] = "same"
+		exs = append(exs, e)
+	}
+	m := New(exs, Config{K: 3, InformationWeights: true})
+	if m.FeatW[0] <= m.FeatW[1] {
+		t.Errorf("informative feature weight %g not above noise weight %g",
+			m.FeatW[0], m.FeatW[1])
+	}
+}
+
+func TestUnknownNeverMatches(t *testing.T) {
+	m := New([]Example{ex(0, "A", 1, 1)}, Config{K: 1, InformationWeights: false})
+	var q [features.NumFeatures]string
+	for i := range q {
+		q[i] = features.Unknown
+	}
+	// Similarity with everything unknown is zero; prediction falls back to
+	// the (single-memory) neighborhood blend, which is still well defined.
+	if s := m.Similarity(q, m.Memory[0].Values); s != 0 {
+		t.Errorf("unknown query similarity = %g, want 0", s)
+	}
+	if p := m.Predict(q); p < 0 || p > 1 {
+		t.Errorf("prediction %g out of range", p)
+	}
+}
+
+func TestSerializationRoundtrip(t *testing.T) {
+	exs := []Example{ex(0, "A", 0.8, 0.4), ex(2, "B", 0.3, 0.6)}
+	m := New(exs, Config{})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if p1, p2 := m.Predict(exs[0].Values), back.Predict(exs[0].Values); p1 != p2 {
+		t.Errorf("serialized model differs: %g vs %g", p1, p2)
+	}
+}
+
+// TestPredictionBounded: predictions are probabilities for arbitrary
+// memories.
+func TestPredictionBounded(t *testing.T) {
+	f := func(targets [6]float64, weights [6]float64, vals [6]uint8, k uint8) bool {
+		var exs []Example
+		for i := 0; i < 6; i++ {
+			tg := math.Abs(targets[i])
+			tg -= math.Floor(tg)
+			w := math.Abs(weights[i])
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 1
+			}
+			w = math.Mod(w, 10)
+			if math.IsNaN(tg) {
+				tg = 0.5
+			}
+			exs = append(exs, ex(int(vals[i])%3, string(rune('A'+vals[i]%4)), tg, w))
+		}
+		m := New(exs, Config{K: 1 + int(k)%6, InformationWeights: true})
+		p := m.Predict(exs[0].Values)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	m := New([]Example{ex(0, "A", 1, 1)}, Config{})
+	if m.Size() != 1 {
+		t.Errorf("size = %d", m.Size())
+	}
+}

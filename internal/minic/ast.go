@@ -1,0 +1,406 @@
+package minic
+
+// Type is a MinC type: a base kind plus a pointer depth, with an optional
+// array length for declared arrays (arrays decay to pointers in
+// expressions).
+type Type struct {
+	Base     BaseKind
+	PtrDepth int
+	// ArrayLen > 0 marks a declared array of the element type described by
+	// Base/PtrDepth; such a type only appears on declarations.
+	ArrayLen int64
+}
+
+// BaseKind is a primitive type kind.
+type BaseKind int
+
+// Base kinds.
+const (
+	BaseInvalid BaseKind = iota
+	BaseInt
+	BaseFloat
+	BaseVoid
+	// BaseNull is the type of the 'null' literal, assignable to and
+	// comparable with any pointer type.
+	BaseNull
+)
+
+// Common types.
+var (
+	TypeInt    = Type{Base: BaseInt}
+	TypeFloat  = Type{Base: BaseFloat}
+	TypeVoid   = Type{Base: BaseVoid}
+	TypeNull   = Type{Base: BaseNull}
+	TypeIntPtr = Type{Base: BaseInt, PtrDepth: 1}
+)
+
+// IsPointer reports whether the type is a pointer (or the null constant).
+func (t Type) IsPointer() bool { return t.PtrDepth > 0 || t.Base == BaseNull }
+
+// IsArray reports whether the type is a declared array.
+func (t Type) IsArray() bool { return t.ArrayLen > 0 }
+
+// IsNumeric reports whether the type is int or float (non-pointer).
+func (t Type) IsNumeric() bool {
+	return t.PtrDepth == 0 && (t.Base == BaseInt || t.Base == BaseFloat)
+}
+
+// IsFloat reports whether the type is the scalar float type.
+func (t Type) IsFloat() bool { return t.Base == BaseFloat && t.PtrDepth == 0 }
+
+// IsInt reports whether the type is the scalar int type.
+func (t Type) IsInt() bool { return t.Base == BaseInt && t.PtrDepth == 0 }
+
+// IsVoid reports whether the type is void.
+func (t Type) IsVoid() bool { return t.Base == BaseVoid && t.PtrDepth == 0 }
+
+// Decay converts a declared array type to the corresponding pointer type;
+// other types are returned unchanged.
+func (t Type) Decay() Type {
+	if t.IsArray() {
+		return Type{Base: t.Base, PtrDepth: t.PtrDepth + 1}
+	}
+	return t
+}
+
+// Elem returns the pointee type of a pointer. It panics on non-pointers.
+func (t Type) Elem() Type {
+	if t.IsArray() {
+		return Type{Base: t.Base, PtrDepth: t.PtrDepth}
+	}
+	if t.PtrDepth == 0 {
+		panic("minic: Elem of non-pointer type " + t.String())
+	}
+	return Type{Base: t.Base, PtrDepth: t.PtrDepth - 1}
+}
+
+// Equal reports structural equality after array decay.
+func (t Type) Equal(u Type) bool {
+	td, ud := t.Decay(), u.Decay()
+	return td.Base == ud.Base && td.PtrDepth == ud.PtrDepth
+}
+
+// String renders the type in C-like syntax.
+func (t Type) String() string {
+	var base string
+	switch t.Base {
+	case BaseInt:
+		base = "int"
+	case BaseFloat:
+		base = "float"
+	case BaseVoid:
+		base = "void"
+	case BaseNull:
+		return "null"
+	default:
+		base = "invalid"
+	}
+	for i := 0; i < t.PtrDepth; i++ {
+		base += "*"
+	}
+	if t.IsArray() {
+		base += "[]"
+	}
+	return base
+}
+
+// --- Declarations -----------------------------------------------------------
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // nil if none; not permitted on arrays
+	// Sym is filled in by the checker for locals and parameters.
+	Sym *Symbol
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []*VarDecl
+	Body   *BlockStmt
+	// Filled in by the checker:
+	FrameSize  int64 // stack frame size in words
+	NIntParams int
+	NFltParams int
+}
+
+// --- Statements -------------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoStmt is a do/while loop (condition tested after the body).
+type DoStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // nil, ExprStmt or AssignStmt
+	Cond Expr // nil means true
+	Post Stmt // nil, ExprStmt or AssignStmt
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void returns
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// AssignStmt stores Value into the lvalue Target.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*EmptyStmt) stmtNode()    {}
+
+// --- Expressions ------------------------------------------------------------
+
+// Expr is an expression node. The checker records the result type on each
+// node via SetType; Type reads it back during code generation.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+	Type() Type
+	SetType(Type)
+}
+
+type typed struct{ typ Type }
+
+// Type returns the checked type of the expression.
+func (t *typed) Type() Type { return t.typ }
+
+// SetType records the checked type of the expression.
+func (t *typed) SetType(u Type) { t.typ = u }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	Pos   Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typed
+	Pos   Pos
+	Value float64
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct {
+	typed
+	Pos Pos
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	typed
+	Pos  Pos
+	Name string
+	// Sym is resolved by the checker.
+	Sym *Symbol
+}
+
+// BinOp kinds.
+type BinOpKind int
+
+// Binary operators.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // short-circuit &&
+	OpOr  // short-circuit ||
+)
+
+var binOpNames = map[BinOpKind]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// String renders the operator.
+func (k BinOpKind) String() string { return binOpNames[k] }
+
+// IsComparison reports whether the operator yields a boolean int from a
+// relational test.
+func (k BinOpKind) IsComparison() bool { return k >= OpEq && k <= OpGe }
+
+// BinExpr is a binary expression.
+type BinExpr struct {
+	typed
+	Pos  Pos
+	Op   BinOpKind
+	L, R Expr
+}
+
+// UnOpKind enumerates unary operators.
+type UnOpKind int
+
+// Unary operators.
+const (
+	OpNeg   UnOpKind = iota // -x
+	OpNot                   // !x
+	OpDeref                 // *p
+	OpAddr                  // &lv
+)
+
+// UnExpr is a unary expression.
+type UnExpr struct {
+	typed
+	Pos Pos
+	Op  UnOpKind
+	X   Expr
+}
+
+// IndexExpr is a[i] where a is an array or pointer.
+type IndexExpr struct {
+	typed
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	typed
+	Pos  Pos
+	Name string
+	Args []Expr
+	// Builtin is non-zero for the __-prefixed intrinsics.
+	Builtin BuiltinKind
+	// Decl is the resolved callee for non-builtin calls.
+	Decl *FuncDecl
+}
+
+// CastExpr is (type) x.
+type CastExpr struct {
+	typed
+	Pos Pos
+	To  Type
+	X   Expr
+}
+
+// BuiltinKind enumerates the built-in functions.
+type BuiltinKind int
+
+// Builtins (BuiltinNone means a regular call).
+const (
+	BuiltinNone BuiltinKind = iota
+	BuiltinAlloc
+	BuiltinInput
+	BuiltinPrint
+	BuiltinPrintF
+	BuiltinRand
+)
+
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*NullLit) exprNode()   {}
+func (*Ident) exprNode()     {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*IndexExpr) exprNode() {}
+func (*CallExpr) exprNode()  {}
+func (*CastExpr) exprNode()  {}
+
+// ExprPos implementations.
+func (e *IntLit) ExprPos() Pos    { return e.Pos }
+func (e *FloatLit) ExprPos() Pos  { return e.Pos }
+func (e *NullLit) ExprPos() Pos   { return e.Pos }
+func (e *Ident) ExprPos() Pos     { return e.Pos }
+func (e *BinExpr) ExprPos() Pos   { return e.Pos }
+func (e *UnExpr) ExprPos() Pos    { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos { return e.Pos }
+func (e *CallExpr) ExprPos() Pos  { return e.Pos }
+func (e *CastExpr) ExprPos() Pos  { return e.Pos }
+
+// Symbol is a resolved variable: a global, parameter, or local.
+type Symbol struct {
+	Name   string
+	Type   Type
+	Global bool
+	// FrameOff is the stack-frame word offset for locals and parameters.
+	FrameOff int64
+	// ParamIdx is the parameter index (or -1 for non-parameters).
+	ParamIdx int
+}

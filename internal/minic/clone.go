@@ -1,0 +1,160 @@
+package minic
+
+import "fmt"
+
+// CloneProgram deep-copies a whole parsed program, dropping all checker
+// annotations. The code generator clones before applying AST transforms so
+// one parse can be compiled under many targets.
+func CloneProgram(p *Program) *Program {
+	out := &Program{Name: p.Name}
+	for _, g := range p.Globals {
+		d := *g
+		d.Init = CloneExpr(g.Init)
+		d.Sym = nil
+		out.Globals = append(out.Globals, &d)
+	}
+	for _, fn := range p.Funcs {
+		nf := &FuncDecl{Pos: fn.Pos, Name: fn.Name, Ret: fn.Ret}
+		for _, prm := range fn.Params {
+			d := *prm
+			d.Sym = nil
+			nf.Params = append(nf.Params, &d)
+		}
+		nf.Body = CloneStmt(fn.Body).(*BlockStmt)
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement tree. It must be applied to unchecked
+// ASTs (clones carry no symbol or type annotations); the loop unroller uses
+// it to replicate loop bodies before semantic analysis runs.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		out := &BlockStmt{Pos: st.Pos}
+		for _, inner := range st.Stmts {
+			out.Stmts = append(out.Stmts, CloneStmt(inner))
+		}
+		return out
+	case *DeclStmt:
+		d := *st.Decl
+		d.Init = CloneExpr(st.Decl.Init)
+		d.Sym = nil
+		return &DeclStmt{Decl: &d}
+	case *IfStmt:
+		return &IfStmt{Pos: st.Pos, Cond: CloneExpr(st.Cond),
+			Then: CloneStmt(st.Then), Else: CloneStmt(st.Else)}
+	case *WhileStmt:
+		return &WhileStmt{Pos: st.Pos, Cond: CloneExpr(st.Cond), Body: CloneStmt(st.Body)}
+	case *DoStmt:
+		return &DoStmt{Pos: st.Pos, Body: CloneStmt(st.Body), Cond: CloneExpr(st.Cond)}
+	case *ForStmt:
+		return &ForStmt{Pos: st.Pos, Init: CloneStmt(st.Init), Cond: CloneExpr(st.Cond),
+			Post: CloneStmt(st.Post), Body: CloneStmt(st.Body)}
+	case *ReturnStmt:
+		return &ReturnStmt{Pos: st.Pos, Value: CloneExpr(st.Value)}
+	case *BreakStmt:
+		cp := *st
+		return &cp
+	case *ContinueStmt:
+		cp := *st
+		return &cp
+	case *ExprStmt:
+		return &ExprStmt{Pos: st.Pos, X: CloneExpr(st.X)}
+	case *AssignStmt:
+		return &AssignStmt{Pos: st.Pos, Target: CloneExpr(st.Target), Value: CloneExpr(st.Value)}
+	case *EmptyStmt:
+		cp := *st
+		return &cp
+	}
+	panic(fmt.Sprintf("minic: CloneStmt: unknown statement %T", s))
+}
+
+// CloneExpr deep-copies an expression tree, dropping checker annotations.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		return &IntLit{Pos: x.Pos, Value: x.Value}
+	case *FloatLit:
+		return &FloatLit{Pos: x.Pos, Value: x.Value}
+	case *NullLit:
+		return &NullLit{Pos: x.Pos}
+	case *Ident:
+		return &Ident{Pos: x.Pos, Name: x.Name}
+	case *BinExpr:
+		return &BinExpr{Pos: x.Pos, Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnExpr:
+		return &UnExpr{Pos: x.Pos, Op: x.Op, X: CloneExpr(x.X)}
+	case *IndexExpr:
+		return &IndexExpr{Pos: x.Pos, X: CloneExpr(x.X), Idx: CloneExpr(x.Idx)}
+	case *CallExpr:
+		out := &CallExpr{Pos: x.Pos, Name: x.Name}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	case *CastExpr:
+		return &CastExpr{Pos: x.Pos, To: x.To, X: CloneExpr(x.X)}
+	}
+	panic(fmt.Sprintf("minic: CloneExpr: unknown expression %T", e))
+}
+
+// HasLoopEscapes reports whether the statement tree contains a break,
+// continue, or return that would escape the *current* loop level; nested
+// loops' own breaks and continues do not count.
+func HasLoopEscapes(s Stmt) bool {
+	switch st := s.(type) {
+	case nil:
+		return false
+	case *BlockStmt:
+		for _, inner := range st.Stmts {
+			if HasLoopEscapes(inner) {
+				return true
+			}
+		}
+		return false
+	case *IfStmt:
+		return HasLoopEscapes(st.Then) || HasLoopEscapes(st.Else)
+	case *WhileStmt, *DoStmt, *ForStmt:
+		// breaks/continues inside bind to the nested loop; but returns still
+		// escape. Walk for returns only.
+		return hasReturn(st)
+	case *ReturnStmt, *BreakStmt, *ContinueStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+func hasReturn(s Stmt) bool {
+	switch st := s.(type) {
+	case nil:
+		return false
+	case *BlockStmt:
+		for _, inner := range st.Stmts {
+			if hasReturn(inner) {
+				return true
+			}
+		}
+		return false
+	case *IfStmt:
+		return hasReturn(st.Then) || hasReturn(st.Else)
+	case *WhileStmt:
+		return hasReturn(st.Body)
+	case *DoStmt:
+		return hasReturn(st.Body)
+	case *ForStmt:
+		return hasReturn(st.Body)
+	case *ReturnStmt:
+		return true
+	default:
+		return false
+	}
+}

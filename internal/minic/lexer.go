@@ -1,0 +1,251 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes MinC source text. Comments are C-style line comments
+// ("// ...") and block comments ("/* ... */").
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// Next returns the next token, or an error for malformed input.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		begin := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[begin:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	case c >= '0' && c <= '9':
+		return lx.number(start)
+	}
+	lx.advance()
+	mk := func(k TokKind) (Token, error) { return Token{Kind: k, Pos: start}, nil }
+	switch c {
+	case '(':
+		return mk(TokLParen)
+	case ')':
+		return mk(TokRParen)
+	case '{':
+		return mk(TokLBrace)
+	case '}':
+		return mk(TokRBrace)
+	case '[':
+		return mk(TokLBracket)
+	case ']':
+		return mk(TokRBracket)
+	case ';':
+		return mk(TokSemi)
+	case ',':
+		return mk(TokComma)
+	case '+':
+		return mk(TokPlus)
+	case '-':
+		return mk(TokMinus)
+	case '*':
+		return mk(TokStar)
+	case '/':
+		return mk(TokSlash)
+	case '%':
+		return mk(TokPercent)
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokEq)
+		}
+		return mk(TokAssign)
+	case '!':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokNe)
+		}
+		return mk(TokBang)
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokLe)
+		}
+		return mk(TokLt)
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokGe)
+		}
+		return mk(TokGt)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return mk(TokAndAnd)
+		}
+		return mk(TokAmp)
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return mk(TokOrOr)
+		}
+		return Token{}, errf(start, "unexpected character '|' (did you mean '||'?)")
+	}
+	return Token{}, errf(start, "unexpected character %q", string(c))
+}
+
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			open := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(open, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *Lexer) number(start Pos) (Token, error) {
+	begin := lx.off
+	for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+		lx.advance()
+	}
+	isFloat := false
+	if lx.peek() == '.' && lx.peek2() >= '0' && lx.peek2() <= '9' {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		saveOff, saveCol := lx.off, lx.col
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if lx.peek() >= '0' && lx.peek() <= '9' {
+			isFloat = true
+			for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+				lx.advance()
+			}
+		} else {
+			lx.off, lx.col = saveOff, saveCol
+		}
+	}
+	text := lx.src[begin:lx.off]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(start, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Text: text, Float: f, Pos: start}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, errf(start, "bad integer literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Text: text, Int: v, Pos: start}, nil
+}
+
+// LexAll tokenizes the whole input (excluding the trailing EOF token).
+// It is primarily a testing convenience.
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+// isIdentStart reports whether c can begin an identifier.
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// reject reports a lexer-level sanity failure for inputs that contain NUL
+// bytes (never valid in MinC source).
+func reject(src string) error {
+	if i := strings.IndexByte(src, 0); i >= 0 {
+		return errf(Pos{Line: 1, Col: 1}, "source contains NUL byte at offset %d", i)
+	}
+	return nil
+}

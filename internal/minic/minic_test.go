@@ -1,0 +1,417 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll(`int main() { return 42; } // comment
+/* block
+comment */ float f = 1.5e3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKwInt, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokKwReturn, TokIntLit, TokSemi, TokRBrace,
+		TokKwFloat, TokIdent, TokAssign, TokFloatLit, TokSemi}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[6].Int != 42 {
+		t.Errorf("int literal = %d", toks[6].Int)
+	}
+	if toks[12].Float != 1500 {
+		t.Errorf("float literal = %g", toks[12].Float)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll(`== != <= >= < > && || ! & = + - * / %`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokLt, TokGt, TokAndAnd,
+		TokOrOr, TokBang, TokAmp, TokAssign, TokPlus, TokMinus, TokStar,
+		TokSlash, TokPercent}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"@", "|", "/* unterminated", "\x00"}
+	for _, src := range cases {
+		if _, err := LexAll(src); err == nil {
+			// NUL is rejected by Parse, not LexAll; accept either path.
+			if _, perr := Parse("t", src); perr == nil {
+				t.Errorf("input %q lexed and parsed without error", src)
+			}
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("token 0 pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("token 1 pos = %v", toks[1].Pos)
+	}
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func mustCheck(t *testing.T, src string) *Program {
+	t.Helper()
+	p := mustParse(t, src)
+	if err := Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, `int main() { return 1 + 2 * 3 < 4 && 5 == 6 || 7 > 8; }`)
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	or, ok := ret.Value.(*BinExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top operator = %v, want ||", ret.Value)
+	}
+	and, ok := or.L.(*BinExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("left of || = %v, want &&", or.L)
+	}
+	lt, ok := and.L.(*BinExpr)
+	if !ok || lt.Op != OpLt {
+		t.Fatalf("left of && = %v, want <", and.L)
+	}
+	add, ok := lt.L.(*BinExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("left of < = %v, want +", lt.L)
+	}
+	if mul, ok := add.R.(*BinExpr); !ok || mul.Op != OpMul {
+		t.Fatalf("right of + = %v, want *", add.R)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	p := mustParse(t, `
+int g;
+float farr[8];
+int* ptr;
+int** pp;
+int helper(int a, float b, int* c) { return a; }
+int main() { return 0; }
+`)
+	if len(p.Globals) != 4 || len(p.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(p.Globals), len(p.Funcs))
+	}
+	if !p.Globals[1].Type.IsArray() || p.Globals[1].Type.ArrayLen != 8 {
+		t.Error("farr must be an array of 8")
+	}
+	if p.Globals[2].Type.PtrDepth != 1 || p.Globals[3].Type.PtrDepth != 2 {
+		t.Error("pointer depths wrong")
+	}
+	if len(p.Funcs[0].Params) != 3 {
+		t.Error("helper must have 3 parameters")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	mustParse(t, `
+int main() {
+	int i;
+	if (i) { i = 1; } else if (i == 2) { i = 3; }
+	while (i < 10) { i = i + 1; }
+	do { i = i - 1; } while (i > 0);
+	for (i = 0; i < 5; i = i + 1) { continue; }
+	for (;;) { break; }
+	;
+	return (int) 1.5;
+}`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return 0 }`, "expected ';'"},
+		{`int main() { if i { } }`, "expected '('"},
+		{`int main(`, "expected"},
+		{`int a[0];`, "array length must be positive"},
+		{`int a[3] = 5;`, "cannot have an initializer"},
+		{`int main() { 1()(); }`, "only named functions"},
+		{`int main() { return +; }`, "expected expression"},
+		{`int main() {`, "unterminated block"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil {
+			t.Errorf("parse accepted %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q; want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCheckerAcceptsValid(t *testing.T) {
+	mustCheck(t, `
+int g = 3;
+float pi = 3.14;
+int arr[10];
+int add(int a, int b) { return a + b; }
+float scale(float x) { return x * 2.0; }
+void touch(int* p) { *p = 1; }
+int main() {
+	int i;
+	int* p;
+	p = &arr[2];
+	touch(p);
+	p = null;
+	if (p == null && arr[0] > 0 || !g) { i = add(1, 2); }
+	float f;
+	f = scale((float) i);
+	i = (int) f;
+	int** pp;
+	pp = (int**) __alloc(2);
+	pp[0] = &g;
+	return *pp[0];
+}`)
+}
+
+func TestCheckerErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return x; }`, "undefined"},
+		{`int main() { int x; int x; return 0; }`, "duplicate declaration"},
+		{`int g; int g; int main() { return 0; }`, "duplicate global"},
+		{`int f() { return 0; } int f() { return 0; } int main() { return 0; }`, "duplicate function"},
+		{`int main(int argc) { return 0; }`, "main must be declared"},
+		{`void main() { }`, "main must be declared"},
+		{`int f() { return 0; }`, "no main function"},
+		{`int main() { break; }`, "break outside loop"},
+		{`int main() { continue; }`, "continue outside loop"},
+		{`int main() { return 1.5; }`, "cannot assign float to int"},
+		{`int main() { int x; x = null; return 0; }`, "cannot assign"},
+		{`int main() { float f; if (f) { } return 0; }`, "condition must be int"},
+		{`int main() { int* p; if (p) { } return 0; }`, "condition must be int"},
+		{`int main() { int* p; if (p < null) { } return 0; }`, "== or !="},
+		{`int main() { 3 = 4; return 0; }`, "not assignable"},
+		{`int main() { int x; return *x; }`, "cannot dereference"},
+		{`int main() { int x; return x[0]; }`, "cannot index"},
+		{`int main() { float f; return f % 2.0; }`, "must be int"},
+		{`int main() { return __alloc(1, 2); }`, "takes 1 argument"},
+		{`int main() { return nothere(); }`, "undefined function"},
+		{`int f(int a) { return a; } int main() { return f(); }`, "takes 1 arguments, got 0"},
+		{`int f(int a) { return a; } int main() { return f(1.0); }`, "argument 1"},
+		{`void g() { return 1; } int main() { return 0; }`, "void function"},
+		{`int g() { return; } int main() { return 0; }`, "must return"},
+		{`int __alloc(int n) { return n; } int main() { return 0; }`, "shadows a builtin"},
+		{`int main() { int* p; return (int)(float) p; }`, "cannot cast between float and pointer"},
+		{`int main() { int a[3]; int b[3]; a = b; return 0; }`, "not assignable"},
+		{`void v; int main() { return 0; }`, "void type"},
+		{`int main() { return &5; }`, "cannot take the address"},
+	}
+	for _, c := range cases {
+		p, err := Parse("t", c.src)
+		if err != nil {
+			t.Errorf("parse error for %q: %v", c.src, err)
+			continue
+		}
+		err = Check(p)
+		if err == nil {
+			t.Errorf("checker accepted %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q; want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestFrameLayout(t *testing.T) {
+	p := mustCheck(t, `
+int f(int a, float b) {
+	int x;
+	int arr[5];
+	float y;
+	return a;
+}
+int main() { return f(1, 2.0); }
+`)
+	fn := p.Funcs[0]
+	// Frame: a, b, x, arr[5], y = 1+1+1+5+1 = 9 words.
+	if fn.FrameSize != 9 {
+		t.Errorf("frame size = %d, want 9", fn.FrameSize)
+	}
+	if fn.NIntParams != 1 || fn.NFltParams != 1 {
+		t.Errorf("param counts = %d int, %d float", fn.NIntParams, fn.NFltParams)
+	}
+	if fn.Params[0].Sym.FrameOff != 0 || fn.Params[1].Sym.FrameOff != 1 {
+		t.Error("parameter offsets wrong")
+	}
+}
+
+func TestScopesShadowing(t *testing.T) {
+	p := mustCheck(t, `
+int x;
+int main() {
+	int x;
+	x = 1;
+	{
+		int x;
+		x = 2;
+	}
+	return x;
+}`)
+	// The returned x must be the function-level local, not the inner one or
+	// the global.
+	ret := p.Funcs[0].Body.Stmts[3].(*ReturnStmt)
+	id := ret.Value.(*Ident)
+	if id.Sym.Global {
+		t.Error("return must reference the local x")
+	}
+	if id.Sym.FrameOff != 0 {
+		t.Errorf("outer local offset = %d, want 0", id.Sym.FrameOff)
+	}
+}
+
+func TestTypeStringAndEqual(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{TypeInt, "int"},
+		{TypeFloat, "float"},
+		{Type{Base: BaseInt, PtrDepth: 2}, "int**"},
+		{Type{Base: BaseFloat, PtrDepth: 1, ArrayLen: 4}, "float*[]"},
+		{TypeNull, "null"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	arr := Type{Base: BaseInt, ArrayLen: 10}
+	if !arr.Equal(TypeIntPtr) {
+		t.Error("int[10] must decay-equal int*")
+	}
+	if arr.Decay() != TypeIntPtr {
+		t.Error("decay of int[10] must be int*")
+	}
+	if arr.Elem() != TypeInt {
+		t.Error("element of int[10] must be int")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	src := `
+int g = 1;
+int helper(int a) { return a * 2; }
+int main() {
+	int i;
+	for (i = 0; i < 4; i = i + 1) {
+		if (i % 2 == 0) { g = g + helper(i); } else { continue; }
+	}
+	while (g > 100) { g = g / 2; }
+	do { g = g + 1; } while (g < 0);
+	return g;
+}`
+	orig := mustParse(t, src)
+	clone := CloneProgram(orig)
+	// Checking the clone must not annotate the original.
+	if err := Check(clone); err != nil {
+		t.Fatalf("check clone: %v", err)
+	}
+	if orig.Funcs[1].FrameSize != 0 {
+		t.Error("checking the clone mutated the original's frame size")
+	}
+	if orig.Funcs[0].Params[0].Sym != nil {
+		t.Error("checking the clone resolved the original's symbols")
+	}
+	// And checking the original must work independently.
+	if err := Check(orig); err != nil {
+		t.Fatalf("check original: %v", err)
+	}
+}
+
+func TestHasLoopEscapes(t *testing.T) {
+	body := func(src string) Stmt {
+		p := mustParse(t, "int main() { int i; for (i = 0; i < 9; i = i + 1) "+src+" }")
+		return p.Funcs[0].Body.Stmts[1].(*ForStmt).Body
+	}
+	if HasLoopEscapes(body(`{ i = i + 1; }`)) {
+		t.Error("plain body has no escapes")
+	}
+	if !HasLoopEscapes(body(`{ break; }`)) {
+		t.Error("break must count as an escape")
+	}
+	if !HasLoopEscapes(body(`{ if (i > 2) { continue; } }`)) {
+		t.Error("nested continue must count")
+	}
+	if !HasLoopEscapes(body(`{ return i; }`)) {
+		t.Error("return must count")
+	}
+	if HasLoopEscapes(body(`{ while (i < 3) { break; } }`)) {
+		t.Error("a nested loop's break binds to the nested loop")
+	}
+	if !HasLoopEscapes(body(`{ while (i < 3) { return i; } }`)) {
+		t.Error("a return inside a nested loop still escapes")
+	}
+}
+
+// TestLexerTotality feeds random printable strings to the lexer: it must
+// either tokenize or return a positioned error, never panic or loop.
+func TestLexerTotality(t *testing.T) {
+	f := func(b []byte) bool {
+		src := strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return ' '
+			}
+			return r
+		}, string(b))
+		_, err := LexAll(src)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserTotality: the parser must never panic on random token soup.
+func TestParserTotality(t *testing.T) {
+	f := func(b []byte) bool {
+		src := strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return ';'
+			}
+			return r
+		}, string(b))
+		_, err := Parse("fuzz", src)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,642 @@
+package minic
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MinC.
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	peek *Token
+}
+
+// Parse parses a complete MinC compilation unit.
+func Parse(name, src string) (*Program, error) {
+	if err := reject(src); err != nil {
+		return nil, err
+	}
+	p := &Parser{lx: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	for p.tok.Kind != TokEOF {
+		if err := p.parseDecl(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) next() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// peekTok returns the token after the current one without consuming it.
+func (p *Parser) peekTok() (Token, error) {
+	if p.peek == nil {
+		t, err := p.lx.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.describe())
+	}
+	t := p.tok
+	if err := p.next(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *Parser) describe() string {
+	if p.tok.Kind == TokIdent {
+		return fmt.Sprintf("identifier %q", p.tok.Text)
+	}
+	return p.tok.Kind.String()
+}
+
+func (p *Parser) atType() bool {
+	switch p.tok.Kind {
+	case TokKwInt, TokKwFloat, TokKwVoid:
+		return true
+	}
+	return false
+}
+
+// parseType parses "int"/"float"/"void" followed by '*'s.
+func (p *Parser) parseType() (Type, error) {
+	var t Type
+	switch p.tok.Kind {
+	case TokKwInt:
+		t.Base = BaseInt
+	case TokKwFloat:
+		t.Base = BaseFloat
+	case TokKwVoid:
+		t.Base = BaseVoid
+	default:
+		return Type{}, errf(p.tok.Pos, "expected type, found %s", p.describe())
+	}
+	if err := p.next(); err != nil {
+		return Type{}, err
+	}
+	for p.tok.Kind == TokStar {
+		t.PtrDepth++
+		if err := p.next(); err != nil {
+			return Type{}, err
+		}
+	}
+	return t, nil
+}
+
+func (p *Parser) parseDecl(prog *Program) error {
+	pos := p.tok.Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.tok.Kind == TokLParen {
+		fn, err := p.parseFuncRest(pos, typ, name.Text)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	decl, err := p.parseVarRest(pos, typ, name.Text)
+	if err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, decl)
+	return nil
+}
+
+// parseVarRest parses the remainder of a variable declaration after the type
+// and name: optional array length, optional initializer, semicolon.
+func (p *Parser) parseVarRest(pos Pos, typ Type, name string) (*VarDecl, error) {
+	d := &VarDecl{Pos: pos, Name: name, Type: typ}
+	if p.tok.Kind == TokLBracket {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int <= 0 {
+			return nil, errf(n.Pos, "array length must be positive, got %d", n.Int)
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		d.Type.ArrayLen = n.Int
+	}
+	if p.tok.Kind == TokAssign {
+		if d.Type.IsArray() {
+			return nil, errf(p.tok.Pos, "array %q cannot have an initializer", name)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFuncRest(pos Pos, ret Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: pos, Name: name, Ret: ret}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokRParen {
+		ppos := p.tok.Pos
+		ptype, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, &VarDecl{Pos: ppos, Name: pname.Text, Type: ptype})
+		if p.tok.Kind == TokComma {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: open.Pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, errf(open.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokKwInt, TokKwFloat, TokKwVoid:
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.parseVarRest(pos, typ, name.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case TokKwIf:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+		if p.tok.Kind == TokKwElse {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case TokKwWhile:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+	case TokKwDo:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &DoStmt{Pos: pos, Body: body, Cond: cond}, nil
+	case TokKwFor:
+		return p.parseFor(pos)
+	case TokKwReturn:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		st := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != TokSemi {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case TokKwBreak:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case TokKwContinue:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case TokLBrace:
+		return p.parseBlock()
+	case TokSemi:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &EmptyStmt{Pos: pos}, nil
+	}
+	st, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseFor handles "for" "(" [simple] ";" [expr] ";" [simple] ")" stmt.
+func (p *Parser) parseFor(pos Pos) (Stmt, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: pos}
+	if p.tok.Kind != TokSemi {
+		init, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		post, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseSimple parses either an assignment or a bare expression (without the
+// trailing semicolon).
+func (p *Parser) parseSimple() (Stmt, error) {
+	pos := p.tok.Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokAssign {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Target: lhs, Value: rhs}, nil
+	}
+	return &ExprStmt{Pos: pos, X: lhs}, nil
+}
+
+// --- Expression parsing (precedence climbing) -------------------------------
+
+type precLevel struct {
+	toks map[TokKind]BinOpKind
+}
+
+var precLevels = []precLevel{
+	{map[TokKind]BinOpKind{TokOrOr: OpOr}},
+	{map[TokKind]BinOpKind{TokAndAnd: OpAnd}},
+	{map[TokKind]BinOpKind{TokEq: OpEq, TokNe: OpNe}},
+	{map[TokKind]BinOpKind{TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe}},
+	{map[TokKind]BinOpKind{TokPlus: OpAdd, TokMinus: OpSub}},
+	{map[TokKind]BinOpKind{TokStar: OpMul, TokSlash: OpDiv, TokPercent: OpRem}},
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *Parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := precLevels[level].toks[p.tok.Kind]
+		if !ok {
+			return lhs, nil
+		}
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokMinus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: OpNeg, X: x}, nil
+	case TokBang:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: OpNot, X: x}, nil
+	case TokStar:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: OpDeref, X: x}, nil
+	case TokAmp:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: OpAddr, X: x}, nil
+	case TokLParen:
+		// Cast if '(' is followed by a type keyword.
+		nt, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if nt.Kind == TokKwInt || nt.Kind == TokKwFloat || nt.Kind == TokKwVoid {
+			if err := p.next(); err != nil { // consume '('
+				return nil, err
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: pos, To: typ, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.Kind {
+		case TokLBracket:
+			pos := p.tok.Pos
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: pos, X: x, Idx: idx}
+		case TokLParen:
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, errf(p.tok.Pos, "only named functions can be called")
+			}
+			pos := p.tok.Pos
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Pos: pos, Name: id.Name}
+			for p.tok.Kind != TokRParen {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.tok.Kind == TokComma {
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokIntLit:
+		v := p.tok.Int
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &IntLit{Pos: pos, Value: v}, nil
+	case TokFloatLit:
+		v := p.tok.Float
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &FloatLit{Pos: pos, Value: v}, nil
+	case TokKwNull:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &NullLit{Pos: pos}, nil
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &Ident{Pos: pos, Name: name}, nil
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(pos, "expected expression, found %s", p.describe())
+}

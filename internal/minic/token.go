@@ -1,0 +1,149 @@
+// Package minic implements the MinC language front end: a small C-like
+// systems language (integers, floats, pointers, arrays, functions,
+// short-circuit booleans) that the corpus programs are written in. It stands
+// in for the paper's C and Fortran sources: the corpus carries a language
+// tag per program, and the Fortran-dialect programs simply restrict
+// themselves to Fortran idioms (counted loops, arrays, no pointers).
+//
+// Grammar (EBNF):
+//
+//	program    = { decl } .
+//	decl       = varDecl | funcDecl .
+//	varDecl    = type declarator ";" .
+//	declarator = ident [ "[" intlit "]" ] [ "=" expr ] .
+//	funcDecl   = type ident "(" [ param { "," param } ] ")" block .
+//	type       = ( "int" | "float" | "void" ) { "*" } .
+//	param      = type ident .
+//	block      = "{" { stmt } "}" .
+//	stmt       = varDecl | "if" "(" expr ")" stmt [ "else" stmt ]
+//	           | "while" "(" expr ")" stmt
+//	           | "do" stmt "while" "(" expr ")" ";"
+//	           | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" stmt
+//	           | "return" [ expr ] ";" | "break" ";" | "continue" ";"
+//	           | block | simple ";" | ";" .
+//	simple     = expr [ "=" expr ] .
+//	expr       = binary expression; precedence (low to high):
+//	             "||", "&&", ("=="|"!="), ("<"|"<="|">"|">="),
+//	             ("+"|"-"), ("*"|"/"|"%") .
+//	unary      = ( "-" | "!" | "*" | "&" ) unary | cast | postfix .
+//	cast       = "(" type ")" unary .
+//	postfix    = primary { "[" expr "]" | "(" [ expr {"," expr} ] ")" } .
+//	primary    = intlit | floatlit | ident | "null" | "(" expr ")" .
+//
+// Built-in functions: __alloc(n) (returns int*, heap allocation of n words),
+// __input(i) (word i of the program input), __print(x), __printf(f),
+// __rand() (deterministic per-run pseudo-random non-negative int).
+package minic
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwDo
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwNull
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokBang
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokFloatLit: "float literal",
+	TokKwInt:    "'int'", TokKwFloat: "'float'", TokKwVoid: "'void'",
+	TokKwIf: "'if'", TokKwElse: "'else'", TokKwWhile: "'while'", TokKwDo: "'do'",
+	TokKwFor: "'for'", TokKwReturn: "'return'", TokKwBreak: "'break'",
+	TokKwContinue: "'continue'", TokKwNull: "'null'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokAmp: "'&'", TokBang: "'!'",
+	TokEq: "'=='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='", TokGt: "'>'",
+	TokGe: "'>='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+}
+
+// String names the token kind for diagnostics.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TokKwInt, "float": TokKwFloat, "void": TokKwVoid,
+	"if": TokKwIf, "else": TokKwElse, "while": TokKwWhile, "do": TokKwDo,
+	"for": TokKwFor, "return": TokKwReturn, "break": TokKwBreak,
+	"continue": TokKwContinue, "null": TokKwNull,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind  TokKind
+	Text  string
+	Int   int64
+	Float float64
+	Pos   Pos
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

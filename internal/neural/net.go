@@ -1,0 +1,313 @@
+// Package neural implements the feed-forward network of Section 3.1.1: one
+// tanh hidden layer, an output unit y = 0.5·(tanh(v·h + a) + 1) normalized
+// to [0,1], batch backpropagation minimizing the paper's weighted
+// missed-branch / branch-incorrectly-taken loss
+//
+//	E = Σ_k n_k [ y_k (1 − t_k) + t_k (1 − y_k) ]
+//
+// (t_k the branch's true taken-probability, n_k its normalized execution
+// weight), an adaptive learning rate (raised while error falls steadily,
+// lowered otherwise), no momentum, and early stopping on the thresholded
+// error to avoid overfitting.
+package neural
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Config parameterizes a network and its training run.
+type Config struct {
+	Inputs int
+	Hidden int
+	// Seed makes weight initialization deterministic.
+	Seed uint64
+	// LearnRate is the initial learning rate (default 0.2).
+	LearnRate float64
+	// MaxEpochs bounds training (default 400).
+	MaxEpochs int
+	// Patience is the number of epochs without thresholded-error improvement
+	// before early stopping (default 25).
+	Patience int
+	// LRUp and LRDown are the adaptive learning-rate factors
+	// (defaults 1.05 and 0.7).
+	LRUp   float64
+	LRDown float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.2
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 400
+	}
+	if c.Patience == 0 {
+		c.Patience = 25
+	}
+	if c.LRUp == 0 {
+		c.LRUp = 1.05
+	}
+	if c.LRDown == 0 {
+		c.LRDown = 0.7
+	}
+	return c
+}
+
+// Net is the branch-prediction network of Figure 1.
+type Net struct {
+	Inputs int         `json:"inputs"`
+	Hidden int         `json:"hidden"`
+	W      [][]float64 `json:"w"` // hidden × inputs
+	B      []float64   `json:"b"` // hidden biases
+	V      []float64   `json:"v"` // hidden → output
+	A      float64     `json:"a"` // output bias
+}
+
+// New creates a network with small deterministic random weights.
+func New(cfg Config) *Net {
+	cfg = cfg.withDefaults()
+	rng := newRNG(cfg.Seed)
+	n := &Net{
+		Inputs: cfg.Inputs,
+		Hidden: cfg.Hidden,
+		W:      make([][]float64, cfg.Hidden),
+		B:      make([]float64, cfg.Hidden),
+		V:      make([]float64, cfg.Hidden),
+	}
+	scale := 1 / math.Sqrt(float64(cfg.Inputs)+1)
+	for i := 0; i < cfg.Hidden; i++ {
+		n.W[i] = make([]float64, cfg.Inputs)
+		for j := range n.W[i] {
+			n.W[i][j] = rng.uniform() * scale
+		}
+		n.B[i] = rng.uniform() * scale
+		n.V[i] = rng.uniform() * 0.5
+	}
+	n.A = rng.uniform() * 0.5
+	return n
+}
+
+// HiddenActivations computes the hidden layer into h (length Hidden).
+func (n *Net) HiddenActivations(x []float64, h []float64) {
+	for i := 0; i < n.Hidden; i++ {
+		z := n.B[i]
+		wi := n.W[i]
+		for j, xv := range x {
+			z += wi[j] * xv
+		}
+		h[i] = math.Tanh(z)
+	}
+}
+
+// Forward returns the network output for one input: the estimated
+// probability (in [0,1]) that the branch is taken.
+func (n *Net) Forward(x []float64) float64 {
+	h := make([]float64, n.Hidden)
+	n.HiddenActivations(x, h)
+	return n.output(h)
+}
+
+func (n *Net) output(h []float64) float64 {
+	z := n.A
+	for i, hv := range h {
+		z += n.V[i] * hv
+	}
+	return 0.5 * (math.Tanh(z) + 1)
+}
+
+// Loss computes the paper's weighted expected-miss loss over a dataset.
+func (n *Net) Loss(xs [][]float64, t, w []float64) float64 {
+	var e float64
+	for k, x := range xs {
+		y := n.Forward(x)
+		e += w[k] * (y*(1-t[k]) + t[k]*(1-y))
+	}
+	return e
+}
+
+// ThresholdedLoss is the loss with the output thresholded to {0,1} — the
+// early-stopping criterion ("training continues until the thresholded error
+// of the net no longer decreases").
+func (n *Net) ThresholdedLoss(xs [][]float64, t, w []float64) float64 {
+	var e float64
+	for k, x := range xs {
+		y := 0.0
+		if n.Forward(x) > 0.5 {
+			y = 1
+		}
+		e += w[k] * (y*(1-t[k]) + t[k]*(1-y))
+	}
+	return e
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	Epochs           int
+	FinalLoss        float64
+	BestThresholded  float64
+	FinalLearnRate   float64
+	StoppedEarly     bool
+	LossHistory      []float64
+	ThresholdHistory []float64
+}
+
+// Train fits the network with batch gradient descent. xs are the encoded
+// feature vectors, t the per-branch taken-probabilities (targets), and w the
+// normalized branch weights n_k. Training mutates the receiver and restores
+// the weights that achieved the best thresholded error.
+func (n *Net) Train(cfg Config, xs [][]float64, t, w []float64) TrainResult {
+	cfg = cfg.withDefaults()
+	if len(xs) == 0 {
+		return TrainResult{}
+	}
+	lr := cfg.LearnRate
+	res := TrainResult{BestThresholded: math.Inf(1)}
+	prevLoss := math.Inf(1)
+	best := n.snapshot()
+	sinceBest := 0
+
+	gW := make([][]float64, n.Hidden)
+	for i := range gW {
+		gW[i] = make([]float64, n.Inputs)
+	}
+	gB := make([]float64, n.Hidden)
+	gV := make([]float64, n.Hidden)
+	h := make([]float64, n.Hidden)
+
+	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		// Zero gradients.
+		for i := range gW {
+			for j := range gW[i] {
+				gW[i][j] = 0
+			}
+			gB[i] = 0
+			gV[i] = 0
+		}
+		gA := 0.0
+		var loss float64
+		for k, x := range xs {
+			n.HiddenActivations(x, h)
+			y := n.output(h)
+			loss += w[k] * (y*(1-t[k]) + t[k]*(1-y))
+			// dE/dy = w_k (1 - 2 t_k); dy/dz = 0.5 (1 - u²) with u = 2y-1.
+			u := 2*y - 1
+			dOut := w[k] * (1 - 2*t[k]) * 0.5 * (1 - u*u)
+			for i := 0; i < n.Hidden; i++ {
+				gV[i] += dOut * h[i]
+				dHid := dOut * n.V[i] * (1 - h[i]*h[i])
+				gB[i] += dHid
+				wi := n.W[i]
+				gwi := gW[i]
+				for j := range wi {
+					gwi[j] += dHid * x[j]
+				}
+			}
+			gA += dOut
+		}
+		// Batch update.
+		for i := 0; i < n.Hidden; i++ {
+			n.V[i] -= lr * gV[i]
+			n.B[i] -= lr * gB[i]
+			wi := n.W[i]
+			gwi := gW[i]
+			for j := range wi {
+				wi[j] -= lr * gwi[j]
+			}
+		}
+		n.A -= lr * gA
+
+		// Adaptive learning rate: grow while the error drops, shrink when
+		// it rises.
+		if loss < prevLoss {
+			lr *= cfg.LRUp
+		} else {
+			lr *= cfg.LRDown
+		}
+		prevLoss = loss
+
+		thr := n.ThresholdedLoss(xs, t, w)
+		res.LossHistory = append(res.LossHistory, loss)
+		res.ThresholdHistory = append(res.ThresholdHistory, thr)
+		res.Epochs = epoch + 1
+		res.FinalLoss = loss
+		res.FinalLearnRate = lr
+		if thr < res.BestThresholded-1e-12 {
+			res.BestThresholded = thr
+			best = n.snapshot()
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest >= cfg.Patience {
+				res.StoppedEarly = true
+				break
+			}
+		}
+	}
+	n.restore(best)
+	return res
+}
+
+type weights struct {
+	w [][]float64
+	b []float64
+	v []float64
+	a float64
+}
+
+func (n *Net) snapshot() weights {
+	s := weights{
+		w: make([][]float64, n.Hidden),
+		b: append([]float64(nil), n.B...),
+		v: append([]float64(nil), n.V...),
+		a: n.A,
+	}
+	for i := range n.W {
+		s.w[i] = append([]float64(nil), n.W[i]...)
+	}
+	return s
+}
+
+func (n *Net) restore(s weights) {
+	for i := range n.W {
+		copy(n.W[i], s.w[i])
+	}
+	copy(n.B, s.b)
+	copy(n.V, s.v)
+	n.A = s.a
+}
+
+// Describe renders the network architecture (Figure 1 of the paper) as
+// text: input layer (static feature set), hidden layer, output unit.
+func (n *Net) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1: the branch prediction neural network\n")
+	fmt.Fprintf(&sb, "  output  (branch probability)           : y = 0.5*(tanh(v.h + a) + 1)\n")
+	fmt.Fprintf(&sb, "  hidden  (%3d units)                     : h_i = tanh(W_i.x + b_i)\n", n.Hidden)
+	fmt.Fprintf(&sb, "  input   (%3d units, static feature set) : one-hot, z-normalized, '?' gated to 0\n", n.Inputs)
+	return sb.String()
+}
+
+// rng is a small deterministic generator (xorshift64*) so results do not
+// depend on math/rand implementation details.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// uniform returns a value in (-1, 1).
+func (r *rng) uniform() float64 {
+	return 2*float64(r.next()>>11)/float64(1<<53) - 1
+}

@@ -1,0 +1,100 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment drivers share: means, weighted aggregation, and fixed-width
+// table rendering for the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Pct renders a fraction as a rounded percentage ("25").
+func Pct(f float64) string { return fmt.Sprintf("%.0f", 100*f) }
+
+// Pct1 renders a fraction as a percentage with one decimal ("24.8").
+func Pct1(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Header []string
+	rows   [][]string
+	seps   map[int]bool // row indices after which to draw a separator
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header, seps: make(map[int]bool)}
+}
+
+// Row appends a row; values are rendered with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Separator draws a horizontal rule after the most recent row.
+func (t *Table) Separator() {
+	t.seps[len(t.rows)-1] = true
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&sb, "%*s", widths[i], c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	rule := func() {
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		total += 2 * (len(widths) - 1)
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	rule()
+	for i, r := range t.rows {
+		writeRow(r)
+		if t.seps[i] {
+			rule()
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of nothing must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.254); got != "25" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct1(0.2547); got != "25.5" {
+		t.Errorf("Pct1 = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Name", "Value")
+	tab.Row("alpha", 1)
+	tab.Row("bb", 22)
+	tab.Separator()
+	tab.Row("total", 23)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header, rule, 2 rows, rule, total = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// First column left-aligned, numbers right-aligned.
+	if !strings.HasPrefix(lines[2], "alpha") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[2], "1") || !strings.HasSuffix(lines[3], "22") {
+		t.Errorf("numeric column misaligned: %q / %q", lines[2], lines[3])
+	}
+	// All lines equal width at the rules.
+	if len(lines[1]) != len(lines[4]) {
+		t.Error("separator widths differ")
+	}
+}
+
+// TestTableTotality: rendering never panics for arbitrary cell content.
+func TestTableTotality(t *testing.T) {
+	f := func(a, b string, n int8) bool {
+		tab := NewTable("A", "B")
+		tab.Row(a, b)
+		tab.Row(n, a+b)
+		return tab.String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
