@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check check bench bench-hot race
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# race runs the data-race detector over the concurrent packages (parallel
+# cross-validation folds, sharded training, the prediction scratch pool).
+race:
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp
+
+check: build vet fmt-check test race
+
+# bench runs the full benchmark suite (every table/figure plus the component
+# micro-benchmarks). Expect several minutes.
+bench:
+	$(GO) test -bench . -benchmem -timeout 3600s .
+
+# bench-hot runs just the three hot-path benchmarks this repo optimizes:
+# ESP cross-validation, sparse neural training, and profile collection.
+bench-hot:
+	$(GO) test -run XXX -benchmem -timeout 3600s \
+		-bench 'BenchmarkTable4ESPCrossVal|BenchmarkNeuralTrainSparse|BenchmarkInterpProfile' .

@@ -328,6 +328,80 @@ func BenchmarkNeuralTraining(b *testing.B) {
 	}
 }
 
+// BenchmarkTable4ESPCrossVal isolates the paper's core computation: the
+// leave-one-out ESP cross-validation over the C language group.
+func BenchmarkTable4ESPCrossVal(b *testing.B) {
+	ctx := sharedCtx(b)
+	data, err := ctx.LanguageData(ir.LangC, codegen.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		folds := core.CrossValidate(data, core.Config{})
+		if len(folds) != len(data) {
+			b.Fatal("missing folds")
+		}
+	}
+}
+
+// BenchmarkNeuralTrainSparse is BenchmarkNeuralTraining's workload run
+// through the sparse fused kernel on encoder-realistic data (block-sparse
+// rows, ~35% exact zeros).
+func BenchmarkNeuralTrainSparse(b *testing.B) {
+	cfg := neural.Config{Inputs: 86, Hidden: 12, Seed: 1, MaxEpochs: 50, Patience: 50}
+	rng := uint64(12345)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64((rng>>33)&0xFFFF)/65535*2 - 1
+	}
+	xs := make([][]float64, 500)
+	ts := make([]float64, 500)
+	ws := make([]float64, 500)
+	for i := range xs {
+		xs[i] = make([]float64, cfg.Inputs)
+		for j := range xs[i] {
+			// Gated feature blocks are exact zeros, as the encoder emits.
+			if j%8 < 3 && (i+j/8)%3 == 0 {
+				continue
+			}
+			xs[i][j] = next()
+		}
+		ts[i] = (next() + 1) / 2
+		ws[i] = 1.0 / 500
+	}
+	data := neural.NewCSRFromDense(xs, cfg.Inputs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := neural.New(cfg)
+		n.TrainCSR(cfg, data, ts, ws)
+	}
+}
+
+// BenchmarkInterpProfile measures profile collection end to end on the
+// espresso workload (map-free branch counting in the dispatch loop).
+func BenchmarkInterpProfile(b *testing.B) {
+	e, _ := corpus.ByName("espresso")
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := interp.Run(prog, e.RunConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prof.CondExec == 0 {
+			b.Fatal("no branches profiled")
+		}
+		b.SetBytes(prof.Insns)
+	}
+}
+
 func BenchmarkESPPrediction(b *testing.B) {
 	ctx := sharedCtx(b)
 	data, err := ctx.LanguageData(ir.LangFortran, codegen.Default)

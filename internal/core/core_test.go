@@ -243,3 +243,41 @@ func TestPredictorAlwaysPredicts(t *testing.T) {
 		t.Error("label override ignored")
 	}
 }
+
+// TestCrossValidateSerialParity: the parallel CrossValidate must match the
+// serial reference fold-for-fold, bitwise. The fold-level caching of prepared
+// examples and the fold goroutines must not perturb any result.
+func TestCrossValidateSerialParity(t *testing.T) {
+	corpus := []*ProgramData{
+		analyzeSrc(t, "a", loopy, nil),
+		analyzeSrc(t, "b", loopy2, nil),
+		analyzeSrc(t, "c", `
+int main() {
+	int i;
+	int n;
+	n = 0;
+	for (i = 0; i < 90; i = i + 1) {
+		if (i % 3 == 0) { n = n + 2; }
+	}
+	return n;
+}`, nil),
+	}
+	for _, cfg := range []Config{
+		{},
+		{Hidden: 8, Seed: 5},
+		{UniformWeights: true},
+		{ExcludeFeatures: []int{features.FBrOpcode}},
+	} {
+		par := CrossValidate(corpus, cfg)
+		ser := CrossValidateSerial(corpus, cfg)
+		if len(par) != len(ser) {
+			t.Fatalf("fold counts differ: %d vs %d", len(par), len(ser))
+		}
+		for i := range par {
+			if par[i] != ser[i] {
+				t.Errorf("cfg %+v fold %d: parallel %+v vs serial %+v",
+					cfg, i, par[i], ser[i])
+			}
+		}
+	}
+}

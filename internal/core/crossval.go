@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/features"
 	"repro/internal/heuristics"
 )
 
@@ -18,6 +19,33 @@ type FoldResult struct {
 	Epochs int
 }
 
+// preparedProgram is one program's fold-independent training data: the
+// masked feature vectors, targets, and weights of its executed branches.
+// Cross-validation extracts these once per program and reuses them across
+// every fold instead of re-deriving them per fold (masking and example
+// extraction depend only on the configuration, not on which program is
+// held out; only the encoder's vocabulary and normalization are per-fold).
+type preparedProgram struct {
+	masked  []features.Vector
+	targets []float64
+	weights []float64
+}
+
+func prepareProgram(pd *ProgramData, excluded map[int]bool) preparedProgram {
+	examples := pd.Examples()
+	p := preparedProgram{
+		masked:  make([]features.Vector, len(examples)),
+		targets: make([]float64, len(examples)),
+		weights: make([]float64, len(examples)),
+	}
+	for i, ex := range examples {
+		p.masked[i] = maskVector(ex.Vector, excluded)
+		p.targets[i] = ex.Target
+		p.weights[i] = ex.Weight
+	}
+	return p
+}
+
 // CrossValidate performs the paper's leave-one-out cross-validation: for
 // each program, ESP trains on the remaining programs of the group and
 // predicts the held-out program. The paper validates within language groups
@@ -27,16 +55,33 @@ type FoldResult struct {
 // Folds run in parallel but every fold's training is deterministic (the
 // seed is fixed per configuration), so results are reproducible.
 func CrossValidate(corpus []*ProgramData, cfg Config) []FoldResult {
+	return crossValidate(corpus, cfg, maxParallel())
+}
+
+// CrossValidateSerial is CrossValidate with the folds run one at a time, in
+// order. It exists as the reference for tests: the parallel run must produce
+// identical folds.
+func CrossValidateSerial(corpus []*ProgramData, cfg Config) []FoldResult {
+	return crossValidate(corpus, cfg, 1)
+}
+
+func crossValidate(corpus []*ProgramData, cfg Config, workers int) []FoldResult {
+	cfg = cfg.withDefaults()
+	excluded := excludeSet(cfg.ExcludeFeatures)
+	preps := make([]preparedProgram, len(corpus))
+	for i, pd := range corpus {
+		preps[i] = prepareProgram(pd, excluded)
+	}
 	results := make([]FoldResult, len(corpus))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, workers)
 	for i := range corpus {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = crossValidateFold(corpus, i, cfg)
+			results[i] = crossValidateFold(corpus, preps, i, cfg, excluded)
 		}(i)
 	}
 	wg.Wait()
@@ -51,20 +96,31 @@ func maxParallel() int {
 	return n
 }
 
-func crossValidateFold(corpus []*ProgramData, hold int, cfg Config) FoldResult {
-	train := make([]*ProgramData, 0, len(corpus)-1)
-	for j, pd := range corpus {
+func crossValidateFold(corpus []*ProgramData, preps []preparedProgram, hold int, cfg Config, excluded map[int]bool) FoldResult {
+	total := 0
+	for j := range preps {
 		if j != hold {
-			train = append(train, pd)
+			total += len(preps[j].masked)
 		}
 	}
-	model := Train(train, cfg)
+	masked := make([]features.Vector, 0, total)
+	targets := make([]float64, 0, total)
+	weights := make([]float64, 0, total)
+	for j := range preps {
+		if j == hold {
+			continue
+		}
+		masked = append(masked, preps[j].masked...)
+		targets = append(targets, preps[j].targets...)
+		weights = append(weights, preps[j].weights...)
+	}
+	model := trainMasked(masked, targets, weights, cfg, excluded)
 	held := corpus[hold]
 	miss := heuristics.MissRate(held.Sites, held.Profile, &Predictor{Model: model})
 	return FoldResult{
 		Held:          held.Name,
 		MissRate:      miss,
-		TrainPrograms: len(train),
+		TrainPrograms: len(corpus) - 1,
 		Epochs:        model.TrainStats.Epochs,
 	}
 }
@@ -73,7 +129,9 @@ func crossValidateFold(corpus []*ProgramData, hold int, cfg Config) FoldResult {
 func MissByProgram(folds []FoldResult) map[string]float64 {
 	out := make(map[string]float64, len(folds))
 	for _, f := range folds {
-		out[f.Held] = f.MissRate
+		if _, ok := out[f.Held]; !ok {
+			out[f.Held] = f.MissRate
+		}
 	}
 	return out
 }

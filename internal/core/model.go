@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/dtree"
 	"repro/internal/features"
@@ -96,6 +97,15 @@ type Model struct {
 	TrainStats neural.TrainResult
 
 	excluded map[int]bool
+	// scratch pools the per-prediction encode/hidden buffers so
+	// TakenProbability stays allocation-free and safe for concurrent use.
+	scratch sync.Pool
+}
+
+// predictBuf is the reusable per-prediction scratch.
+type predictBuf struct {
+	x []float64
+	h []float64
 }
 
 // Train fits an ESP model on the pooled examples of a corpus of programs.
@@ -110,26 +120,36 @@ func Train(corpus []*ProgramData, cfg Config) *Model {
 // TrainExamples fits an ESP model on explicit examples.
 func TrainExamples(examples []Example, cfg Config) *Model {
 	cfg = cfg.withDefaults()
-	m := &Model{Cfg: cfg, excluded: excludeSet(cfg.ExcludeFeatures)}
-
+	excluded := excludeSet(cfg.ExcludeFeatures)
 	masked := make([]features.Vector, len(examples))
 	targets := make([]float64, len(examples))
 	weightVals := make([]float64, len(examples))
 	for i, ex := range examples {
-		masked[i] = m.maskVector(ex.Vector)
+		masked[i] = maskVector(ex.Vector, excluded)
 		targets[i] = ex.Target
-		if cfg.UniformWeights {
-			weightVals[i] = 1 / float64(len(examples))
-		} else {
-			weightVals[i] = ex.Weight
+		weightVals[i] = ex.Weight
+	}
+	return trainMasked(masked, targets, weightVals, cfg, excluded)
+}
+
+// trainMasked fits a model on already-masked feature vectors. Cross-validation
+// masks each program's vectors once and reuses them across all folds, so the
+// masking work is hoisted out of here.
+func trainMasked(masked []features.Vector, targets, weightVals []float64, cfg Config, excluded map[int]bool) *Model {
+	m := &Model{Cfg: cfg, excluded: excluded}
+	if cfg.UniformWeights {
+		uniform := make([]float64, len(masked))
+		for i := range uniform {
+			uniform[i] = 1 / float64(len(masked))
 		}
+		weightVals = uniform
 	}
 	m.Encoder = features.NewEncoder(masked)
 
 	switch cfg.Classifier {
 	case DecisionTree:
-		tex := make([]dtree.Example, len(examples))
-		for i := range examples {
+		tex := make([]dtree.Example, len(masked))
+		for i := range masked {
 			tex[i] = dtree.Example{
 				Values: masked[i].Values,
 				TakenW: weightVals[i] * targets[i],
@@ -138,8 +158,8 @@ func TrainExamples(examples []Example, cfg Config) *Model {
 		}
 		m.Tree = dtree.Build(tex, cfg.Tree)
 	case MemoryBased:
-		mex := make([]mbr.Example, len(examples))
-		for i := range examples {
+		mex := make([]mbr.Example, len(masked))
+		for i := range masked {
 			mex[i] = mbr.Example{
 				Values: masked[i].Values,
 				Target: targets[i],
@@ -150,7 +170,7 @@ func TrainExamples(examples []Example, cfg Config) *Model {
 		mcfg.InformationWeights = true
 		m.MBR = mbr.New(mex, mcfg)
 	default:
-		xs := m.Encoder.EncodeAll(masked)
+		xs := m.Encoder.EncodeAllSparse(masked)
 		ncfg := cfg.Net
 		ncfg.Inputs = m.Encoder.Dim
 		ncfg.Hidden = cfg.Hidden
@@ -158,7 +178,7 @@ func TrainExamples(examples []Example, cfg Config) *Model {
 			ncfg.Seed = cfg.Seed
 		}
 		m.Net = neural.New(ncfg)
-		m.TrainStats = m.Net.Train(ncfg, xs, targets, weightVals)
+		m.TrainStats = m.Net.TrainCSR(ncfg, xs, targets, weightVals)
 	}
 	return m
 }
@@ -175,11 +195,11 @@ func excludeSet(feats []int) map[int]bool {
 }
 
 // maskVector hides excluded features.
-func (m *Model) maskVector(v features.Vector) features.Vector {
-	if len(m.excluded) == 0 {
+func maskVector(v features.Vector, excluded map[int]bool) features.Vector {
+	if len(excluded) == 0 {
 		return v
 	}
-	for f := range m.excluded {
+	for f := range excluded {
 		if f >= 0 && f < features.NumFeatures {
 			v.Values[f] = features.Unknown
 		}
@@ -190,16 +210,24 @@ func (m *Model) maskVector(v features.Vector) features.Vector {
 // TakenProbability returns the model's estimate that the branch described by
 // the feature vector is taken.
 func (m *Model) TakenProbability(v features.Vector) float64 {
-	v = m.maskVector(v)
+	v = maskVector(v, m.excluded)
 	if m.Tree != nil {
 		return m.Tree.Predict(v.Values)
 	}
 	if m.MBR != nil {
 		return m.MBR.Predict(v.Values)
 	}
-	x := make([]float64, m.Encoder.Dim)
-	m.Encoder.Encode(v, x)
-	return m.Net.Forward(x)
+	buf, _ := m.scratch.Get().(*predictBuf)
+	if buf == nil {
+		buf = &predictBuf{
+			x: make([]float64, m.Encoder.Dim),
+			h: make([]float64, m.Net.Hidden),
+		}
+	}
+	m.Encoder.Encode(v, buf.x)
+	y := m.Net.ForwardInto(buf.h, buf.x)
+	m.scratch.Put(buf)
+	return y
 }
 
 // Predictor adapts the model to the heuristics.Predictor interface used by

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/neural"
 )
 
 // Encoder turns categorical feature vectors into the neural network's
@@ -155,6 +157,61 @@ func (e *Encoder) EncodeAll(vs []Vector) [][]float64 {
 		e.Encode(v, out[i])
 	}
 	return out
+}
+
+// EncodeAllSparse encodes a batch in compressed-sparse-row form, emitting
+// exactly the nonzero entries Encode would write (ascending column order):
+// gated ("?") feature blocks and constant (zero-std) columns produce no
+// entries at all. The training kernels consume this directly.
+func (e *Encoder) EncodeAllSparse(vs []Vector) *neural.CSR {
+	// Count the active columns per feature block once: a block contributes
+	// its non-constant columns whenever its feature has a value.
+	var blockNNZ [NumFeatures]int
+	for f := 0; f < NumFeatures; f++ {
+		lo := e.Offsets[f]
+		for i := 0; i < len(e.Vocab[f]); i++ {
+			if e.Std[lo+i] != 0 {
+				blockNNZ[f]++
+			}
+		}
+	}
+	total := 0
+	for _, v := range vs {
+		for f, val := range v.Values {
+			if val != Unknown && val != "" {
+				total += blockNNZ[f]
+			}
+		}
+	}
+	c := &neural.CSR{
+		Cols:  e.Dim,
+		Start: make([]int, 1, len(vs)+1),
+		Index: make([]int32, 0, total),
+		Value: make([]float64, 0, total),
+	}
+	for _, v := range vs {
+		for f, val := range v.Values {
+			if val == Unknown || val == "" {
+				continue
+			}
+			lo := e.Offsets[f]
+			hi := lo + len(e.Vocab[f])
+			col, known := e.index[f][val]
+			for i := lo; i < hi; i++ {
+				if e.Std[i] == 0 {
+					continue
+				}
+				x := 0.0
+				if known && i == col {
+					x = 1
+				}
+				c.Index = append(c.Index, int32(i))
+				c.Value = append(c.Value, (x-e.Mean[i])/e.Std[i])
+			}
+		}
+		c.Start = append(c.Start, len(c.Index))
+	}
+	return c
 }
 
 // Mask reports, per input column, whether the column belongs to one of the

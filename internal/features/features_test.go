@@ -330,3 +330,54 @@ func TestFeatureNamesComplete(t *testing.T) {
 		t.Error("out-of-range names must still render")
 	}
 }
+
+// TestEncodeAllSparseMatchesDense: the sparse batch encoding must contain
+// exactly the nonzeros of the dense encoding, in ascending column order, with
+// bit-identical values — including gated ("?") blocks, unseen values, and
+// constant columns.
+func TestEncodeAllSparseMatchesDense(t *testing.T) {
+	vals := []string{"a", "b", "c", Unknown, "zz-unseen"}
+	var vecs []Vector
+	for i := 0; i < 17; i++ {
+		v := Vector{}
+		for f := 0; f < NumFeatures; f++ {
+			v.Values[f] = vals[(i*7+f*3)%len(vals)]
+		}
+		vecs = append(vecs, v)
+	}
+	// Train the encoder on a subset so some values are out-of-vocabulary.
+	enc := NewEncoder(vecs[:10])
+	dense := enc.EncodeAll(vecs)
+	sparse := enc.EncodeAllSparse(vecs)
+	if got, want := sparse.Rows(), len(vecs); got != want {
+		t.Fatalf("sparse rows = %d, want %d", got, want)
+	}
+	if sparse.Cols != enc.Dim {
+		t.Fatalf("sparse cols = %d, want %d", sparse.Cols, enc.Dim)
+	}
+	for k, row := range dense {
+		idx, val := sparse.Row(k)
+		p := 0
+		for j, x := range row {
+			if x == 0 {
+				continue
+			}
+			if p >= len(idx) {
+				t.Fatalf("row %d: sparse ran out at dense col %d", k, j)
+			}
+			if int(idx[p]) != j || val[p] != x {
+				t.Fatalf("row %d: sparse (%d,%g) vs dense (%d,%g)",
+					k, idx[p], val[p], j, x)
+			}
+			p++
+		}
+		if p != len(idx) {
+			t.Fatalf("row %d: sparse has %d extra entries", k, len(idx)-p)
+		}
+		for q := 1; q < len(idx); q++ {
+			if idx[q] <= idx[q-1] {
+				t.Fatalf("row %d: columns not strictly ascending", k)
+			}
+		}
+	}
+}

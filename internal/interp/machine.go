@@ -56,14 +56,43 @@ type machine struct {
 	prof    *Profile
 	depth   int
 
-	funcs   map[string]*funcImage
-	globals map[string]int64
+	funcs    map[string]*funcImage
+	funcList []*funcImage
+	// counts/refs are the dense branch profile: every static conditional
+	// branch site gets a slot at image-build time, and the dispatch loop
+	// counts straight into the slot — no map lookups on the hot path. The
+	// Profile's Branches map is materialized from these once, at run end.
+	counts []BranchCount
+	refs   []ir.BranchRef
 }
 
+// funcImage is a function pre-resolved for dispatch: every symbolic operand
+// (block IDs, global symbols, callee names) is rewritten to a dense index so
+// the interpreter loop never consults a map.
 type funcImage struct {
-	fn      *ir.Func
-	idToIdx map[int]int
+	fn     *ir.Func
+	blocks []blockImage
 }
+
+// blockImage carries the per-instruction resolved operands of one block.
+// aux is indexed by pc and its meaning depends on the opcode there:
+//
+//	conditional branch → branch-count slot (high 32 bits) | taken-target
+//	                     block index (low 32 bits)
+//	OpBr               → target block index
+//	OpJmp              → index into jmp, the resolved target table
+//	OpBsr              → callee index into machine.funcList, -1 if unknown
+//	OpLda              → global base + immediate, or unknownSym
+//
+// aux stays nil for blocks with none of these opcodes.
+type blockImage struct {
+	aux []int64
+	jmp [][]int32
+}
+
+// unknownSym marks an OpLda/OpBsr operand that did not resolve at image-build
+// time; executing it reports the same error the unresolved lookup used to.
+const unknownSym = math.MinInt64
 
 // Run executes the program's main function under the given configuration and
 // returns the collected profile.
@@ -75,26 +104,23 @@ func Run(p *ir.Program, cfg Config) (*Profile, error) {
 		cfg.MemWords = DefaultMemWords
 	}
 	m := &machine{
-		prog:    p,
-		cfg:     cfg,
-		mem:     make([]int64, cfg.MemWords),
-		rng:     cfg.Seed*2862933555777941757 + 3037000493,
-		fuel:    cfg.MaxInsns,
-		funcs:   make(map[string]*funcImage, len(p.Funcs)),
-		globals: make(map[string]int64, len(p.Globals)),
+		prog:  p,
+		cfg:   cfg,
+		mem:   make([]int64, cfg.MemWords),
+		rng:   cfg.Seed*2862933555777941757 + 3037000493,
+		fuel:  cfg.MaxInsns,
+		funcs: make(map[string]*funcImage, len(p.Funcs)),
 	}
-	m.prof = &Profile{
-		Program:  p.Name,
-		Branches: make(map[ir.BranchRef]*BranchCount),
-	}
+	m.prof = &Profile{Program: p.Name}
 	if cfg.CollectEdges {
 		m.prof.Edges = make(map[EdgeRef]int64)
 	}
 	// Lay out globals starting at word 1 (0 stays null).
+	globals := make(map[string]int64, len(p.Globals))
 	base := int64(1)
 	for i := range p.Globals {
 		g := &p.Globals[i]
-		m.globals[g.Name] = base
+		globals[g.Name] = base
 		for j, v := range g.Init {
 			if base+int64(j) < cfg.MemWords {
 				m.mem[base+int64(j)] = v
@@ -109,20 +135,7 @@ func Run(p *ir.Program, cfg Config) (*Profile, error) {
 	if m.heapTop < m.heapPtr {
 		m.heapTop = m.heapPtr
 	}
-	for _, f := range p.Funcs {
-		fi := &funcImage{fn: f, idToIdx: make(map[int]int, len(f.Blocks))}
-		for i, b := range f.Blocks {
-			fi.idToIdx[b.ID] = i
-		}
-		m.funcs[f.Name] = fi
-		// Register every static branch site so StaticSites covers
-		// never-executed branches too.
-		for _, b := range f.Blocks {
-			if b.Branch() != nil {
-				m.prof.Branch(ir.BranchRef{Func: f.Name, Block: b.ID})
-			}
-		}
-	}
+	m.buildImages(globals)
 	mainFn := m.funcs["main"]
 	if mainFn == nil {
 		return nil, ErrNoMain
@@ -133,7 +146,97 @@ func Run(p *ir.Program, cfg Config) (*Profile, error) {
 		return nil, fmt.Errorf("interp: %s: %w", p.Name, err)
 	}
 	m.prof.Result = ret
+	m.prof.Insns = cfg.MaxInsns - m.fuel
+	m.prof.Branches = make(map[ir.BranchRef]*BranchCount, len(m.refs))
+	for i, ref := range m.refs {
+		c := &m.counts[i]
+		m.prof.Branches[ref] = c
+		m.prof.CondExec += c.Executed
+		m.prof.CondTaken += c.Taken
+	}
 	return m.prof, nil
+}
+
+// buildImages pre-resolves every function for dispatch and assigns the dense
+// branch-count slots. Every static branch site gets a slot (so StaticSites
+// covers never-executed branches); symbol resolution errors are deferred to
+// execution via unknownSym sentinels so unreachable bad code stays harmless,
+// as before.
+func (m *machine) buildImages(globals map[string]int64) {
+	p := m.prog
+	m.funcList = make([]*funcImage, 0, len(p.Funcs))
+	fidx := make(map[string]int, len(p.Funcs))
+	for _, f := range p.Funcs {
+		fi := &funcImage{fn: f, blocks: make([]blockImage, len(f.Blocks))}
+		fidx[f.Name] = len(m.funcList)
+		m.funcList = append(m.funcList, fi)
+		m.funcs[f.Name] = fi
+	}
+	slotOf := make(map[ir.BranchRef]int32)
+	slot := func(ref ir.BranchRef) int32 {
+		s, ok := slotOf[ref]
+		if !ok {
+			s = int32(len(m.counts))
+			slotOf[ref] = s
+			m.refs = append(m.refs, ref)
+			m.counts = append(m.counts, BranchCount{})
+		}
+		return s
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Branch() != nil {
+				slot(ir.BranchRef{Func: f.Name, Block: b.ID})
+			}
+		}
+	}
+	for _, fi := range m.funcList {
+		f := fi.fn
+		idToIdx := make(map[int]int, len(f.Blocks))
+		for i, b := range f.Blocks {
+			idToIdx[b.ID] = i
+		}
+		for bi := range f.Blocks {
+			b := f.Blocks[bi]
+			blk := &fi.blocks[bi]
+			ensure := func() []int64 {
+				if blk.aux == nil {
+					blk.aux = make([]int64, len(b.Insns))
+				}
+				return blk.aux
+			}
+			for pc := range b.Insns {
+				in := &b.Insns[pc]
+				switch {
+				case in.Op.IsCondBranch():
+					s := slot(ir.BranchRef{Func: f.Name, Block: b.ID})
+					ensure()[pc] = int64(s)<<32 |
+						int64(uint32(int32(idToIdx[in.Target])))
+				case in.Op == ir.OpBr:
+					ensure()[pc] = int64(idToIdx[in.Target])
+				case in.Op == ir.OpJmp:
+					tg := make([]int32, len(in.Targets))
+					for i, id := range in.Targets {
+						tg[i] = int32(idToIdx[id])
+					}
+					ensure()[pc] = int64(len(blk.jmp))
+					blk.jmp = append(blk.jmp, tg)
+				case in.Op == ir.OpBsr:
+					if i, ok := fidx[in.Sym]; ok {
+						ensure()[pc] = int64(i)
+					} else {
+						ensure()[pc] = unknownSym
+					}
+				case in.Op == ir.OpLda:
+					if base, ok := globals[in.Sym]; ok {
+						ensure()[pc] = base + in.Imm
+					} else {
+						ensure()[pc] = unknownSym
+					}
+				}
+			}
+		}
+	}
 }
 
 // call executes one function activation. args holds the incoming A0..A5 and
@@ -159,6 +262,7 @@ func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, r
 	blockIdx := 0
 	for {
 		b := fn.Blocks[blockIdx]
+		bim := &fi.blocks[blockIdx]
 		nextIdx := blockIdx + 1 // default: fall through in layout order
 		fell := true
 		for pc := 0; pc < len(b.Insns); pc++ {
@@ -166,7 +270,6 @@ func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, r
 			if m.fuel--; m.fuel < 0 {
 				return 0, 0, ErrFuel
 			}
-			m.prof.Insns++
 			// Reads of the zero registers always see zero.
 			regs[ir.RegZero] = 0
 			regs[ir.RegFZero] = 0
@@ -186,11 +289,11 @@ func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, r
 			case ir.OpLdiQ:
 				regs[in.Dst] = in.Imm
 			case ir.OpLda:
-				base, ok := m.globals[in.Sym]
-				if !ok {
+				addr := bim.aux[pc]
+				if addr == unknownSym {
 					return 0, 0, fmt.Errorf("interp: unknown global %q", in.Sym)
 				}
-				regs[in.Dst] = base + in.Imm
+				regs[in.Dst] = addr
 			case ir.OpMov, ir.OpFMov:
 				regs[in.Dst] = regs[in.A]
 			case ir.OpCmovEq:
@@ -268,34 +371,34 @@ func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, r
 			case ir.OpBeq, ir.OpBne, ir.OpBlt, ir.OpBle, ir.OpBgt, ir.OpBge,
 				ir.OpFbeq, ir.OpFbne, ir.OpFblt, ir.OpFble, ir.OpFbgt, ir.OpFbge,
 				ir.OpBeq2, ir.OpBne2:
-				taken := branchTaken(in, regs[:])
-				m.prof.CondExec++
-				bc := m.prof.Branch(ir.BranchRef{Func: fn.Name, Block: b.ID})
+				a := bim.aux[pc]
+				bc := &m.counts[int32(a>>32)]
 				bc.Executed++
-				if taken {
-					m.prof.CondTaken++
+				if branchTaken(in, regs[:]) {
 					bc.Taken++
-					nextIdx = fi.idToIdx[in.Target]
+					nextIdx = int(int32(uint32(a)))
 				}
 				fell = false
 				goto endBlock
 			case ir.OpBr:
-				nextIdx = fi.idToIdx[in.Target]
+				nextIdx = int(bim.aux[pc])
 				fell = false
 				goto endBlock
 			case ir.OpJmp:
+				tgts := bim.jmp[bim.aux[pc]]
 				idx := regs[in.A]
-				if idx < 0 || idx >= int64(len(in.Targets)) {
+				if idx < 0 || idx >= int64(len(tgts)) {
 					return 0, 0, ErrBadJump
 				}
-				nextIdx = fi.idToIdx[in.Targets[idx]]
+				nextIdx = int(tgts[idx])
 				fell = false
 				goto endBlock
 			case ir.OpBsr:
-				callee := m.funcs[in.Sym]
-				if callee == nil {
+				ci := bim.aux[pc]
+				if ci == unknownSym {
 					return 0, 0, fmt.Errorf("interp: call to unknown function %q", in.Sym)
 				}
+				callee := m.funcList[ci]
 				var cargs [12]int64
 				for i := 0; i < 6; i++ {
 					cargs[i] = regs[int(ir.RegA0)+i]

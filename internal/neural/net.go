@@ -9,9 +9,17 @@
 // weight), an adaptive learning rate (raised while error falls steadily,
 // lowered otherwise), no momentum, and early stopping on the thresholded
 // error to avoid overfitting.
+//
+// Two training kernels share these semantics bit for bit: Train, the dense
+// reference implementation, and TrainCSR, the production kernel that runs on
+// sparse rows, fuses the early-stopping forward pass into the training pass,
+// and can shard the batch gradient across goroutines (csr.go). Every kernel
+// accumulates each weight's contributions in the same example-then-column
+// order, so a fixed seed yields identical models from either path.
 package neural
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -34,6 +42,14 @@ type Config struct {
 	// (defaults 1.05 and 0.7).
 	LRUp   float64
 	LRDown float64
+	// RecordHistory retains the per-epoch loss and thresholded-error curves
+	// in the TrainResult. Off by default: cross-validation runs thousands of
+	// epochs whose histories nobody reads.
+	RecordHistory bool
+	// Workers bounds the goroutines TrainCSR shards the batch gradient over
+	// (0 = GOMAXPROCS). The result is bit-identical for every worker count;
+	// see csr.go.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,15 +71,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Net is the branch-prediction network of Figure 1.
+// Net is the branch-prediction network of Figure 1. The hidden×inputs weight
+// matrix lives in one contiguous column-major buffer: W[j*Hidden+i] is the
+// weight from input j to hidden unit i. Column-major order lets the forward
+// and gradient kernels walk one input column while updating all hidden
+// accumulators, which keeps the per-accumulator floating-point addition order
+// identical to the classic row-major loops while breaking their serial
+// add-latency dependency chain.
 type Net struct {
-	Inputs int         `json:"inputs"`
-	Hidden int         `json:"hidden"`
-	W      [][]float64 `json:"w"` // hidden × inputs
-	B      []float64   `json:"b"` // hidden biases
-	V      []float64   `json:"v"` // hidden → output
-	A      float64     `json:"a"` // output bias
+	Inputs int
+	Hidden int
+	W      []float64 // column-major hidden×inputs, W[j*Hidden+i]
+	B      []float64 // hidden biases
+	V      []float64 // hidden → output
+	A      float64   // output bias
 }
+
+// Weight returns the weight from input j to hidden unit i.
+func (n *Net) Weight(i, j int) float64 { return n.W[j*n.Hidden+i] }
+
+// SetWeight sets the weight from input j to hidden unit i.
+func (n *Net) SetWeight(i, j int, v float64) { n.W[j*n.Hidden+i] = v }
 
 // New creates a network with small deterministic random weights.
 func New(cfg Config) *Net {
@@ -72,15 +100,16 @@ func New(cfg Config) *Net {
 	n := &Net{
 		Inputs: cfg.Inputs,
 		Hidden: cfg.Hidden,
-		W:      make([][]float64, cfg.Hidden),
+		W:      make([]float64, cfg.Hidden*cfg.Inputs),
 		B:      make([]float64, cfg.Hidden),
 		V:      make([]float64, cfg.Hidden),
 	}
 	scale := 1 / math.Sqrt(float64(cfg.Inputs)+1)
+	// The draw order (row of W, then bias, then output weight, per hidden
+	// unit) is part of the seed contract and must not change.
 	for i := 0; i < cfg.Hidden; i++ {
-		n.W[i] = make([]float64, cfg.Inputs)
-		for j := range n.W[i] {
-			n.W[i][j] = rng.uniform() * scale
+		for j := 0; j < cfg.Inputs; j++ {
+			n.W[j*cfg.Hidden+i] = rng.uniform() * scale
 		}
 		n.B[i] = rng.uniform() * scale
 		n.V[i] = rng.uniform() * 0.5
@@ -91,20 +120,33 @@ func New(cfg Config) *Net {
 
 // HiddenActivations computes the hidden layer into h (length Hidden).
 func (n *Net) HiddenActivations(x []float64, h []float64) {
-	for i := 0; i < n.Hidden; i++ {
-		z := n.B[i]
-		wi := n.W[i]
-		for j, xv := range x {
-			z += wi[j] * xv
+	hh := n.Hidden
+	copy(h, n.B)
+	h = h[:hh]
+	for j, xv := range x {
+		if xv == 0 {
+			continue
 		}
+		col := n.W[j*hh : j*hh+hh]
+		for i, wv := range col {
+			h[i] += wv * xv
+		}
+	}
+	for i, z := range h {
 		h[i] = math.Tanh(z)
 	}
 }
 
 // Forward returns the network output for one input: the estimated
-// probability (in [0,1]) that the branch is taken.
+// probability (in [0,1]) that the branch is taken. It allocates a hidden
+// scratch buffer per call; hot paths should use ForwardInto.
 func (n *Net) Forward(x []float64) float64 {
-	h := make([]float64, n.Hidden)
+	return n.ForwardInto(make([]float64, n.Hidden), x)
+}
+
+// ForwardInto is Forward with a caller-provided hidden scratch buffer
+// (length Hidden), avoiding the per-call allocation.
+func (n *Net) ForwardInto(h []float64, x []float64) float64 {
 	n.HiddenActivations(x, h)
 	return n.output(h)
 }
@@ -119,9 +161,10 @@ func (n *Net) output(h []float64) float64 {
 
 // Loss computes the paper's weighted expected-miss loss over a dataset.
 func (n *Net) Loss(xs [][]float64, t, w []float64) float64 {
+	h := make([]float64, n.Hidden)
 	var e float64
 	for k, x := range xs {
-		y := n.Forward(x)
+		y := n.ForwardInto(h, x)
 		e += w[k] * (y*(1-t[k]) + t[k]*(1-y))
 	}
 	return e
@@ -131,10 +174,11 @@ func (n *Net) Loss(xs [][]float64, t, w []float64) float64 {
 // early-stopping criterion ("training continues until the thresholded error
 // of the net no longer decreases").
 func (n *Net) ThresholdedLoss(xs [][]float64, t, w []float64) float64 {
+	h := make([]float64, n.Hidden)
 	var e float64
 	for k, x := range xs {
 		y := 0.0
-		if n.Forward(x) > 0.5 {
+		if n.ForwardInto(h, x) > 0.5 {
 			y = 1
 		}
 		e += w[k] * (y*(1-t[k]) + t[k]*(1-y))
@@ -144,11 +188,13 @@ func (n *Net) ThresholdedLoss(xs [][]float64, t, w []float64) float64 {
 
 // TrainResult reports a training run.
 type TrainResult struct {
-	Epochs           int
-	FinalLoss        float64
-	BestThresholded  float64
-	FinalLearnRate   float64
-	StoppedEarly     bool
+	Epochs          int
+	FinalLoss       float64
+	BestThresholded float64
+	FinalLearnRate  float64
+	StoppedEarly    bool
+	// LossHistory and ThresholdHistory are populated only when
+	// Config.RecordHistory is set.
 	LossHistory      []float64
 	ThresholdHistory []float64
 }
@@ -157,6 +203,9 @@ type TrainResult struct {
 // feature vectors, t the per-branch taken-probabilities (targets), and w the
 // normalized branch weights n_k. Training mutates the receiver and restores
 // the weights that achieved the best thresholded error.
+//
+// This is the dense reference kernel; TrainCSR produces bit-identical
+// models from sparse rows, faster.
 func (n *Net) Train(cfg Config, xs [][]float64, t, w []float64) TrainResult {
 	cfg = cfg.withDefaults()
 	if len(xs) == 0 {
@@ -164,24 +213,27 @@ func (n *Net) Train(cfg Config, xs [][]float64, t, w []float64) TrainResult {
 	}
 	lr := cfg.LearnRate
 	res := TrainResult{BestThresholded: math.Inf(1)}
+	if cfg.RecordHistory {
+		res.LossHistory = make([]float64, 0, cfg.MaxEpochs)
+		res.ThresholdHistory = make([]float64, 0, cfg.MaxEpochs)
+	}
 	prevLoss := math.Inf(1)
 	best := n.snapshot()
 	sinceBest := 0
 
-	gW := make([][]float64, n.Hidden)
-	for i := range gW {
-		gW[i] = make([]float64, n.Inputs)
-	}
-	gB := make([]float64, n.Hidden)
-	gV := make([]float64, n.Hidden)
-	h := make([]float64, n.Hidden)
+	hh := n.Hidden
+	gW := make([]float64, len(n.W))
+	gB := make([]float64, hh)
+	gV := make([]float64, hh)
+	h := make([]float64, hh)
+	dh := make([]float64, hh)
 
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		// Zero gradients.
 		for i := range gW {
-			for j := range gW[i] {
-				gW[i][j] = 0
-			}
+			gW[i] = 0
+		}
+		for i := 0; i < hh; i++ {
 			gB[i] = 0
 			gV[i] = 0
 		}
@@ -194,27 +246,31 @@ func (n *Net) Train(cfg Config, xs [][]float64, t, w []float64) TrainResult {
 			// dE/dy = w_k (1 - 2 t_k); dy/dz = 0.5 (1 - u²) with u = 2y-1.
 			u := 2*y - 1
 			dOut := w[k] * (1 - 2*t[k]) * 0.5 * (1 - u*u)
-			for i := 0; i < n.Hidden; i++ {
-				gV[i] += dOut * h[i]
-				dHid := dOut * n.V[i] * (1 - h[i]*h[i])
-				gB[i] += dHid
-				wi := n.W[i]
-				gwi := gW[i]
-				for j := range wi {
-					gwi[j] += dHid * x[j]
+			for i := 0; i < hh; i++ {
+				hi := h[i]
+				gV[i] += dOut * hi
+				d := dOut * n.V[i] * (1 - hi*hi)
+				gB[i] += d
+				dh[i] = d
+			}
+			for j, xv := range x {
+				if xv == 0 {
+					continue
+				}
+				gcol := gW[j*hh : j*hh+hh]
+				for i, dv := range dh {
+					gcol[i] += dv * xv
 				}
 			}
 			gA += dOut
 		}
 		// Batch update.
-		for i := 0; i < n.Hidden; i++ {
+		for i := range n.W {
+			n.W[i] -= lr * gW[i]
+		}
+		for i := 0; i < hh; i++ {
 			n.V[i] -= lr * gV[i]
 			n.B[i] -= lr * gB[i]
-			wi := n.W[i]
-			gwi := gW[i]
-			for j := range wi {
-				wi[j] -= lr * gwi[j]
-			}
 		}
 		n.A -= lr * gA
 
@@ -228,14 +284,19 @@ func (n *Net) Train(cfg Config, xs [][]float64, t, w []float64) TrainResult {
 		prevLoss = loss
 
 		thr := n.ThresholdedLoss(xs, t, w)
-		res.LossHistory = append(res.LossHistory, loss)
-		res.ThresholdHistory = append(res.ThresholdHistory, thr)
+		if cfg.RecordHistory {
+			res.LossHistory = append(res.LossHistory, loss)
+			res.ThresholdHistory = append(res.ThresholdHistory, thr)
+		}
 		res.Epochs = epoch + 1
 		res.FinalLoss = loss
 		res.FinalLearnRate = lr
 		if thr < res.BestThresholded-1e-12 {
 			res.BestThresholded = thr
-			best = n.snapshot()
+			copy(best.w, n.W)
+			copy(best.b, n.B)
+			copy(best.v, n.V)
+			best.a = n.A
 			sinceBest = 0
 		} else {
 			sinceBest++
@@ -250,32 +311,80 @@ func (n *Net) Train(cfg Config, xs [][]float64, t, w []float64) TrainResult {
 }
 
 type weights struct {
-	w [][]float64
+	w []float64
 	b []float64
 	v []float64
 	a float64
 }
 
 func (n *Net) snapshot() weights {
-	s := weights{
-		w: make([][]float64, n.Hidden),
+	return weights{
+		w: append([]float64(nil), n.W...),
 		b: append([]float64(nil), n.B...),
 		v: append([]float64(nil), n.V...),
 		a: n.A,
 	}
-	for i := range n.W {
-		s.w[i] = append([]float64(nil), n.W[i]...)
-	}
-	return s
 }
 
 func (n *Net) restore(s weights) {
-	for i := range n.W {
-		copy(n.W[i], s.w[i])
-	}
+	copy(n.W, s.w)
 	copy(n.B, s.b)
 	copy(n.V, s.v)
 	n.A = s.a
+}
+
+// netJSON is the serialized form: the weight matrix stays row-major
+// ("w"[i][j] = weight from input j to hidden unit i) so model files written
+// before the column-major layout still load, and new files stay readable by
+// older tools.
+type netJSON struct {
+	Inputs int         `json:"inputs"`
+	Hidden int         `json:"hidden"`
+	W      [][]float64 `json:"w"`
+	B      []float64   `json:"b"`
+	V      []float64   `json:"v"`
+	A      float64     `json:"a"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	rows := make([][]float64, n.Hidden)
+	backing := make([]float64, n.Hidden*n.Inputs)
+	for i := 0; i < n.Hidden; i++ {
+		rows[i] = backing[i*n.Inputs : (i+1)*n.Inputs]
+		for j := 0; j < n.Inputs; j++ {
+			rows[i][j] = n.W[j*n.Hidden+i]
+		}
+	}
+	return json.Marshal(netJSON{
+		Inputs: n.Inputs, Hidden: n.Hidden, W: rows, B: n.B, V: n.V, A: n.A,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *Net) UnmarshalJSON(data []byte) error {
+	var nj netJSON
+	if err := json.Unmarshal(data, &nj); err != nil {
+		return err
+	}
+	if len(nj.W) != nj.Hidden {
+		return fmt.Errorf("neural: weight matrix has %d rows, want %d", len(nj.W), nj.Hidden)
+	}
+	n.Inputs = nj.Inputs
+	n.Hidden = nj.Hidden
+	n.B = nj.B
+	n.V = nj.V
+	n.A = nj.A
+	n.W = make([]float64, nj.Hidden*nj.Inputs)
+	for i, row := range nj.W {
+		if len(row) != nj.Inputs {
+			return fmt.Errorf("neural: weight row %d has %d columns, want %d", i, len(row), nj.Inputs)
+		}
+		for j, v := range row {
+			n.W[j*nj.Hidden+i] = v
+		}
+	}
+	return nil
 }
 
 // Describe renders the network architecture (Figure 1 of the paper) as

@@ -62,8 +62,8 @@ func TestGradients(t *testing.T) {
 			t.Errorf("%s: numeric %g vs analytic %g", name, numeric, analytic)
 		}
 	}
-	checkGrad("w00", func() float64 { return n.W[0][0] }, func(v float64) { n.W[0][0] = v })
-	checkGrad("w11", func() float64 { return n.W[1][1] }, func(v float64) { n.W[1][1] = v })
+	checkGrad("w00", func() float64 { return n.Weight(0, 0) }, func(v float64) { n.SetWeight(0, 0, v) })
+	checkGrad("w11", func() float64 { return n.Weight(1, 1) }, func(v float64) { n.SetWeight(1, 1, v) })
 	checkGrad("b0", func() float64 { return n.B[0] }, func(v float64) { n.B[0] = v })
 	checkGrad("v1", func() float64 { return n.V[1] }, func(v float64) { n.V[1] = v })
 	checkGrad("a", func() float64 { return n.A }, func(v float64) { n.A = v })

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the full local gate: build, vet, gofmt, tests, race tests.
+# CI (.github/workflows/ci.yml) runs the same sequence.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/core ./internal/neural ./internal/interp
+
+echo "OK"
