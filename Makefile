@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot race
+.PHONY: all build test vet fmt-check check bench bench-hot race fuzz
 
 all: check
 
@@ -18,9 +18,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # race runs the data-race detector over the concurrent packages (parallel
-# cross-validation folds, sharded training, the prediction scratch pool).
+# cross-validation folds, sharded training, the prediction scratch pool, and
+# the espserve batching worker pool).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve
+
+# fuzz runs both fuzz targets for a short budget, the same way CI does.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=20s ./internal/minic
+	$(GO) test -run=NONE -fuzz=FuzzEncode -fuzztime=20s ./internal/features
 
 check: build vet fmt-check test race
 

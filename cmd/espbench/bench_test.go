@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteBenchEmitsJSON(t *testing.T) {
+	dir := t.TempDir()
+	r := testing.BenchmarkResult{
+		N:         2000,
+		T:         3 * time.Millisecond,
+		Bytes:     0,
+		MemAllocs: 4000,
+		MemBytes:  128000,
+	}
+	if err := writeBench(dir, "parse", r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_parse.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got benchResult
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("emitted file is not valid JSON: %v\n%s", err, data)
+	}
+	want := benchResult{
+		Name:        "parse",
+		Iterations:  2000,
+		NsPerOp:     1500,
+		BytesPerOp:  64,
+		AllocsPerOp: 2,
+	}
+	if got != want {
+		t.Fatalf("emitted %+v, want %+v", got, want)
+	}
+}
+
+func TestWriteBenchRoundTripsFields(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeBench(dir, "forward", testing.BenchmarkResult{N: 1, T: time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_forward.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("emitted JSON is missing %q:\n%s", key, data)
+		}
+	}
+}
+
+func TestRunBenchSuiteRejectsUnknownName(t *testing.T) {
+	if err := runBenchSuite("nosuchbench", t.TempDir()); err == nil {
+		t.Fatal("expected an error for an unknown benchmark name")
+	}
+}
+
+// TestRunBenchSuiteEndToEnd runs the two cheapest registered benchmarks for
+// real and checks the emitted files parse and carry sane numbers.
+func TestRunBenchSuiteEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	dir := t.TempDir()
+	if err := runBenchSuite("encode,forward", dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"encode", "forward"} {
+		data, err := os.ReadFile(benchFile(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got benchResult
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name != name || got.Iterations <= 0 || got.NsPerOp <= 0 {
+			t.Fatalf("%s: implausible result %+v", name, got)
+		}
+	}
+}

@@ -8,6 +8,12 @@
 //	espbench -corpussize       # the corpus-size observation
 //	espbench -ablations        # design-choice ablations
 //	espbench -orders           # exhaustive APHC order search
+//
+// With -bench it instead runs micro-benchmarks of the pipeline hot paths
+// and writes machine-readable BENCH_<name>.json files:
+//
+//	espbench -bench all -benchout .
+//	espbench -bench parse,forward -benchout bench/
 package main
 
 import (
@@ -29,7 +35,17 @@ func main() {
 	profileEst := flag.Bool("profileest", false, "run the Section 6 profile-estimation study")
 	hidden := flag.Int("hidden", 0, "override ESP hidden-layer width")
 	seed := flag.Uint64("seed", 0, "override ESP training seed")
+	bench := flag.String("bench", "", "run micro-benchmarks (comma-separated names or \"all\") instead of experiments")
+	benchout := flag.String("benchout", ".", "directory for BENCH_<name>.json files")
 	flag.Parse()
+
+	if *bench != "" {
+		if err := runBenchSuite(*bench, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx := experiments.NewContext()
 	espCfg := core.Config{Hidden: *hidden, Seed: *seed}

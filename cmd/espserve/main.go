@@ -1,0 +1,111 @@
+// Command espserve serves a trained ESP model as an online branch-prediction
+// oracle over HTTP JSON:
+//
+//	esptool train -out model.json
+//	espserve -model model.json -addr :8080
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/predict -d '{"name":"demo","link_stdlib":true,"source":"int main() { ... }"}'
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server drains gracefully: listening stops, requests
+// already in flight complete, and the prediction worker pool empties before
+// the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "espserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("espserve", flag.ExitOnError)
+	modelPath := fs.String("model", "esp-model.json", "trained model file (esptool train)")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "prediction workers (default GOMAXPROCS)")
+	maxBatch := fs.Int("batch", 0, "max requests folded into one model pass (default 32)")
+	cacheSize := fs.Int("cache", 0, "compiled-program LRU cache entries (default 128)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (default 10s)")
+	drainWait := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	s, err := serve.New(serve.Config{
+		Model:          model,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	// The resolved address goes to stdout so scripts (and tests) binding
+	// ":0" can find the port.
+	fmt.Printf("espserve: serving %s model on %s\n",
+		model.Cfg.Classifier, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("espserve: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight HTTP requests, then
+	// empty the prediction pool.
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := s.Drain(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("espserve: drained, exiting")
+	return nil
+}

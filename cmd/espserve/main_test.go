@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// trainFixtureModel trains a tiny real model and saves it where the binary
+// can load it.
+func trainFixtureModel(t *testing.T, dir string) string {
+	t.Helper()
+	var data []*core.ProgramData
+	for _, name := range []string{"bc", "grep"} {
+		e, ok := corpus.ByName(name)
+		if !ok {
+			t.Fatalf("no corpus entry %q", name)
+		}
+		prog, err := e.Compile(codegen.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := core.Analyze(prog, e.Language, e.RunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, pd)
+	}
+	cfg := core.Config{Hidden: 6}
+	cfg.Net.MaxEpochs = 20
+	cfg.Net.Patience = 5
+	model := core.Train(data, cfg)
+	path := filepath.Join(dir, "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeEndToEnd builds the binary, serves a trained model, queries it,
+// and checks the SIGTERM graceful drain.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end serve test in short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "espserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	modelPath := trainFixtureModel(t, dir)
+
+	cmd := exec.Command(bin, "-model", modelPath, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	i := strings.LastIndex(line, " on ")
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+4:])
+	// Drain the rest of stdout in the background so the process never
+	// blocks on a full pipe. cmd.Wait closes the read side of the pipe, so
+	// it may only run after the scanner has reached EOF — waiting earlier
+	// races the scanner and can discard the final log lines.
+	lines := make(chan string, 64)
+	waited := make(chan error, 1)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		waited <- cmd.Wait()
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["status"] != "ok" {
+		t.Fatalf("healthz: %+v", hz)
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"id":          "e2e",
+		"name":        "demo",
+		"link_stdlib": true,
+		"source":      "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { s = s + i; } } return s; }",
+	})
+	resp, err = http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	var pr struct {
+		ID          string `json:"id"`
+		Predictions []struct {
+			Branch      string  `json:"branch"`
+			Probability float64 `json:"probability"`
+		} `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.ID != "e2e" || len(pr.Predictions) == 0 {
+		t.Fatalf("predict: status %d resp %+v", resp.StatusCode, pr)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("espserve exited with %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("espserve did not drain within 60s of SIGTERM")
+	}
+	var tail []string
+	for l := range lines {
+		tail = append(tail, l)
+	}
+	joined := strings.Join(tail, "\n")
+	if !strings.Contains(joined, "draining") || !strings.Contains(joined, "drained, exiting") {
+		t.Errorf("missing drain log lines:\n%s", joined)
+	}
+}
+
+// TestRunRejectsMissingModel covers the CLI error path without a subprocess.
+func TestRunRejectsMissingModel(t *testing.T) {
+	if err := run([]string{"-model", filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Fatal("run succeeded without a model file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", bad}); err == nil {
+		t.Fatal("run accepted a corrupt model file")
+	}
+	_ = fmt.Sprint() // keep fmt imported if assertions change
+}

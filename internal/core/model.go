@@ -230,6 +230,35 @@ func (m *Model) TakenProbability(v features.Vector) float64 {
 	return y
 }
 
+// TakenProbabilities predicts a whole batch of feature vectors into out
+// (len(out) must equal len(vs)). For the neural classifier the batch shares
+// one pooled scratch — a single Get/Put and one encode buffer for all rows —
+// so a serving worker can fold many queued queries into one pass. The
+// results are bit-identical to calling TakenProbability per vector.
+func (m *Model) TakenProbabilities(vs []features.Vector, out []float64) {
+	if len(out) != len(vs) {
+		panic(fmt.Sprintf("core: TakenProbabilities out length %d, want %d", len(out), len(vs)))
+	}
+	if m.Tree != nil || m.MBR != nil {
+		for i, v := range vs {
+			out[i] = m.TakenProbability(v)
+		}
+		return
+	}
+	buf, _ := m.scratch.Get().(*predictBuf)
+	if buf == nil {
+		buf = &predictBuf{
+			x: make([]float64, m.Encoder.Dim),
+			h: make([]float64, m.Net.Hidden),
+		}
+	}
+	for i, v := range vs {
+		m.Encoder.Encode(maskVector(v, m.excluded), buf.x)
+		out[i] = m.Net.ForwardInto(buf.h, buf.x)
+	}
+	m.scratch.Put(buf)
+}
+
 // Predictor adapts the model to the heuristics.Predictor interface used by
 // all evaluation code: a branch is predicted taken when the estimated
 // probability exceeds 0.5.

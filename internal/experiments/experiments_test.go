@@ -24,6 +24,103 @@ func ctxForTest(t *testing.T) *Context {
 	return sharedCtx
 }
 
+// memoOf caches one expensive driver result (cross-validated tables run for
+// seconds) so the reproduction tests and the golden-file tests share a
+// single computation per `go test` run.
+type memoOf[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (m *memoOf[T]) get(t *testing.T, f func() (T, error)) T {
+	t.Helper()
+	m.once.Do(func() { m.val, m.err = f() })
+	if m.err != nil {
+		t.Fatal(m.err)
+	}
+	return m.val
+}
+
+var (
+	memoTable3     memoOf[*Table3Result]
+	memoTable4     memoOf[*Table4Result]
+	memoTable5     memoOf[*Table5Result]
+	memoTable6     memoOf[*Table6Result]
+	memoTable7     memoOf[*Table7Result]
+	memoFigure2    memoOf[*Figure2Result]
+	memoScheme     memoOf[*SchemeStudyResult]
+	memoCorpusSize memoOf[*CorpusSizeResult]
+	memoClassifier memoOf[[]AblationPoint]
+	memoPolarity   memoOf[[]AblationPoint]
+	memoProfileEst memoOf[*ProfileEstimationResult]
+	memoOrders     memoOf[*OrderSearchResult]
+)
+
+func table3ForTest(t *testing.T) *Table3Result {
+	ctx := ctxForTest(t)
+	return memoTable3.get(t, func() (*Table3Result, error) { return Table3(ctx) })
+}
+
+func table4ForTest(t *testing.T) *Table4Result {
+	ctx := ctxForTest(t)
+	return memoTable4.get(t, func() (*Table4Result, error) { return Table4(ctx, core.Config{}) })
+}
+
+func table5ForTest(t *testing.T) *Table5Result {
+	ctx := ctxForTest(t)
+	return memoTable5.get(t, func() (*Table5Result, error) { return Table5(ctx) })
+}
+
+func table6ForTest(t *testing.T) *Table6Result {
+	ctx := ctxForTest(t)
+	return memoTable6.get(t, func() (*Table6Result, error) { return Table6(ctx) })
+}
+
+func table7ForTest(t *testing.T) *Table7Result {
+	ctx := ctxForTest(t)
+	return memoTable7.get(t, func() (*Table7Result, error) { return Table7(ctx) })
+}
+
+func figure2ForTest(t *testing.T) *Figure2Result {
+	ctx := ctxForTest(t)
+	return memoFigure2.get(t, func() (*Figure2Result, error) { return Figure2(ctx) })
+}
+
+func schemeForTest(t *testing.T) *SchemeStudyResult {
+	ctx := ctxForTest(t)
+	return memoScheme.get(t, func() (*SchemeStudyResult, error) { return SchemeStudy(ctx) })
+}
+
+func corpusSizeForTest(t *testing.T) *CorpusSizeResult {
+	ctx := ctxForTest(t)
+	return memoCorpusSize.get(t, func() (*CorpusSizeResult, error) {
+		return CorpusSize(ctx, []int{8, 23}, core.Config{})
+	})
+}
+
+func classifierAblationForTest(t *testing.T) []AblationPoint {
+	ctx := ctxForTest(t)
+	return memoClassifier.get(t, func() ([]AblationPoint, error) { return AblationClassifier(ctx) })
+}
+
+func polarityAblationForTest(t *testing.T) []AblationPoint {
+	ctx := ctxForTest(t)
+	return memoPolarity.get(t, func() ([]AblationPoint, error) { return AblationCallPolarity(ctx) })
+}
+
+func profileEstForTest(t *testing.T) *ProfileEstimationResult {
+	ctx := ctxForTest(t)
+	return memoProfileEst.get(t, func() (*ProfileEstimationResult, error) {
+		return ProfileEstimation(ctx, core.Config{})
+	})
+}
+
+func orderSearchForTest(t *testing.T) *OrderSearchResult {
+	ctx := ctxForTest(t)
+	return memoOrders.get(t, func() (*OrderSearchResult, error) { return APHCOrderSearch(ctx) })
+}
+
 func TestTable1And2Render(t *testing.T) {
 	t1 := Table1()
 	for _, h := range heuristics.AllHeuristics() {
@@ -40,11 +137,7 @@ func TestTable1And2Render(t *testing.T) {
 }
 
 func TestTable3Reproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := Table3(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := table3ForTest(t)
 	if len(res.Rows) != 43 {
 		t.Fatalf("%d rows, want 43", len(res.Rows))
 	}
@@ -75,11 +168,7 @@ func TestTable3Reproduction(t *testing.T) {
 }
 
 func TestTable4HeadlineShape(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := Table4(ctx, core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := table4ForTest(t)
 	o := res.Overall
 	// The paper's ordering: perfect < ESP < APHC ~ DSHC < BTFNT.
 	if !(o.Perfect < o.ESP) {
@@ -134,11 +223,7 @@ func TestTable4HeadlineShape(t *testing.T) {
 }
 
 func TestTable5Reproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := Table5(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := table5ForTest(t)
 	loopMiss, pctNonLoop, pctCov, missCov, missDef, overall := res.Averages()
 	// Paper: loop miss 15%, 50% non-loop, 70% covered, 33/38/25.
 	if loopMiss > 0.25 {
@@ -159,11 +244,7 @@ func TestTable5Reproduction(t *testing.T) {
 }
 
 func TestTable6Reproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := Table6(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := table6ForTest(t)
 	// The paper's headline for this table: heuristics are language
 	// dependent — several heuristics differ by >10 points between C and
 	// Fortran (four of nine in the paper).
@@ -196,11 +277,7 @@ func TestTable6Reproduction(t *testing.T) {
 }
 
 func TestTable7Reproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := Table7(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := table7ForTest(t)
 	if len(res.Rows) != 4 {
 		t.Fatalf("%d compiler rows", len(res.Rows))
 	}
@@ -234,11 +311,7 @@ func TestTable7Reproduction(t *testing.T) {
 }
 
 func TestFigure2Reproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := Figure2(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := figure2ForTest(t)
 	// "most of the basic block transitions in that procedure involve three
 	// basic blocks"
 	if res.TopBlockSharePct < 20 {
@@ -260,11 +333,7 @@ func TestFigure2Reproduction(t *testing.T) {
 }
 
 func TestSchemeStudyReproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := SchemeStudy(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := schemeForTest(t)
 	// The paper's Section 3.1.2 finding: the Pointer and Return heuristics
 	// degrade on Scheme relative to C.
 	if res.SchemeMiss[heuristics.Pointer] <= res.CMiss[heuristics.Pointer] {
@@ -281,11 +350,7 @@ func TestSchemeStudyReproduction(t *testing.T) {
 }
 
 func TestCorpusSizeReproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := CorpusSize(ctx, []int{8, 23}, core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := corpusSizeForTest(t)
 	if len(res.Points) != 2 {
 		t.Fatalf("%d points", len(res.Points))
 	}
@@ -308,11 +373,7 @@ func TestCorpusSizeReproduction(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
-	ctx := ctxForTest(t)
-	cls, err := AblationClassifier(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cls := classifierAblationForTest(t)
 	if len(cls) != 3 {
 		t.Fatalf("classifier ablation points = %d", len(cls))
 	}
@@ -329,10 +390,7 @@ func TestAblationsRun(t *testing.T) {
 	if d > 0.08 {
 		t.Errorf("net (%.3f) and tree (%.3f) are not comparable", cls[0].Miss, cls[1].Miss)
 	}
-	polarity, err := AblationCallPolarity(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	polarity := polarityAblationForTest(t)
 	if polarity[0].Miss == polarity[1].Miss {
 		t.Error("Call polarity knob changed nothing")
 	}
@@ -342,11 +400,7 @@ func TestAblationsRun(t *testing.T) {
 }
 
 func TestProfileEstimationReproduction(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := ProfileEstimation(ctx, core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := profileEstForTest(t)
 	// ESP's probability output must beat the uninformed baseline, and every
 	// error is a probability distance in [0, 1].
 	if res.ESPError >= res.UniformError {
@@ -364,11 +418,7 @@ func TestProfileEstimationReproduction(t *testing.T) {
 }
 
 func TestAPHCOrderSearch(t *testing.T) {
-	ctx := ctxForTest(t)
-	res, err := APHCOrderSearch(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := orderSearchForTest(t)
 	if res.Orders != 40320 { // 8!
 		t.Errorf("searched %d orders, want 8! = 40320", res.Orders)
 	}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The paper artifacts are regression-protected byte for byte: every table,
+// figure, and study render is compared against a committed golden file.
+// After an intentional output change, regenerate with
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden byte for byte, or
+// rewrites the file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	t.Errorf("%s drifted from its golden file %s (if intentional, regenerate with -update)\n%s",
+		name, path, firstDiff(string(want), got))
+}
+
+// firstDiff pinpoints the first differing line of two renders.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "outputs differ only in trailing bytes"
+}
+
+func TestGoldenDefinitionalTables(t *testing.T) {
+	// Tables 1 and 2 and Figure 1 are definitional (no corpus run needed)
+	// but their renders are part of the paper surface all the same.
+	checkGolden(t, "table1", Table1())
+	checkGolden(t, "table2", Table2())
+	checkGolden(t, "figure1", Figure1(100, 20))
+}
+
+func TestGoldenTable3(t *testing.T) { checkGolden(t, "table3", table3ForTest(t).Render()) }
+
+func TestGoldenTable4(t *testing.T) { checkGolden(t, "table4", table4ForTest(t).Render()) }
+
+func TestGoldenTable5(t *testing.T) { checkGolden(t, "table5", table5ForTest(t).Render()) }
+
+func TestGoldenTable6(t *testing.T) { checkGolden(t, "table6", table6ForTest(t).Render()) }
+
+func TestGoldenTable7(t *testing.T) { checkGolden(t, "table7", table7ForTest(t).Render()) }
+
+func TestGoldenFigure2(t *testing.T) { checkGolden(t, "figure2", figure2ForTest(t).Render()) }
+
+func TestGoldenSchemeStudy(t *testing.T) { checkGolden(t, "scheme", schemeForTest(t).Render()) }
+
+func TestGoldenCorpusSize(t *testing.T) {
+	checkGolden(t, "corpussize", corpusSizeForTest(t).Render())
+}
+
+func TestGoldenAblations(t *testing.T) {
+	out := RenderAblations("Ablation: classifier", classifierAblationForTest(t)) + "\n" +
+		RenderAblations("Ablation: Call heuristic polarity", polarityAblationForTest(t))
+	checkGolden(t, "ablations", out)
+}
+
+func TestGoldenProfileEstimation(t *testing.T) {
+	checkGolden(t, "profileest", profileEstForTest(t).Render())
+}
+
+func TestGoldenOrderSearch(t *testing.T) {
+	checkGolden(t, "ordersearch", orderSearchForTest(t).Render())
+}

@@ -86,6 +86,25 @@ type Vector struct {
 	Values [NumFeatures]string
 }
 
+// FromValues builds a Vector from explicit per-feature categorical values,
+// as submitted by serving clients that extracted features elsewhere. It
+// requires exactly NumFeatures values; empty strings are normalized to
+// Unknown so a partially-populated vector still encodes (unknown features
+// contribute zero input activity, same as "?").
+func FromValues(vals []string) (Vector, error) {
+	if len(vals) != NumFeatures {
+		return Vector{}, fmt.Errorf("features: vector has %d values, want %d", len(vals), NumFeatures)
+	}
+	var v Vector
+	copy(v.Values[:], vals)
+	for i, val := range v.Values {
+		if val == "" {
+			v.Values[i] = Unknown
+		}
+	}
+	return v, nil
+}
+
 // Of extracts the Table 2 feature vector for a branch site.
 func Of(s *Site) Vector {
 	v := Vector{Ref: s.Ref}

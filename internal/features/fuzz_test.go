@@ -1,0 +1,110 @@
+package features_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/features"
+)
+
+// The fuzz encoder is trained once per process on real corpus vectors, the
+// same way serving and training encoders are built.
+var (
+	encOnce sync.Once
+	enc     *features.Encoder
+	encErr  error
+)
+
+func fuzzEncoder() (*features.Encoder, error) {
+	encOnce.Do(func() {
+		var train []features.Vector
+		for _, name := range []string{"bc", "grep", "tomcatv"} {
+			e, ok := corpus.ByName(name)
+			if !ok {
+				continue
+			}
+			prog, err := e.Compile(codegen.Default)
+			if err != nil {
+				encErr = err
+				return
+			}
+			train = append(train, features.ExtractAll(features.Collect(prog))...)
+		}
+		enc = features.NewEncoder(train)
+	})
+	return enc, encErr
+}
+
+// sep joins feature values in the fuzz wire form (unit separator).
+const sep = "\x1f"
+
+// corpusSeeds serializes sample vectors from every corpus program as fuzz
+// seeds.
+func corpusSeeds(f *testing.F) {
+	f.Helper()
+	for _, e := range corpus.All() {
+		prog, err := e.Compile(codegen.Default)
+		if err != nil {
+			f.Fatal(err)
+		}
+		vecs := features.ExtractAll(features.Collect(prog))
+		if len(vecs) > 3 {
+			vecs = vecs[:3]
+		}
+		for _, v := range vecs {
+			f.Add(strings.Join(v.Values[:], sep))
+		}
+	}
+}
+
+// FuzzEncode drives the categorical encoder with arbitrary feature values —
+// seeded with real vectors from all 46 corpus programs — and cross-checks
+// the dense and sparse encodings against each other: Encode and
+// EncodeAllSparse must agree on every column for any input, known values or
+// garbage, and never panic or emit non-finite activity.
+func FuzzEncode(f *testing.F) {
+	corpusSeeds(f)
+	f.Add("")                                      // all-empty vector
+	f.Add(strings.Repeat("?"+sep, 40))             // too many fields, all unknown
+	f.Add("BNE" + sep + "F" + sep + "\x00garbage") // unseen values
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := fuzzEncoder()
+		if err != nil {
+			t.Skip("corpus unavailable:", err)
+		}
+		vals := strings.Split(s, sep)
+		if len(vals) > features.NumFeatures {
+			vals = vals[:features.NumFeatures]
+		}
+		for len(vals) < features.NumFeatures {
+			vals = append(vals, features.Unknown)
+		}
+		v, err := features.FromValues(vals)
+		if err != nil {
+			t.Fatalf("FromValues on %d values: %v", len(vals), err)
+		}
+
+		dense := make([]float64, e.Dim)
+		e.Encode(v, dense)
+		for i, x := range dense {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("column %d encodes to %v", i, x)
+			}
+		}
+
+		sparse := e.EncodeAllSparse([]features.Vector{v})
+		fromSparse := make([]float64, e.Dim)
+		for k := sparse.Start[0]; k < sparse.Start[1]; k++ {
+			fromSparse[sparse.Index[k]] = sparse.Value[k]
+		}
+		for i := range dense {
+			if dense[i] != fromSparse[i] {
+				t.Fatalf("column %d: dense %v != sparse %v", i, dense[i], fromSparse[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package minic_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/minic"
+)
+
+// FuzzParse throws arbitrary program text at the MinC lexer and parser. The
+// seed corpus is the real thing: all 46 corpus programs plus the runtime
+// library. Any input must either parse or fail with an error — never panic.
+//
+// CI runs this for a short budget (go test -fuzz=FuzzParse -fuzztime=20s).
+func FuzzParse(f *testing.F) {
+	for _, e := range corpus.All() {
+		f.Add(e.Source)
+	}
+	f.Add(corpus.StdlibSource)
+	f.Add(corpus.Stdlib2Source)
+	// A few adversarial shapes: unterminated constructs, deep nesting,
+	// stray bytes, huge literals.
+	f.Add("int main() { return 0; }")
+	f.Add(`int main() { /* unterminated`)
+	f.Add(`int main() { float f; f = 1e999999; return (int)f; }`)
+	f.Add("int x = 99999999999999999999999999999;")
+	f.Add("void f(" + string(rune(0)) + ") {}")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minic.Parse("fuzz", src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+	})
+}

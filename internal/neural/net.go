@@ -151,6 +151,16 @@ func (n *Net) ForwardInto(h []float64, x []float64) float64 {
 	return n.output(h)
 }
 
+// ForwardBatch runs every row of xs through the network, writing the output
+// probabilities into out (len(out) must equal len(xs)). The caller provides
+// one hidden scratch buffer (length Hidden) that is reused across the whole
+// batch — the serving layer's batched inference hook.
+func (n *Net) ForwardBatch(h []float64, xs [][]float64, out []float64) {
+	for i, x := range xs {
+		out[i] = n.ForwardInto(h, x)
+	}
+}
+
 func (n *Net) output(h []float64) float64 {
 	z := n.A
 	for i, hv := range h {

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// endpointStats is the per-endpoint counter block, updated atomically on
+// every request.
+type endpointStats struct {
+	requests     atomic.Int64
+	errors       atomic.Int64 // 4xx/5xx responses
+	latencyMicro atomic.Int64 // summed wall time
+}
+
+func (s *endpointStats) observe(micros int64, failed bool) {
+	s.requests.Add(1)
+	s.latencyMicro.Add(micros)
+	if failed {
+		s.errors.Add(1)
+	}
+}
+
+// metrics aggregates the service counters exposed at /metrics.
+type metrics struct {
+	endpoints map[string]*endpointStats
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	batches        atomic.Int64 // worker passes executed
+	batchedJobs    atomic.Int64 // jobs folded into those passes
+	predictedVecs  atomic.Int64 // feature vectors predicted
+	inflight       atomic.Int64
+	rejectedDrain  atomic.Int64 // requests refused because the server drains
+	timeoutsCancel atomic.Int64 // requests that hit their deadline
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: map[string]*endpointStats{
+		"predict": {},
+		"healthz": {},
+		"metrics": {},
+	}}
+}
+
+func (m *metrics) endpoint(name string) *endpointStats { return m.endpoints[name] }
+
+// render writes the counters in the Prometheus text exposition style:
+// one `name{labels} value` line per counter, sorted for determinism.
+func (m *metrics) render() string {
+	var b strings.Builder
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := m.endpoints[name]
+		fmt.Fprintf(&b, "espserve_requests_total{endpoint=%q} %d\n", name, s.requests.Load())
+		fmt.Fprintf(&b, "espserve_request_errors_total{endpoint=%q} %d\n", name, s.errors.Load())
+		fmt.Fprintf(&b, "espserve_request_latency_micros_total{endpoint=%q} %d\n", name, s.latencyMicro.Load())
+	}
+	fmt.Fprintf(&b, "espserve_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(&b, "espserve_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(&b, "espserve_batches_total %d\n", m.batches.Load())
+	fmt.Fprintf(&b, "espserve_batched_jobs_total %d\n", m.batchedJobs.Load())
+	fmt.Fprintf(&b, "espserve_predicted_vectors_total %d\n", m.predictedVecs.Load())
+	fmt.Fprintf(&b, "espserve_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(&b, "espserve_drain_rejects_total %d\n", m.rejectedDrain.Load())
+	fmt.Fprintf(&b, "espserve_request_timeouts_total %d\n", m.timeoutsCancel.Load())
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// ErrDraining is returned to submissions that arrive after the pool has
+// begun its graceful drain.
+var ErrDraining = errors.New("serve: server is draining")
+
+// job is one prediction request in flight through the pool: a batch of
+// feature vectors and the slot its probabilities land in.
+type job struct {
+	ctx   context.Context
+	vecs  []features.Vector
+	probs []float64
+	err   error
+	done  chan struct{}
+}
+
+// pool is the batching worker pool. Requests enqueue jobs; each worker
+// drains up to maxBatch queued jobs at a time, folds all of their vectors
+// into one model pass over a single pooled scratch buffer, and scatters the
+// probabilities back. Batching amortizes the scratch acquisition and keeps
+// the model's buffers hot under concurrent load.
+type pool struct {
+	model    *core.Model
+	jobs     chan *job
+	maxBatch int
+	metrics  *metrics
+
+	mu       sync.RWMutex // guards draining against sends on jobs
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+func newPool(model *core.Model, workers, maxBatch, queueDepth int, m *metrics) *pool {
+	p := &pool{
+		model:    model,
+		jobs:     make(chan *job, queueDepth),
+		maxBatch: maxBatch,
+		metrics:  m,
+	}
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// submit enqueues the vectors and blocks until a worker has predicted them
+// or the context expires. The returned slice is owned by the caller.
+func (p *pool) submit(ctx context.Context, vecs []features.Vector) ([]float64, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	j := &job{
+		ctx:   ctx,
+		vecs:  vecs,
+		probs: make([]float64, len(vecs)),
+		done:  make(chan struct{}),
+	}
+	p.mu.RLock()
+	if p.draining {
+		p.mu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case <-j.done:
+		if j.err != nil {
+			return nil, j.err
+		}
+		return j.probs, nil
+	case <-ctx.Done():
+		// The worker still owns j.probs and will complete it; the caller
+		// just stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// drain stops accepting new jobs, lets the workers finish everything already
+// queued, and waits for them to exit (or for ctx to expire).
+func (p *pool) drain(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if !already {
+		close(p.jobs)
+	}
+	finished := make(chan struct{})
+	go func() {
+		p.workers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains batches of jobs and predicts each batch's vectors in one
+// model pass.
+func (p *pool) worker() {
+	defer p.workers.Done()
+	batch := make([]*job, 0, p.maxBatch)
+	var vecs []features.Vector
+	var probs []float64
+	for j := range p.jobs {
+		batch = append(batch[:0], j)
+		// Opportunistically fold whatever else is already queued into the
+		// same pass, up to maxBatch jobs.
+	fill:
+		for len(batch) < p.maxBatch {
+			select {
+			case j2, ok := <-p.jobs:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, j2)
+			default:
+				break fill
+			}
+		}
+		vecs = vecs[:0]
+		live := 0
+		for _, b := range batch {
+			if b.ctx.Err() != nil {
+				// The requester has already gone; don't spend model time.
+				b.err = b.ctx.Err()
+				continue
+			}
+			vecs = append(vecs, b.vecs...)
+			live++
+		}
+		p.metrics.batches.Add(1)
+		p.metrics.batchedJobs.Add(int64(len(batch)))
+		if live > 0 {
+			if cap(probs) < len(vecs) {
+				probs = make([]float64, len(vecs))
+			}
+			probs = probs[:len(vecs)]
+			p.model.TakenProbabilities(vecs, probs)
+			p.metrics.predictedVecs.Add(int64(len(vecs)))
+			off := 0
+			for _, b := range batch {
+				if b.err != nil {
+					continue
+				}
+				copy(b.probs, probs[off:off+len(b.vecs)])
+				off += len(b.vecs)
+			}
+		}
+		for _, b := range batch {
+			close(b.done)
+		}
+	}
+}

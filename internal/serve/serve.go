@@ -1,0 +1,391 @@
+// Package serve turns a trained ESP model into an online branch-prediction
+// oracle: an HTTP JSON service in the deployment shape of Rotem & Cummins'
+// "Profile Guided Optimization without Profiles" — compilers (or anything
+// else) submit MinC source or pre-extracted Table 2 feature vectors and get
+// per-branch taken/not-taken predictions with confidences, instead of
+// profiling.
+//
+// The service is built for load: a worker pool batches concurrently
+// submitted feature vectors into single model passes over pooled scratch
+// buffers, compiled program images and their extracted features are kept in
+// an LRU cache keyed by source hash, every endpoint is instrumented
+// (request, error, latency, cache, and batching counters at /metrics), each
+// request runs under a context deadline, and Drain performs a graceful
+// SIGTERM shutdown that completes in-flight requests while refusing new
+// ones.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Model is the trained ESP model to serve (required).
+	Model *core.Model
+	// Workers sizes the prediction worker pool (default GOMAXPROCS).
+	Workers int
+	// MaxBatch bounds how many queued requests one worker folds into a
+	// single model pass (default 32).
+	MaxBatch int
+	// QueueDepth bounds the prediction queue (default 4*Workers*MaxBatch).
+	QueueDepth int
+	// CacheSize bounds the compiled-program LRU cache (default 128 entries).
+	CacheSize int
+	// RequestTimeout is the per-request deadline (default 10s).
+	RequestTimeout time.Duration
+	// MaxSourceBytes bounds submitted program text (default 1 MiB).
+	MaxSourceBytes int
+	// MaxVectors bounds the feature vectors of one request (default 4096).
+	MaxVectors int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers * c.MaxBatch
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxSourceBytes == 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxVectors == 0 {
+		c.MaxVectors = 4096
+	}
+	return c
+}
+
+// Server is the espserve HTTP service.
+type Server struct {
+	cfg     Config
+	model   *core.Model
+	pool    *pool
+	cache   *lru
+	metrics *metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server around a trained model.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil {
+		return nil, errors.New("serve: Config.Model is required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		model:   cfg.Model,
+		cache:   newLRU(cfg.CacheSize),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.pool = newPool(cfg.Model, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, s.metrics)
+	s.mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully shuts the prediction pipeline down: new predictions are
+// refused with 503 while requests already in flight run to completion. It
+// returns once the worker pool has emptied (or ctx expires). Call it after
+// http.Server.Shutdown has stopped accepting connections.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.drain(ctx) }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.pool.mu.RLock()
+	defer s.pool.mu.RUnlock()
+	return s.pool.draining
+}
+
+// statusWriter records the response code so instrumentation can count
+// errors.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint counters and the request
+// deadline.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.endpoint(name).observe(time.Since(start).Microseconds(), sw.status >= 400)
+	}
+}
+
+// PredictRequest is the /predict request body. Exactly one of Source or
+// Vectors must be set.
+type PredictRequest struct {
+	// ID is echoed back verbatim, letting clients correlate responses.
+	ID string `json:"id,omitempty"`
+	// Source is MinC program text to compile and predict.
+	Source string `json:"source,omitempty"`
+	// Name labels the submitted source (default "query").
+	Name string `json:"name,omitempty"`
+	// Language tags the source dialect: "C" (default), "FORT", or "SCHEME".
+	Language string `json:"language,omitempty"`
+	// LinkStdlib links the submitted source against the MinC runtime
+	// library, as the corpus programs are.
+	LinkStdlib bool `json:"link_stdlib,omitempty"`
+	// Vectors carries pre-extracted feature vectors (NumFeatures categorical
+	// values each) instead of source.
+	Vectors [][]string `json:"vectors,omitempty"`
+}
+
+// Prediction is one branch's answer.
+type Prediction struct {
+	// Branch identifies the site ("func:bN" for compiled source, "#i" for
+	// submitted vectors).
+	Branch string `json:"branch"`
+	// Taken is the predicted direction.
+	Taken bool `json:"taken"`
+	// Probability is the model's taken-probability estimate.
+	Probability float64 `json:"probability"`
+	// Confidence is max(p, 1-p): how far the estimate is from a coin flip.
+	Confidence float64 `json:"confidence"`
+}
+
+// PredictResponse is the /predict response body.
+type PredictResponse struct {
+	ID          string       `json:"id,omitempty"`
+	Program     string       `json:"program,omitempty"`
+	Cached      bool         `json:"cached"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1<<16)
+	var req PredictRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+
+	var (
+		resp PredictResponse
+		vecs []features.Vector
+		refs []string
+	)
+	resp.ID = req.ID
+	switch {
+	case req.Source != "" && len(req.Vectors) > 0:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request has both source and vectors"})
+		return
+	case req.Source != "":
+		if len(req.Source) > s.cfg.MaxSourceBytes {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes)})
+			return
+		}
+		img, cached, err := s.compile(&req)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		resp.Program = img.Name
+		resp.Cached = cached
+		vecs = img.Vectors
+		refs = make([]string, len(img.Refs))
+		for i, ref := range img.Refs {
+			refs[i] = ref.String()
+		}
+	case len(req.Vectors) > 0:
+		if len(req.Vectors) > s.cfg.MaxVectors {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request has %d vectors, limit %d", len(req.Vectors), s.cfg.MaxVectors)})
+			return
+		}
+		vecs = make([]features.Vector, len(req.Vectors))
+		refs = make([]string, len(req.Vectors))
+		for i, vals := range req.Vectors {
+			v, err := features.FromValues(vals)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					errorResponse{Error: fmt.Sprintf("vector %d: %v", i, err)})
+				return
+			}
+			vecs[i] = v
+			refs[i] = fmt.Sprintf("#%d", i)
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request needs source or vectors"})
+		return
+	}
+
+	probs, err := s.pool.submit(r.Context(), vecs)
+	switch {
+	case errors.Is(err, ErrDraining):
+		s.metrics.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.metrics.timeoutsCancel.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+
+	resp.Predictions = make([]Prediction, len(vecs))
+	for i, p := range probs {
+		conf := p
+		if conf < 0.5 {
+			conf = 1 - conf
+		}
+		resp.Predictions[i] = Prediction{
+			Branch:      refs[i],
+			Taken:       p > 0.5,
+			Probability: p,
+			Confidence:  conf,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sourceKey hashes everything that determines a compilation's output.
+func sourceKey(req *PredictRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%v\x00", req.Name, req.Language, req.LinkStdlib)
+	h.Write([]byte(req.Source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// compile resolves a source submission to a program image, consulting the
+// LRU cache first.
+func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
+	key := sourceKey(req)
+	if img, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return img, true, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	lang := ir.LangC
+	switch req.Language {
+	case "", string(ir.LangC):
+	case string(ir.LangFortran):
+		lang = ir.LangFortran
+	case string(ir.LangScheme):
+		lang = ir.LangScheme
+	default:
+		return nil, false, fmt.Errorf("unknown language %q", req.Language)
+	}
+	name := req.Name
+	if name == "" {
+		name = "query"
+	}
+	src := req.Source
+	if req.LinkStdlib {
+		src += corpus.StdlibSource + corpus.Stdlib2Source
+	}
+	ast, err := minic.Parse(name, src)
+	if err != nil {
+		return nil, false, fmt.Errorf("parse: %w", err)
+	}
+	prog, err := codegen.Compile(ast, lang, codegen.Default)
+	if err != nil {
+		return nil, false, fmt.Errorf("compile: %w", err)
+	}
+	ps := features.Collect(prog)
+	img := &programImage{
+		Name:    name,
+		Prog:    prog,
+		Vectors: features.ExtractAll(ps),
+	}
+	img.Refs = make([]ir.BranchRef, len(ps.Sites))
+	for i, site := range ps.Sites {
+		img.Refs[i] = site.Ref
+	}
+	s.cache.add(key, img)
+	return img, false, nil
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status     string `json:"status"`
+	Classifier string `json:"classifier"`
+	Inputs     int    `json:"inputs"`
+	Hidden     int    `json:"hidden,omitempty"`
+	UptimeSec  int64  `json:"uptime_sec"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{
+		Status:     "ok",
+		Classifier: s.model.Cfg.Classifier.String(),
+		Inputs:     s.model.Encoder.Dim,
+		UptimeSec:  int64(time.Since(s.started).Seconds()),
+	}
+	if s.model.Net != nil {
+		resp.Hidden = s.model.Net.Hidden
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.render())
+}

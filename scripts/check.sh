@@ -23,6 +23,6 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core ./internal/neural ./internal/interp
+go test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve
 
 echo "OK"
