@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot race fuzz
+.PHONY: all build test vet fmt-check check bench bench-hot race fuzz chaos
 
 all: check
 
@@ -21,14 +21,21 @@ fmt-check:
 # cross-validation folds, sharded training, the prediction scratch pool, and
 # the espserve batching worker pool).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject
+
+# chaos runs the fault-injection suite under the race detector: seeded
+# error/latency/panic faults at every registered site while concurrent
+# clients verify bit-identical or correctly-degraded answers, drain
+# completion, and goroutine hygiene.
+chaos:
+	$(GO) test -race -run Chaos ./internal/serve/... ./internal/faultinject/...
 
 # fuzz runs both fuzz targets for a short budget, the same way CI does.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=20s ./internal/minic
 	$(GO) test -run=NONE -fuzz=FuzzEncode -fuzztime=20s ./internal/features
 
-check: build vet fmt-check test race
+check: build vet fmt-check test race chaos
 
 # bench runs the full benchmark suite (every table/figure plus the component
 # micro-benchmarks). Expect several minutes.

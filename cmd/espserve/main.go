@@ -45,6 +45,14 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 0, "compiled-program LRU cache entries (default 128)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (default 10s)")
 	drainWait := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+	maxInflight := fs.Int("admission-limit", 0,
+		"max concurrently admitted /predict requests; excess sheds with 429 (default queue depth, -1 unlimited)")
+	maxParseDepth := fs.Int("max-parse-depth", 0,
+		"max statement/expression nesting in submitted source (default 256, -1 unlimited)")
+	maxCFGBlocks := fs.Int("max-cfg-blocks", 0,
+		"max CFG blocks per compiled function (default 16384, -1 unlimited)")
+	noDegrade := fs.Bool("no-degrade", false,
+		"disable the heuristic fallback: model-path failures return 5xx instead of degraded predictions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +73,10 @@ func run(args []string) error {
 		MaxBatch:       *maxBatch,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
+		MaxInflight:    *maxInflight,
+		MaxParseDepth:  *maxParseDepth,
+		MaxCFGBlocks:   *maxCFGBlocks,
+		NoDegrade:      *noDegrade,
 	})
 	if err != nil {
 		return err

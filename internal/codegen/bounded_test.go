@@ -1,0 +1,53 @@
+package codegen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// TestCompileBoundedCFGCap: a function with a huge control-flow graph is
+// rejected with the typed budget error, while normal programs compile
+// unchanged under the same limit.
+func TestCompileBoundedCFGCap(t *testing.T) {
+	// Each if/else contributes several blocks; 3000 of them blows any
+	// reasonable per-function cap.
+	var b strings.Builder
+	b.WriteString("int main() { int x; x = 0; ")
+	for i := 0; i < 3000; i++ {
+		b.WriteString("if (x) { x = x + 1; } else { x = x - 1; } ")
+	}
+	b.WriteString("return x; }")
+	ast, err := minic.Parse("huge", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CompileBounded(ast, ir.LangC, Default, guard.Limits{CFGBlocks: 1024})
+	if err == nil {
+		t.Fatal("huge CFG compiled under a 1024-block cap")
+	}
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("error is not typed as budget exceeded: %v", err)
+	}
+
+	small, err := minic.Parse("small", "int main() { int i; for (i = 0; i < 4; i = i + 1) { __print(i); } return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileBounded(small, ir.LangC, Default, guard.Limits{CFGBlocks: 1024})
+	if err != nil {
+		t.Fatalf("normal program rejected: %v", err)
+	}
+	// The unlimited path must produce the identical program.
+	ref, err := Compile(small, ir.LangC, Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Disassemble() != ref.Disassemble() {
+		t.Fatal("bounded compile diverged from unlimited compile")
+	}
+}

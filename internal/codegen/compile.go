@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/ir"
 	"repro/internal/minic"
 )
@@ -13,6 +14,16 @@ import (
 // many targets. lang tags every generated function with the source language
 // (feature 7 of the paper's static feature set).
 func Compile(src *minic.Program, lang ir.Language, tgt Target) (*ir.Program, error) {
+	return CompileBounded(src, lang, tgt, guard.Limits{})
+}
+
+// CompileBounded is Compile under resource budgets: when lim.CFGBlocks is
+// set, any generated function whose control-flow graph exceeds that many
+// basic blocks aborts the compilation with an error wrapping
+// guard.ErrBudgetExceeded. Serving stacks use it so a hostile submission
+// cannot balloon a worker's memory; the reproduction pipeline keeps the
+// unlimited Compile.
+func CompileBounded(src *minic.Program, lang ir.Language, tgt Target, lim guard.Limits) (*ir.Program, error) {
 	prog := minic.CloneProgram(src)
 	if tgt.UnrollLoops > 1 {
 		for _, fn := range prog.Funcs {
@@ -36,6 +47,10 @@ func Compile(src *minic.Program, lang ir.Language, tgt Target) (*ir.Program, err
 		irFn, err := g.lowerFunc(fn)
 		if err != nil {
 			return nil, fmt.Errorf("codegen: %s.%s: %w", prog.Name, fn.Name, err)
+		}
+		if lim.CFGBlocks > 0 && len(irFn.Blocks) > lim.CFGBlocks {
+			return nil, fmt.Errorf("codegen: %s.%s: CFG has %d blocks, limit %d: %w",
+				prog.Name, fn.Name, len(irFn.Blocks), lim.CFGBlocks, guard.ErrBudgetExceeded)
 		}
 		out.Funcs = append(out.Funcs, irFn)
 	}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func checkpointCorpus(t *testing.T) []*ProgramData {
+	t.Helper()
+	return []*ProgramData{
+		analyzeSrc(t, "a", loopy, nil),
+		analyzeSrc(t, "b", loopy2, nil),
+		analyzeSrc(t, "c", `
+int main() {
+	int i;
+	int n;
+	n = 0;
+	for (i = 0; i < 90; i = i + 1) {
+		if (i % 3 == 0) { n = n + 2; }
+	}
+	return n;
+}`, nil),
+	}
+}
+
+func foldFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "fold-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestCheckpointKillAndResume is the crash-safety contract: a run canceled
+// mid-way leaves valid checkpoints, and a resumed run completes from them
+// with results bit-identical to an uninterrupted serial run.
+func TestCheckpointKillAndResume(t *testing.T) {
+	corpus := checkpointCorpus(t)
+	cfg := Config{Hidden: 8, Seed: 5}
+	dir := t.TempDir()
+	want := CrossValidateSerial(corpus, cfg)
+
+	// First run: cancel as soon as the first checkpoint lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := CrossValidateCheckpointed(ctx, corpus, cfg, dir)
+		runErr <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for len(foldFiles(t, dir)) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-runErr; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	done := len(foldFiles(t, dir))
+	if done == 0 {
+		t.Fatal("no checkpoint was written before cancellation")
+	}
+	// The cancellation race may have let every fold finish; simulate the
+	// worst-case crash deterministically by keeping only the first fold's
+	// checkpoint, so the resume must mix loaded and recomputed folds.
+	first := checkpointPath(dir, 0, corpus[0].Name)
+	for _, f := range foldFiles(t, dir) {
+		if f != first {
+			if err := os.Remove(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Resume: the finished fold loads from disk, the rest compute.
+	got, err := CrossValidateCheckpointed(context.Background(), corpus, cfg, dir)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d folds, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("fold %d: resumed %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+	if n := len(foldFiles(t, dir)); n != len(corpus) {
+		t.Errorf("%d checkpoint files after completion, want %d", n, len(corpus))
+	}
+	t.Logf("cancelled after %d/%d folds, resume matched serial bitwise", done, len(corpus))
+}
+
+// TestCheckpointSkipsCompletedFolds proves resumed folds really load from
+// disk: tampering with a checkpointed miss rate (keeping its hash) shows up
+// verbatim in the next run's results.
+func TestCheckpointSkipsCompletedFolds(t *testing.T) {
+	corpus := checkpointCorpus(t)
+	cfg := Config{Hidden: 8, Seed: 5}
+	dir := t.TempDir()
+	if _, err := CrossValidateCheckpointed(context.Background(), corpus, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	path := foldFiles(t, dir)[0]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp foldCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Fold.MissRate = 0.123456
+	if err := saveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := CrossValidateCheckpointed(context.Background(), corpus, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].MissRate != 0.123456 {
+		t.Fatalf("fold 0 recomputed (miss %v): checkpoint was not used", got[0].MissRate)
+	}
+}
+
+// TestCheckpointStaleHashIgnored: checkpoints from a different configuration
+// must not leak into a run.
+func TestCheckpointStaleHashIgnored(t *testing.T) {
+	corpus := checkpointCorpus(t)
+	dir := t.TempDir()
+	if _, err := CrossValidateCheckpointed(context.Background(), corpus, Config{Hidden: 8, Seed: 5}, dir); err != nil {
+		t.Fatal(err)
+	}
+	other := Config{Hidden: 8, Seed: 9}
+	got, err := CrossValidateCheckpointed(context.Background(), corpus, other, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CrossValidateSerial(corpus, other)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("fold %d: %+v, want %+v — stale checkpoint reused", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointCorruptFilesIgnored: torn or garbage checkpoint files are
+// recomputed, not trusted.
+func TestCheckpointCorruptFilesIgnored(t *testing.T) {
+	corpus := checkpointCorpus(t)
+	cfg := Config{Hidden: 8, Seed: 5}
+	dir := t.TempDir()
+	// Plant garbage and a truncated JSON where folds 0 and 1 would land.
+	if err := os.WriteFile(checkpointPath(dir, 0, "a"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpointPath(dir, 1, "b"), []byte(`{"config_hash": "tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := CrossValidateCheckpointed(context.Background(), corpus, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CrossValidateSerial(corpus, cfg)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("fold %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

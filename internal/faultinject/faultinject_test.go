@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFireNoInjectorIsNoop(t *testing.T) {
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("Fire with no injector: %v", err)
+	}
+}
+
+func TestExplicitHitSchedule(t *testing.T) {
+	inj := New(1, Rule{Site: "s", Kind: Error, Hits: []int64{2, 5}})
+	defer Activate(inj)()
+	var got []int
+	for i := 1; i <= 6; i++ {
+		if err := Fire("s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error does not wrap ErrInjected: %v", i, err)
+			}
+			got = append(got, i)
+		}
+	}
+	if fmt.Sprint(got) != "[2 5]" {
+		t.Fatalf("fired at hits %v, want [2 5]", got)
+	}
+	if inj.Hits("s") != 6 || inj.Fired("s") != 2 {
+		t.Fatalf("hits=%d fired=%d, want 6/2", inj.Hits("s"), inj.Fired("s"))
+	}
+}
+
+// TestRateScheduleDeterministic: the same seed must fire the same hit
+// numbers, and a different seed a different set.
+func TestRateScheduleDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []int {
+		inj := New(seed, Rule{Site: "s", Kind: Error, Rate: 0.3})
+		defer Activate(inj)()
+		var got []int
+		for i := 1; i <= 200; i++ {
+			if Fire("s") != nil {
+				got = append(got, i)
+			}
+		}
+		return got
+	}
+	a1, a2, b := pattern(42), pattern(42), pattern(43)
+	if fmt.Sprint(a1) != fmt.Sprint(a2) {
+		t.Fatalf("same seed, different patterns:\n%v\n%v", a1, a2)
+	}
+	if fmt.Sprint(a1) == fmt.Sprint(b) {
+		t.Fatal("different seeds produced identical patterns")
+	}
+	// Rate 0.3 over 200 hits: the deterministic schedule should land in a
+	// loose band around 60.
+	if len(a1) < 30 || len(a1) > 100 {
+		t.Fatalf("rate 0.3 fired %d/200 times", len(a1))
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	inj := New(7,
+		Rule{Site: "always", Kind: Error, Rate: 1},
+		Rule{Site: "never", Kind: Error, Rate: 0},
+	)
+	defer Activate(inj)()
+	for i := 0; i < 10; i++ {
+		if Fire("always") == nil {
+			t.Fatal("rate 1 did not fire")
+		}
+		if Fire("never") != nil {
+			t.Fatal("rate 0 fired")
+		}
+	}
+}
+
+func TestCustomErrorWrapped(t *testing.T) {
+	sentinel := errors.New("boom")
+	inj := New(1, Rule{Site: "s", Kind: Error, Err: sentinel, Rate: 1})
+	defer Activate(inj)()
+	err := Fire("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error does not wrap ErrInjected: %v", err)
+	}
+}
+
+func TestLatencyFault(t *testing.T) {
+	inj := New(1, Rule{Site: "s", Kind: Latency, Delay: 30 * time.Millisecond, Rate: 1})
+	defer Activate(inj)()
+	start := time.Now()
+	if err := Fire("s"); err != nil {
+		t.Fatalf("latency fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	inj := New(1, Rule{Site: "s", Kind: Panic, Hits: []int64{1}})
+	defer Activate(inj)()
+	defer func() {
+		rec := recover()
+		p, ok := rec.(*Panicked)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *Panicked", rec, rec)
+		}
+		if p.Site != "s" || p.Hit != 1 {
+			t.Fatalf("panic value %+v", p)
+		}
+	}()
+	_ = Fire("s")
+	t.Fatal("injected panic did not fire")
+}
+
+func TestRegistry(t *testing.T) {
+	name := Register("faultinject_test.site")
+	if name != "faultinject_test.site" {
+		t.Fatalf("Register returned %q", name)
+	}
+	found := false
+	for _, s := range Sites() {
+		if s == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered site missing from Sites(): %v", Sites())
+	}
+}
+
+func TestDeactivateRestoresNoop(t *testing.T) {
+	deactivate := Activate(New(1, Rule{Site: "s", Kind: Error, Rate: 1}))
+	if Fire("s") == nil {
+		t.Fatal("active injector did not fire")
+	}
+	deactivate()
+	if err := Fire("s"); err != nil {
+		t.Fatalf("Fire after deactivate: %v", err)
+	}
+}

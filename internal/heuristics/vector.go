@@ -1,0 +1,158 @@
+package heuristics
+
+import "repro/internal/features"
+
+// This file evaluates the Ball/Larus heuristics directly on a Table 2
+// feature vector, without access to the program's CFG. It exists for the
+// serving stack's degraded mode: when the neural model path is unavailable
+// (inference failure, deadline, overload), espserve can still answer from
+// the same feature vectors it was going to feed the model, using the
+// heuristic tier the paper shows ESP only modestly beats (Tables 4-5).
+//
+// The Table 2 vector encodes most of what the heuristics inspect, but not
+// everything, so the vector forms fall into three classes:
+//
+//   - Exactly recoverable — Loop Branch (back-edge flags), Guard
+//     (use-before-def + post-dominance flags), Loop Header (reaches-header +
+//     post-dominance flags), and Call (reaches-call + post-dominance flags)
+//     test precisely the predicates the vector stores; their vector forms
+//     agree with the CFG forms on every branch.
+//   - Approximate — Loop Exit (the vector has exact exit-edge flags but not
+//     the "successor is a loop header" exclusion), Return (the vector sees
+//     only the successor's own terminator, not unconditional chains to a
+//     return), and Opcode (the vector sees the branch mnemonic, not the
+//     resolved comparison, so materialized compares read as plain
+//     register tests).
+//   - Unrecoverable — Pointer and Store inspect operand kinds and successor
+//     instruction bodies that Table 2 does not encode; their vector forms
+//     never apply.
+//
+// Everything here is a pure function of the vector, so degraded-mode
+// answers are deterministic and a test can recompute them offline.
+
+// VectorApply evaluates heuristic h on a Table 2 feature vector, returning
+// Taken/NotTaken when the heuristic's vector form applies and None
+// otherwise.
+func VectorApply(h Heuristic, v *features.Vector, cfg Config) Prediction {
+	val := func(i int) string { return v.Values[i] }
+	// Per-side helper: does the taken/not-taken successor carry flag f?
+	switch h {
+	case LoopBranch:
+		if val(features.FTakenSuccBackedge) == "LB" {
+			return Taken
+		}
+		if val(features.FNotTakenSuccBackedge) == "LB" {
+			return NotTaken
+		}
+	case Opcode:
+		// The comparison-against-zero/constant forms visible in the branch
+		// mnemonic itself. Float branches are excluded, as in the CFG form.
+		switch val(features.FBrOpcode) {
+		case "blt", "ble", "beq":
+			return NotTaken
+		case "bgt", "bge", "bne":
+			return Taken
+		}
+	case Guard:
+		takenGuards := val(features.FTakenSuccUseDef) == "UBD" &&
+			val(features.FTakenPostdominates) == "NPD"
+		fallGuards := val(features.FNotTakenSuccUseDef) == "UBD" &&
+			val(features.FNotTakenPostdominates) == "NPD"
+		if takenGuards && !fallGuards {
+			return Taken
+		}
+		if fallGuards && !takenGuards {
+			return NotTaken
+		}
+	case LoopExit:
+		takenExits := val(features.FTakenSuccExit) == "LE"
+		fallExits := val(features.FNotTakenSuccExit) == "LE"
+		if takenExits && !fallExits {
+			return NotTaken
+		}
+		if fallExits && !takenExits {
+			return Taken
+		}
+	case LoopHeader:
+		if val(features.FTakenSuccLoop) == "LH" &&
+			val(features.FTakenPostdominates) == "NPD" {
+			return Taken
+		}
+		if val(features.FNotTakenSuccLoop) == "LH" &&
+			val(features.FNotTakenPostdominates) == "NPD" {
+			return NotTaken
+		}
+	case Call:
+		predictAvoid := func(succTaken bool) Prediction {
+			if cfg.CallPredictsTaken == succTaken {
+				return Taken
+			}
+			return NotTaken
+		}
+		if val(features.FTakenSuccCall) == "PC" &&
+			val(features.FTakenPostdominates) == "NPD" {
+			return predictAvoid(true)
+		}
+		if val(features.FNotTakenSuccCall) == "PC" &&
+			val(features.FNotTakenPostdominates) == "NPD" {
+			return predictAvoid(false)
+		}
+	case Return:
+		takenReturns := val(features.FTakenSuccEnds) == "RETURN"
+		fallReturns := val(features.FNotTakenSuccEnds) == "RETURN"
+		if takenReturns && !fallReturns {
+			return NotTaken
+		}
+		if fallReturns && !takenReturns {
+			return Taken
+		}
+	}
+	// Pointer and Store: not recoverable from the vector.
+	return None
+}
+
+// TakenProbabilityFromVector combines the vector forms of the heuristics
+// with the Dempster-Shafer rule, mirroring TakenProbability but without CFG
+// access. The second result reports whether any heuristic applied.
+func (d *DSHC) TakenProbabilityFromVector(v *features.Vector) (float64, bool) {
+	pTaken, pNot := 1.0, 1.0
+	applied := false
+	for h := Heuristic(0); h < NumHeuristics; h++ {
+		pred := VectorApply(h, v, d.Cfg)
+		if pred == None {
+			continue
+		}
+		applied = true
+		p := d.Prob[h]
+		if pred == Taken {
+			pTaken *= p
+			pNot *= 1 - p
+		} else {
+			pTaken *= 1 - p
+			pNot *= p
+		}
+	}
+	if !applied {
+		return 0.5, false
+	}
+	den := pTaken + pNot
+	if den == 0 {
+		return 0.5, true
+	}
+	return pTaken / den, true
+}
+
+// PredictVector runs APHC's fixed-order first-match combination over the
+// vector forms of the heuristics, reporting which heuristic fired.
+func (a *APHC) PredictVector(v *features.Vector) (Prediction, Heuristic, bool) {
+	order := a.Order
+	if order == nil {
+		order = DefaultOrder
+	}
+	for _, h := range order {
+		if p := VectorApply(h, v, a.Cfg); p != None {
+			return p, h, true
+		}
+	}
+	return None, 0, false
+}

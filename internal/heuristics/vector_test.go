@@ -1,0 +1,132 @@
+package heuristics
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/features"
+)
+
+// vectorTestSites compiles a few corpus programs and returns their branch
+// sites paired with extracted Table 2 vectors.
+func vectorTestSites(t *testing.T) ([]*features.Site, []features.Vector) {
+	t.Helper()
+	var sites []*features.Site
+	var vecs []features.Vector
+	for _, name := range []string{"bc", "grep", "sort", "eqntott"} {
+		e, ok := corpus.ByName(name)
+		if !ok {
+			t.Fatalf("no corpus entry %q", name)
+		}
+		prog, err := e.Compile(codegen.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := features.Collect(prog)
+		for _, s := range ps.Sites {
+			sites = append(sites, s)
+			vecs = append(vecs, features.Of(s))
+		}
+	}
+	if len(sites) < 100 {
+		t.Fatalf("only %d sites collected", len(sites))
+	}
+	return sites, vecs
+}
+
+// TestVectorApplyMatchesSiteForExactHeuristics: the heuristics whose
+// predicates the Table 2 vector stores verbatim must agree with the
+// CFG-based forms on every branch of real compiled programs.
+func TestVectorApplyMatchesSiteForExactHeuristics(t *testing.T) {
+	sites, vecs := vectorTestSites(t)
+	exact := []Heuristic{LoopBranch, Guard, LoopHeader, Call}
+	var cfg Config
+	for _, h := range exact {
+		for i, s := range sites {
+			site := Apply(h, s, cfg)
+			vec := VectorApply(h, &vecs[i], cfg)
+			if site != vec {
+				t.Errorf("%s at %s: site=%s vector=%s", h, s.Ref, site, vec)
+			}
+		}
+	}
+	// Flipped Call polarity must flow through the vector form too.
+	flipped := Config{CallPredictsTaken: true}
+	for i, s := range sites {
+		if Apply(Call, s, flipped) != VectorApply(Call, &vecs[i], flipped) {
+			t.Errorf("Call polarity mismatch at %s", s.Ref)
+		}
+	}
+}
+
+// TestVectorApplyUnrecoverableNeverFire: Pointer and Store inspect state the
+// vector does not carry; their vector forms must always decline rather than
+// guess.
+func TestVectorApplyUnrecoverableNeverFire(t *testing.T) {
+	_, vecs := vectorTestSites(t)
+	for _, h := range []Heuristic{Pointer, Store} {
+		for i := range vecs {
+			if p := VectorApply(h, &vecs[i], Config{}); p != None {
+				t.Fatalf("%s fired on a vector: %s", h, p)
+			}
+		}
+	}
+}
+
+// TestDSHCVectorCoverageAndDeterminism: the vector-based Dempster-Shafer
+// combination must cover a substantial share of real branches (it is the
+// degraded-mode answer) and must be a pure function of the vector.
+func TestDSHCVectorCoverageAndDeterminism(t *testing.T) {
+	_, vecs := vectorTestSites(t)
+	d := NewDSHCBallLarus()
+	covered := 0
+	for i := range vecs {
+		p1, ok1 := d.TakenProbabilityFromVector(&vecs[i])
+		p2, ok2 := d.TakenProbabilityFromVector(&vecs[i])
+		if p1 != p2 || ok1 != ok2 {
+			t.Fatalf("vector %d: nondeterministic answer", i)
+		}
+		if ok1 {
+			covered++
+			if p1 < 0 || p1 > 1 {
+				t.Fatalf("vector %d: probability %v out of range", i, p1)
+			}
+		} else if p1 != 0.5 {
+			t.Fatalf("vector %d: declined but probability %v != 0.5", i, p1)
+		}
+	}
+	if frac := float64(covered) / float64(len(vecs)); frac < 0.5 {
+		t.Fatalf("vector DSHC covers only %.0f%% of %d branches", 100*frac, len(vecs))
+	}
+}
+
+// TestAPHCVectorFirstMatchOrder: the vector APHC must respect the fixed
+// order — a branch where Loop Branch applies must be decided by it even if
+// later heuristics disagree.
+func TestAPHCVectorFirstMatchOrder(t *testing.T) {
+	_, vecs := vectorTestSites(t)
+	a := NewAPHC()
+	for i := range vecs {
+		pred, h, ok := a.PredictVector(&vecs[i])
+		if !ok {
+			continue
+		}
+		if pred == None {
+			t.Fatalf("vector %d: applied with None prediction", i)
+		}
+		// The reported heuristic must itself produce the prediction.
+		if got := VectorApply(h, &vecs[i], a.Cfg); got != pred {
+			t.Fatalf("vector %d: reported %s=%s but VectorApply says %s", i, h, pred, got)
+		}
+		// And no earlier heuristic in the order may have applied.
+		for _, earlier := range DefaultOrder {
+			if earlier == h {
+				break
+			}
+			if VectorApply(earlier, &vecs[i], a.Cfg) != None {
+				t.Fatalf("vector %d: %s fired but earlier %s also applies", i, h, earlier)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/guard"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := minic.Parse("adversarial", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(ast, ir.LangC, codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestBudgetErrorsAreTyped: runaway programs — infinite loops, unbounded
+// recursion, heap exhaustion — must come back as errors wrapping
+// guard.ErrBudgetExceeded within their configured budgets, not hang the
+// interpreter.
+func TestBudgetErrorsAreTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		cfg  Config
+		want error
+	}{
+		{
+			name: "infinite loop",
+			src:  "int main() { while (1) {} return 0; }",
+			cfg:  Config{MaxInsns: 100_000},
+			want: ErrFuel,
+		},
+		{
+			name: "unbounded recursion",
+			src:  "int f(int n) { return f(n + 1); } int main() { return f(0); }",
+			cfg:  Config{MaxCallDepth: 64},
+			want: ErrCallDepth,
+		},
+		{
+			name: "stack exhaustion",
+			src: "int f(int n) { int a[64]; a[0] = n; return f(a[0] + 1); }" +
+				"int main() { return f(0); }",
+			cfg:  Config{MemWords: 1 << 17},
+			want: ErrStack,
+		},
+		{
+			name: "heap exhaustion",
+			src:  "int main() { int *p; while (1) { p = __alloc(4096); } return 0; }",
+			cfg:  Config{MemWords: 1 << 17, MaxInsns: 10_000_000},
+			want: ErrHeap,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compileSrc(t, tc.src)
+			start := time.Now()
+			_, err := Run(prog, tc.cfg)
+			if err == nil {
+				t.Fatal("runaway program terminated without error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, guard.ErrBudgetExceeded) {
+				t.Fatalf("budget error is not typed: %v", err)
+			}
+			if d := time.Since(start); d > 10*time.Second {
+				t.Fatalf("budgeted run took %v", d)
+			}
+		})
+	}
+}
+
+// TestNonBudgetErrorsStayUntyped: genuine program faults must not be
+// classified as budget violations.
+func TestNonBudgetErrorsStayUntyped(t *testing.T) {
+	prog := compileSrc(t, "int main() { int x; x = 0; return 1 / x; }")
+	_, err := Run(prog, Config{})
+	if !errors.Is(err, ErrDivZero) {
+		t.Fatalf("error %v, want div-zero", err)
+	}
+	if errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("program fault mistyped as budget violation: %v", err)
+	}
+}
+
+// TestConfigurableCallDepth: the default call-depth budget still applies
+// when unset.
+func TestConfigurableCallDepth(t *testing.T) {
+	prog := compileSrc(t, "int f(int n) { return f(n + 1); } int main() { return f(0); }")
+	_, err := Run(prog, Config{})
+	if !errors.Is(err, ErrCallDepth) && !errors.Is(err, ErrStack) {
+		t.Fatalf("default-depth run: %v", err)
+	}
+}

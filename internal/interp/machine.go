@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/ir"
 )
 
@@ -19,6 +20,8 @@ type Config struct {
 	MaxInsns int64
 	// MemWords sizes the flat word memory; 0 means DefaultMemWords.
 	MemWords int64
+	// MaxCallDepth bounds activation nesting; 0 means DefaultMaxCallDepth.
+	MaxCallDepth int
 	// CollectEdges enables per-edge transition counting (needed only for
 	// the Figure 2 experiment; branch counts are always collected).
 	CollectEdges bool
@@ -26,21 +29,25 @@ type Config struct {
 
 // Defaults for Config.
 const (
-	DefaultMaxInsns = int64(50_000_000)
-	DefaultMemWords = int64(1 << 21)
-	maxCallDepth    = 4096
+	DefaultMaxInsns     = int64(50_000_000)
+	DefaultMemWords     = int64(1 << 21)
+	DefaultMaxCallDepth = 4096
 )
 
-// Execution errors.
+// Execution errors. The budget-class errors (fuel, stack, heap, call depth)
+// wrap guard.ErrBudgetExceeded, so a caller running untrusted programs can
+// classify "the program exceeded its configured resource budget" with one
+// errors.Is check, distinct from genuine program faults like a division by
+// zero or an out-of-bounds access.
 var (
-	ErrFuel       = errors.New("interp: instruction budget exhausted")
+	ErrFuel       = fmt.Errorf("interp: instruction budget exhausted: %w", guard.ErrBudgetExceeded)
 	ErrMemBounds  = errors.New("interp: memory access out of bounds")
 	ErrDivZero    = errors.New("interp: integer division by zero")
-	ErrStack      = errors.New("interp: stack overflow")
-	ErrHeap       = errors.New("interp: heap exhausted")
+	ErrStack      = fmt.Errorf("interp: stack overflow: %w", guard.ErrBudgetExceeded)
+	ErrHeap       = fmt.Errorf("interp: heap exhausted: %w", guard.ErrBudgetExceeded)
 	ErrNoMain     = errors.New("interp: program has no main function")
 	ErrBadJump    = errors.New("interp: indirect jump index out of range")
-	ErrCallDepth  = errors.New("interp: call depth exceeded")
+	ErrCallDepth  = fmt.Errorf("interp: call depth exceeded: %w", guard.ErrBudgetExceeded)
 	ErrBadRuntime = errors.New("interp: unknown runtime intrinsic")
 )
 
@@ -102,6 +109,9 @@ func Run(p *ir.Program, cfg Config) (*Profile, error) {
 	}
 	if cfg.MemWords == 0 {
 		cfg.MemWords = DefaultMemWords
+	}
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = DefaultMaxCallDepth
 	}
 	m := &machine{
 		prog:  p,
@@ -242,7 +252,7 @@ func (m *machine) buildImages(globals map[string]int64) {
 // call executes one function activation. args holds the incoming A0..A5 and
 // FA0..FA5 register values; sp is the caller's stack pointer.
 func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, retFloat int64, err error) {
-	if m.depth++; m.depth > maxCallDepth {
+	if m.depth++; m.depth > m.cfg.MaxCallDepth {
 		return 0, 0, ErrCallDepth
 	}
 	defer func() { m.depth-- }()

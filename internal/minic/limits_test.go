@@ -1,0 +1,67 @@
+package minic_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/guard"
+	"repro/internal/minic"
+)
+
+// TestParseDepthLimitNestedExprs: a pathological parenthesis tower must be
+// rejected with the typed budget error instead of exhausting the parser
+// stack.
+func TestParseDepthLimitNestedExprs(t *testing.T) {
+	adversarial := []struct {
+		name string
+		src  string
+	}{
+		{"parens", "int main() { return " + strings.Repeat("(", 20000) + "1" + strings.Repeat(")", 20000) + "; }"},
+		{"unary", "int main() { return " + strings.Repeat("-", 20000) + "1; }"},
+		{"not", "int main() { return " + strings.Repeat("!", 20000) + "1; }"},
+		{"blocks", "int main() { " + strings.Repeat("{", 20000) + strings.Repeat("}", 20000) + " return 0; }"},
+		{"ifs", "int main() { " + strings.Repeat("if (1) ", 20000) + "return 0; }"},
+		{"casts", "int main() { return " + strings.Repeat("(int)", 20000) + "1; }"},
+	}
+	for _, tc := range adversarial {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			_, err := minic.ParseWithLimits("adversarial", tc.src, minic.Limits{MaxDepth: 256})
+			if err == nil {
+				t.Fatal("parse of 20000-deep nesting succeeded under MaxDepth 256")
+			}
+			if !errors.Is(err, guard.ErrBudgetExceeded) {
+				t.Fatalf("error is not typed as budget exceeded: %v", err)
+			}
+			// The budget must abort the parse quickly, not after chewing
+			// through the whole input.
+			if d := time.Since(start); d > 5*time.Second {
+				t.Fatalf("budgeted parse took %v", d)
+			}
+		})
+	}
+}
+
+// TestParseDepthLimitAllowsRealPrograms: every corpus program (plus the
+// runtime library) parses under the depth budget espserve enforces, so the
+// guard only rejects pathological nesting.
+func TestParseDepthLimitAllowsRealPrograms(t *testing.T) {
+	lim := minic.Limits{MaxDepth: 256}
+	for _, e := range corpus.All() {
+		if _, err := minic.ParseWithLimits(e.Name, e.Source+corpus.StdlibSource+corpus.Stdlib2Source, lim); err != nil {
+			t.Errorf("%s: corpus program rejected by depth budget: %v", e.Name, err)
+		}
+	}
+}
+
+// TestParseUnlimitedByDefault: the plain Parse path carries no budget, so
+// the reproduction pipeline's behaviour is unchanged.
+func TestParseUnlimitedByDefault(t *testing.T) {
+	deep := "int main() { return " + strings.Repeat("(", 2000) + "1" + strings.Repeat(")", 2000) + "; }"
+	if _, err := minic.Parse("deep", deep); err != nil {
+		t.Fatalf("unlimited parse rejected deep nesting: %v", err)
+	}
+}

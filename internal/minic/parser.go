@@ -1,20 +1,44 @@
 package minic
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/guard"
+)
+
+// Limits bounds the resources a single parse may consume, so a hostile
+// source submission cannot blow the parser's stack. The zero value is
+// unlimited — the default for trusted corpus input, keeping every
+// reproduction run byte-identical.
+type Limits struct {
+	// MaxDepth caps the combined statement/expression nesting depth. 0
+	// means unlimited.
+	MaxDepth int
+}
 
 // Parser is a recursive-descent parser for MinC.
 type Parser struct {
 	lx   *Lexer
 	tok  Token
 	peek *Token
+
+	depth    int
+	maxDepth int
 }
 
-// Parse parses a complete MinC compilation unit.
+// Parse parses a complete MinC compilation unit with no resource limits.
 func Parse(name, src string) (*Program, error) {
+	return ParseWithLimits(name, src, Limits{})
+}
+
+// ParseWithLimits parses a compilation unit under resource budgets. A
+// violated budget aborts the parse with an error wrapping
+// guard.ErrBudgetExceeded.
+func ParseWithLimits(name, src string, lim Limits) (*Program, error) {
 	if err := reject(src); err != nil {
 		return nil, err
 	}
-	p := &Parser{lx: NewLexer(src)}
+	p := &Parser{lx: NewLexer(src), maxDepth: lim.MaxDepth}
 	if err := p.next(); err != nil {
 		return nil, err
 	}
@@ -26,6 +50,20 @@ func Parse(name, src string) (*Program, error) {
 	}
 	return prog, nil
 }
+
+// enter charges one level of recursive descent against the depth budget.
+// Every recursive production (statements, expressions, unary chains) calls
+// it, so parser stack growth is proportional to the budget.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.maxDepth > 0 && p.depth > p.maxDepth {
+		return fmt.Errorf("%s: nesting depth exceeds limit %d: %w",
+			p.tok.Pos, p.maxDepth, guard.ErrBudgetExceeded)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 func (p *Parser) next() error {
 	if p.peek != nil {
@@ -227,6 +265,10 @@ func (p *Parser) parseBlock() (*BlockStmt, error) {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	pos := p.tok.Pos
 	switch p.tok.Kind {
 	case TokKwInt, TokKwFloat, TokKwVoid:
@@ -452,7 +494,13 @@ var precLevels = []precLevel{
 	{map[TokKind]BinOpKind{TokStar: OpMul, TokSlash: OpDiv, TokPercent: OpRem}},
 }
 
-func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseBin(0)
+}
 
 func (p *Parser) parseBin(level int) (Expr, error) {
 	if level >= len(precLevels) {
@@ -480,6 +528,10 @@ func (p *Parser) parseBin(level int) (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	pos := p.tok.Pos
 	switch p.tok.Kind {
 	case TokMinus:

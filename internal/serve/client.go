@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// APIError is a terminal (non-retryable) HTTP failure from the service:
+// the request itself is bad and resending it cannot help.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: api error %d: %s", e.Status, e.Message)
+}
+
+// ClientConfig parameterizes a retrying Client.
+type ClientConfig struct {
+	// MaxAttempts bounds tries per Predict call, first attempt included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 25ms); the delay
+	// before attempt k is jittered around BaseDelay*2^(k-1).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// PerAttemptTimeout bounds each individual attempt (default 10s) on
+	// top of the caller's context.
+	PerAttemptTimeout time.Duration
+	// Seed makes the jitter deterministic for tests (default 1).
+	Seed int64
+	// HTTP is the underlying client (default a plain http.Client).
+	HTTP *http.Client
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseDelay == 0 {
+		c.BaseDelay = 25 * time.Millisecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.PerAttemptTimeout == 0 {
+		c.PerAttemptTimeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	return c
+}
+
+// Client is a /predict client that absorbs transient failure: transport
+// errors and 5xx responses are retried with jittered exponential backoff,
+// and 429 shed responses honor the server's Retry-After hint. Terminal 4xx
+// responses surface immediately as *APIError.
+type Client struct {
+	base string
+	cfg  ClientConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a Client for the service at base (e.g. the httptest
+// server URL or "http://host:port").
+func NewClient(base string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Predict posts one request, retrying until it gets a terminal answer or
+// runs out of attempts. The returned error wraps the last failure.
+func (c *Client) Predict(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.attempt(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryable(apiErr.Status) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("serve: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+func (c *Client) attempt(ctx context.Context, body []byte) (*PredictResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.PerAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				return nil, &shedError{APIError: apiErr, retryAfter: time.Duration(after) * time.Second}
+			}
+		}
+		return nil, apiErr
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
+// shedError carries the server's Retry-After hint alongside the 429.
+type shedError struct {
+	*APIError
+	retryAfter time.Duration
+}
+
+func (e *shedError) Unwrap() error { return e.APIError }
+
+// backoff computes the jittered exponential delay before the given attempt
+// (attempt >= 1), honoring a Retry-After hint when the previous failure
+// carried one.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	d := c.cfg.BaseDelay << (attempt - 1)
+	if d > c.cfg.MaxDelay || d <= 0 {
+		d = c.cfg.MaxDelay
+	}
+	// Jitter to [d/2, d) so synchronized clients desynchronize, but never
+	// come back before a server-supplied Retry-After.
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	d = d/2 + time.Duration(f*float64(d/2))
+	var shed *shedError
+	if errors.As(lastErr, &shed) && shed.retryAfter > d {
+		d = shed.retryAfter
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

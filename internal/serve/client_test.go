@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers /predict with the scripted statuses, then succeeds.
+func flakyHandler(attempts *atomic.Int64, script []int, retryAfter string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if int(n) <= len(script) {
+			status := script[n-1]
+			if status == http.StatusTooManyRequests && retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeJSON(w, status, errorResponse{Error: "scripted failure"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(PredictResponse{ID: "ok"})
+	})
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{
+		http.StatusInternalServerError,
+		http.StatusTooManyRequests,
+		http.StatusServiceUnavailable,
+	}, "0"))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 7})
+	resp, err := c.Predict(context.Background(), &PredictRequest{ID: "x"})
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if resp.ID != "ok" {
+		t.Fatalf("response %+v", resp)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("%d attempts, want 4 (3 failures + success)", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{http.StatusTooManyRequests}, "1"))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7})
+	start := time.Now()
+	if _, err := c.Predict(context.Background(), &PredictRequest{ID: "x"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	// The backoff after a millisecond-scale base would be instant; the
+	// server's 1s hint must dominate.
+	if d := time.Since(start); d < time.Second {
+		t.Fatalf("retried after %v despite Retry-After: 1", d)
+	}
+}
+
+func TestClientTerminal4xxDoesNotRetry(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{
+		http.StatusBadRequest, http.StatusBadRequest, http.StatusBadRequest,
+	}, ""))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	_, err := c.Predict(context.Background(), &PredictRequest{ID: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("error %v, want APIError 400", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("%d attempts for a terminal 400, want 1", got)
+	}
+}
+
+func TestClientExhaustsAttempts(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{
+		http.StatusInternalServerError, http.StatusInternalServerError,
+		http.StatusInternalServerError, http.StatusInternalServerError,
+	}, ""))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	_, err := c.Predict(context.Background(), &PredictRequest{ID: "x"})
+	if err == nil {
+		t.Fatal("predict succeeded with a permanently failing server")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("exhaustion error %v does not wrap the last failure", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("%d attempts, want MaxAttempts=3", got)
+	}
+}
+
+func TestClientPerAttemptTimeout(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // first attempt hangs
+		}
+		_ = json.NewEncoder(w).Encode(PredictResponse{ID: "ok"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, PerAttemptTimeout: 50 * time.Millisecond,
+	})
+	resp, err := c.Predict(context.Background(), &PredictRequest{ID: "x"})
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if resp.ID != "ok" || attempts.Load() < 2 {
+		t.Fatalf("resp %+v after %d attempts", resp, attempts.Load())
+	}
+}

@@ -16,13 +16,15 @@ import (
 // of concurrent clients hammer one httptest server, every response must be
 // routed back to the client that asked for it (checked by a unique request
 // ID and by the per-client expected probabilities), and nothing may be
-// dropped. Run under -race in CI.
+// dropped. The clients use the retrying Client, so admission-control sheds
+// (429) are absorbed by backoff and every request still completes. Run
+// under -race in CI.
 func TestLoadConcurrentClients(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test in short mode")
 	}
 	model, data := testModel(t)
-	_, ts := testServer(t, Config{MaxBatch: 8, Workers: 4})
+	srv, ts := testServer(t, Config{MaxBatch: 8, Workers: 4})
 
 	// Every client owns a distinct window of this program's feature
 	// vectors, so a misrouted response carries the wrong prediction count
@@ -38,7 +40,6 @@ func TestLoadConcurrentClients(t *testing.T) {
 		clients           = 220
 		requestsPerClient = 4
 	)
-	client := &http.Client{Timeout: 30 * time.Second}
 	var (
 		wg       sync.WaitGroup
 		failures atomic.Int64
@@ -48,6 +49,13 @@ func TestLoadConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			client := NewClient(ts.URL, ClientConfig{
+				MaxAttempts:       8,
+				BaseDelay:         10 * time.Millisecond,
+				MaxDelay:          500 * time.Millisecond,
+				PerAttemptTimeout: 30 * time.Second,
+				Seed:              int64(c) + 1,
+			})
 			lo := c % (len(vecs) - 4)
 			n := 1 + c%4
 			window := vecs[lo : lo+n]
@@ -55,24 +63,15 @@ func TestLoadConcurrentClients(t *testing.T) {
 				ID:      fmt.Sprintf("client-%d", c),
 				Vectors: vectorValues(window),
 			}
-			body, err := json.Marshal(req)
-			if err != nil {
-				t.Errorf("client %d: %v", c, err)
-				failures.Add(1)
-				return
-			}
 			for r := 0; r < requestsPerClient; r++ {
-				resp, err := client.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+				pr, err := client.Predict(context.Background(), &req)
 				if err != nil {
-					t.Errorf("client %d: transport: %v", c, err)
+					t.Errorf("client %d: %v", c, err)
 					failures.Add(1)
 					return
 				}
-				var pr PredictResponse
-				err = json.NewDecoder(resp.Body).Decode(&pr)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode != http.StatusOK {
-					t.Errorf("client %d: status %d decode %v", c, resp.StatusCode, err)
+				if pr.Degraded {
+					t.Errorf("client %d: degraded response without injected faults", c)
 					failures.Add(1)
 					return
 				}
@@ -105,6 +104,8 @@ func TestLoadConcurrentClients(t *testing.T) {
 	if want := int64(clients * requestsPerClient); served.Load() != want {
 		t.Fatalf("served %d responses, want %d — requests dropped", served.Load(), want)
 	}
+	t.Logf("admission control shed %d requests; all absorbed by client retries",
+		srv.metrics.shed.Load())
 }
 
 // TestGracefulDrainCompletesInflight asserts the SIGTERM contract: once a

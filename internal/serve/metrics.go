@@ -36,6 +36,11 @@ type metrics struct {
 	inflight       atomic.Int64
 	rejectedDrain  atomic.Int64 // requests refused because the server drains
 	timeoutsCancel atomic.Int64 // requests that hit their deadline
+
+	shed            atomic.Int64 // requests refused with 429 by admission control
+	degraded        atomic.Int64 // requests answered by the heuristic fallback
+	panicsRecovered atomic.Int64 // panics absorbed by middleware or workers
+	budgetRejects   atomic.Int64 // submissions rejected by compile resource budgets
 }
 
 func newMetrics() *metrics {
@@ -71,5 +76,9 @@ func (m *metrics) render() string {
 	fmt.Fprintf(&b, "espserve_inflight_requests %d\n", m.inflight.Load())
 	fmt.Fprintf(&b, "espserve_drain_rejects_total %d\n", m.rejectedDrain.Load())
 	fmt.Fprintf(&b, "espserve_request_timeouts_total %d\n", m.timeoutsCancel.Load())
+	fmt.Fprintf(&b, "espserve_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(&b, "espserve_degraded_total %d\n", m.degraded.Load())
+	fmt.Fprintf(&b, "espserve_panics_recovered_total %d\n", m.panicsRecovered.Load())
+	fmt.Fprintf(&b, "espserve_budget_rejects_total %d\n", m.budgetRejects.Load())
 	return b.String()
 }

@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/features"
 )
 
@@ -155,19 +157,44 @@ func (p *pool) worker() {
 				probs = make([]float64, len(vecs))
 			}
 			probs = probs[:len(vecs)]
-			p.model.TakenProbabilities(vecs, probs)
-			p.metrics.predictedVecs.Add(int64(len(vecs)))
-			off := 0
-			for _, b := range batch {
-				if b.err != nil {
-					continue
+			if err := p.forward(vecs, probs); err != nil {
+				// The pass failed; every live job in the batch shares the
+				// error and the worker keeps serving.
+				for _, b := range batch {
+					if b.err == nil {
+						b.err = err
+					}
 				}
-				copy(b.probs, probs[off:off+len(b.vecs)])
-				off += len(b.vecs)
+			} else {
+				p.metrics.predictedVecs.Add(int64(len(vecs)))
+				off := 0
+				for _, b := range batch {
+					if b.err != nil {
+						continue
+					}
+					copy(b.probs, probs[off:off+len(b.vecs)])
+					off += len(b.vecs)
+				}
 			}
 		}
 		for _, b := range batch {
 			close(b.done)
 		}
 	}
+}
+
+// forward runs one model pass, converting panics into errors so a poisoned
+// batch cannot take the worker (and with it the process) down.
+func (p *pool) forward(vecs []features.Vector, probs []float64) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.metrics.panicsRecovered.Add(1)
+			err = fmt.Errorf("serve: model pass panicked: %v", rec)
+		}
+	}()
+	if err := faultinject.Fire(siteForward); err != nil {
+		return err
+	}
+	p.model.TakenProbabilities(vecs, probs)
+	return nil
 }

@@ -29,9 +29,22 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/faultinject"
 	"repro/internal/features"
+	"repro/internal/guard"
+	"repro/internal/heuristics"
 	"repro/internal/ir"
 	"repro/internal/minic"
+)
+
+// Fault-injection sites along the prediction path. In production these are
+// single atomic-load no-ops; the chaos tests activate an injector to force
+// errors, latency, and panics through them.
+var (
+	siteCacheGet = faultinject.Register("serve.cache.get")
+	siteCompile  = faultinject.Register("serve.compile")
+	siteSubmit   = faultinject.Register("serve.pool.submit")
+	siteForward  = faultinject.Register("serve.forward")
 )
 
 // Config parameterizes a Server.
@@ -53,6 +66,20 @@ type Config struct {
 	MaxSourceBytes int
 	// MaxVectors bounds the feature vectors of one request (default 4096).
 	MaxVectors int
+	// MaxInflight bounds concurrently admitted /predict requests; excess
+	// load is shed immediately with 429 and a Retry-After hint instead of
+	// queueing without bound (default QueueDepth; negative disables
+	// admission control).
+	MaxInflight int
+	// MaxParseDepth bounds statement/expression nesting when compiling
+	// submitted source (default 256; negative disables the guard).
+	MaxParseDepth int
+	// MaxCFGBlocks bounds the per-function CFG when compiling submitted
+	// source (default 16384; negative disables the guard).
+	MaxCFGBlocks int
+	// NoDegrade disables the heuristic fallback: model-path failures
+	// surface as 5xx instead of degraded 200 responses.
+	NoDegrade bool
 }
 
 func (c Config) withDefaults() Config {
@@ -77,18 +104,45 @@ func (c Config) withDefaults() Config {
 	if c.MaxVectors == 0 {
 		c.MaxVectors = 4096
 	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = c.QueueDepth
+	}
+	if c.MaxParseDepth == 0 {
+		c.MaxParseDepth = 256
+	}
+	if c.MaxCFGBlocks == 0 {
+		c.MaxCFGBlocks = 16384
+	}
 	return c
+}
+
+// parseLimits translates the configured guards into compiler limits,
+// treating negative values as "unlimited".
+func (c Config) parseDepth() int {
+	if c.MaxParseDepth < 0 {
+		return 0
+	}
+	return c.MaxParseDepth
+}
+
+func (c Config) cfgBlocks() int {
+	if c.MaxCFGBlocks < 0 {
+		return 0
+	}
+	return c.MaxCFGBlocks
 }
 
 // Server is the espserve HTTP service.
 type Server struct {
-	cfg     Config
-	model   *core.Model
-	pool    *pool
-	cache   *lru
-	metrics *metrics
-	mux     *http.ServeMux
-	started time.Time
+	cfg      Config
+	model    *core.Model
+	pool     *pool
+	cache    *lru
+	metrics  *metrics
+	mux      *http.ServeMux
+	started  time.Time
+	admit    chan struct{} // admission-control semaphore (nil when disabled)
+	fallback *heuristics.DSHC
 }
 
 // New builds a Server around a trained model.
@@ -98,12 +152,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: Config.Model is required")
 	}
 	s := &Server{
-		cfg:     cfg,
-		model:   cfg.Model,
-		cache:   newLRU(cfg.CacheSize),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		cfg:      cfg,
+		model:    cfg.Model,
+		cache:    newLRU(cfg.CacheSize),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		fallback: heuristics.NewDSHCBallLarus(),
+	}
+	if cfg.MaxInflight > 0 {
+		s.admit = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.pool = newPool(cfg.Model, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, s.metrics)
 	s.mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
@@ -129,19 +187,32 @@ func (s *Server) Draining() bool {
 }
 
 // statusWriter records the response code so instrumentation can count
-// errors.
+// errors. Once a status has been sent, later WriteHeader calls are ignored
+// instead of duplicated onto the wire (net/http logs a spurious warning and
+// the original code stands anyway).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-endpoint counters and the request
-// deadline.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-endpoint counters, the request
+// deadline, and panic containment: a panicking handler is accounted as a
+// 500 and the process keeps serving.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -151,8 +222,21 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panicsRecovered.Add(1)
+				if sw.wrote {
+					// Headers are gone; record the failure for accounting
+					// only.
+					sw.status = http.StatusInternalServerError
+				} else {
+					writeJSON(sw, http.StatusInternalServerError,
+						errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+				}
+			}
+			s.metrics.endpoint(name).observe(time.Since(start).Microseconds(), sw.status >= 400)
+		}()
 		h(sw, r.WithContext(ctx))
-		s.metrics.endpoint(name).observe(time.Since(start).Microseconds(), sw.status >= 400)
 	}
 }
 
@@ -190,9 +274,13 @@ type Prediction struct {
 
 // PredictResponse is the /predict response body.
 type PredictResponse struct {
-	ID          string       `json:"id,omitempty"`
-	Program     string       `json:"program,omitempty"`
-	Cached      bool         `json:"cached"`
+	ID      string `json:"id,omitempty"`
+	Program string `json:"program,omitempty"`
+	Cached  bool   `json:"cached"`
+	// Degraded reports that the model path was unavailable and the
+	// predictions come from the Dempster-Shafer heuristic fallback
+	// instead of the trained model.
+	Degraded    bool         `json:"degraded,omitempty"`
 	Predictions []Prediction `json:"predictions"`
 }
 
@@ -206,14 +294,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errTransient marks infrastructure failures (as opposed to bad requests)
+// on the compile path; they map to 503 with a Retry-After hint.
+var errTransient = errors.New("transient failure")
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	if s.admit != nil {
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests,
+				errorResponse{Error: "overloaded, retry later"})
+			return
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1<<16)
 	var req PredictRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -235,7 +345,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		img, cached, err := s.compile(&req)
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, guard.ErrBudgetExceeded):
+			s.metrics.budgetRejects.Add(1)
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+			return
+		case errors.Is(err, errTransient):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		default:
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
@@ -269,18 +389,40 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	probs, err := s.pool.submit(r.Context(), vecs)
+	var probs []float64
+	err := faultinject.Fire(siteSubmit)
+	if err == nil {
+		probs, err = s.pool.submit(r.Context(), vecs)
+	}
 	switch {
 	case errors.Is(err, ErrDraining):
 		s.metrics.rejectedDrain.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled):
+		// The client has gone; nobody is reading a degraded answer.
 		s.metrics.timeoutsCancel.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
 		return
 	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		if timedOut {
+			s.metrics.timeoutsCancel.Add(1)
+		}
+		if s.cfg.NoDegrade {
+			status := http.StatusInternalServerError
+			if timedOut {
+				status = http.StatusGatewayTimeout
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		// Degraded mode: answer from the heuristic tier using the same
+		// feature vectors the model was going to see.
+		s.metrics.degraded.Add(1)
+		resp.Degraded = true
+		resp.Predictions = s.degradedPredictions(vecs, refs)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
@@ -308,15 +450,42 @@ func sourceKey(req *PredictRequest) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// degradedPredictions answers from the heuristic tier: the vector form of
+// the Dempster-Shafer combination over the Ball/Larus heuristics, a pure
+// function of each feature vector.
+func (s *Server) degradedPredictions(vecs []features.Vector, refs []string) []Prediction {
+	out := make([]Prediction, len(vecs))
+	for i := range vecs {
+		p, _ := s.fallback.TakenProbabilityFromVector(&vecs[i])
+		conf := p
+		if conf < 0.5 {
+			conf = 1 - conf
+		}
+		out[i] = Prediction{
+			Branch:      refs[i],
+			Taken:       p > 0.5,
+			Probability: p,
+			Confidence:  conf,
+		}
+	}
+	return out
+}
+
 // compile resolves a source submission to a program image, consulting the
-// LRU cache first.
+// LRU cache first. A fault at the cache site degrades to a fresh compile; a
+// fault at the compile site is a transient infrastructure failure.
 func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
 	key := sourceKey(req)
-	if img, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		return img, true, nil
+	if faultinject.Fire(siteCacheGet) == nil {
+		if img, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return img, true, nil
+		}
 	}
 	s.metrics.cacheMisses.Add(1)
+	if err := faultinject.Fire(siteCompile); err != nil {
+		return nil, false, fmt.Errorf("compile backend: %w: %w", errTransient, err)
+	}
 
 	lang := ir.LangC
 	switch req.Language {
@@ -336,11 +505,12 @@ func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
 	if req.LinkStdlib {
 		src += corpus.StdlibSource + corpus.Stdlib2Source
 	}
-	ast, err := minic.Parse(name, src)
+	ast, err := minic.ParseWithLimits(name, src, minic.Limits{MaxDepth: s.cfg.parseDepth()})
 	if err != nil {
 		return nil, false, fmt.Errorf("parse: %w", err)
 	}
-	prog, err := codegen.Compile(ast, lang, codegen.Default)
+	prog, err := codegen.CompileBounded(ast, lang, codegen.Default,
+		guard.Limits{CFGBlocks: s.cfg.cfgBlocks()})
 	if err != nil {
 		return nil, false, fmt.Errorf("compile: %w", err)
 	}
