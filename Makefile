@@ -18,10 +18,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # race runs the data-race detector over the concurrent packages (parallel
-# cross-validation folds, sharded training, the prediction scratch pool, and
-# the espserve batching worker pool).
+# cross-validation folds, sharded training, the prediction scratch pool,
+# the espserve batching worker pool, and concurrent artifact-cache
+# readers/writers).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments
 
 # chaos runs the fault-injection suite under the race detector: seeded
 # error/latency/panic faults at every registered site while concurrent
@@ -42,8 +43,15 @@ check: build vet fmt-check test race chaos
 bench:
 	$(GO) test -bench . -benchmem -timeout 3600s .
 
-# bench-hot runs just the three hot-path benchmarks this repo optimizes:
-# ESP cross-validation, sparse neural training, and profile collection.
+# bench-hot runs just the hot-path benchmarks this repo optimizes: ESP
+# cross-validation, sparse neural training, and profile collection (the
+# micro-op interpreter on espresso and tomcatv).
 bench-hot:
 	$(GO) test -run XXX -benchmem -timeout 3600s \
-		-bench 'BenchmarkTable4ESPCrossVal|BenchmarkNeuralTrainSparse|BenchmarkInterpProfile' .
+		-bench 'BenchmarkTable4ESPCrossVal|BenchmarkNeuralTrainSparse|BenchmarkInterpProfile|BenchmarkInterpretTomcatv' .
+
+# bench-json regenerates the machine-readable BENCH_<name>.json results
+# that CI uploads as artifacts. BENCH_profile.json is committed as the
+# baseline for the profiling hot path.
+bench-json:
+	$(GO) run ./cmd/espbench -bench all -benchout .

@@ -20,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
@@ -37,7 +40,38 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override ESP training seed")
 	bench := flag.String("bench", "", "run micro-benchmarks (comma-separated names or \"all\") instead of experiments")
 	benchout := flag.String("benchout", ".", "directory for BENCH_<name>.json files")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default $ESPCACHE_DIR, else .espcache)")
+	noCache := flag.Bool("no-cache", false, "disable the persistent analysis cache")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			}
+		}()
+	}
 
 	if *bench != "" {
 		if err := runBenchSuite(*bench, *benchout); err != nil {
@@ -47,7 +81,16 @@ func main() {
 		return
 	}
 
-	ctx := experiments.NewContext()
+	var cache *artifact.Cache
+	if !*noCache {
+		var err error
+		if cache, err = artifact.Open(artifact.DefaultDir(*cacheDir)); err != nil {
+			// The cache is an optimization: an unwritable directory costs
+			// warm starts, not results.
+			fmt.Fprintf(os.Stderr, "espbench: %v (continuing uncached)\n", err)
+		}
+	}
+	ctx := experiments.NewContextWithCache(cache)
 	espCfg := core.Config{Hidden: *hidden, Seed: *seed}
 	any := *table != 0 || *figure != 0 || *scheme || *corpusSize || *ablations || *orders || *profileEst
 

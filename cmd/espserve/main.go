@@ -20,12 +20,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the -pprof-addr mux
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/serve"
 )
 
@@ -53,18 +57,44 @@ func run(args []string) error {
 		"max CFG blocks per compiled function (default 16384, -1 unlimited)")
 	noDegrade := fs.Bool("no-degrade", false,
 		"disable the heuristic fallback: model-path failures return 5xx instead of degraded predictions")
+	train := fs.Bool("train", false,
+		"train the model from the corpus at startup instead of loading -model (uses the artifact cache)")
+	cacheDir := fs.String("cache-dir", "",
+		"artifact cache directory for -train (default $ESPCACHE_DIR, else .espcache)")
+	noCache := fs.Bool("no-cache", false, "disable the persistent analysis cache for -train")
+	pprofAddr := fs.String("pprof-addr", "",
+		"serve net/http/pprof on this address (off when empty; bind to localhost)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		return err
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Printf("espserve: pprof on %s\n", pln.Addr())
+		// http.DefaultServeMux carries the net/http/pprof handlers; the
+		// prediction API below uses its own mux, so nothing else leaks here.
+		go func() { _ = http.Serve(pln, nil) }()
 	}
-	model, err := core.Load(f)
-	f.Close()
-	if err != nil {
-		return err
+
+	var model *core.Model
+	if *train {
+		var err error
+		if model, err = trainStartupModel(*cacheDir, *noCache); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		model, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
 
 	s, err := serve.New(serve.Config{
@@ -120,4 +150,34 @@ func run(args []string) error {
 	}
 	fmt.Println("espserve: drained, exiting")
 	return nil
+}
+
+// trainStartupModel trains an ESP model from the full study corpus at
+// startup. The expensive part — profiling every corpus program — is served
+// from the artifact cache when warm, so a restart with a populated cache
+// reaches serving without a single interpreter trace.
+func trainStartupModel(cacheDir string, noCache bool) (*core.Model, error) {
+	var cache *artifact.Cache
+	if !noCache {
+		var err error
+		if cache, err = artifact.Open(artifact.DefaultDir(cacheDir)); err != nil {
+			fmt.Fprintf(os.Stderr, "espserve: %v (training uncached)\n", err)
+		}
+	}
+	start := time.Now()
+	var data []*core.ProgramData
+	for _, e := range corpus.Study() {
+		prog, err := e.Compile(codegen.Default)
+		if err != nil {
+			return nil, fmt.Errorf("train %s: %w", e.Name, err)
+		}
+		pd, err := core.AnalyzeCached(cache, prog, e.Language, e.RunConfig())
+		if err != nil {
+			return nil, fmt.Errorf("train %s: %w", e.Name, err)
+		}
+		data = append(data, pd)
+	}
+	model := core.Train(data, core.Config{})
+	fmt.Printf("espserve: trained on %d programs in %v\n", len(data), time.Since(start).Round(time.Millisecond))
+	return model, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -44,15 +45,34 @@ func usage() {
 	os.Exit(2)
 }
 
-// analyzeCorpus profiles a set of corpus entries.
-func analyzeCorpus(entries []corpus.Entry) []*core.ProgramData {
+// cacheFlags registers the shared artifact-cache flags on a subcommand's
+// flag set and returns a resolver to call after parsing.
+func cacheFlags(fs *flag.FlagSet) func() *artifact.Cache {
+	dir := fs.String("cache-dir", "", "artifact cache directory (default $ESPCACHE_DIR, else .espcache)")
+	noCache := fs.Bool("no-cache", false, "disable the persistent analysis cache")
+	return func() *artifact.Cache {
+		if *noCache {
+			return nil
+		}
+		c, err := artifact.Open(artifact.DefaultDir(*dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esptool: %v (continuing uncached)\n", err)
+			return nil
+		}
+		return c
+	}
+}
+
+// analyzeCorpus profiles a set of corpus entries, serving warm programs
+// from the artifact cache.
+func analyzeCorpus(entries []corpus.Entry, cache *artifact.Cache) []*core.ProgramData {
 	var out []*core.ProgramData
 	for _, e := range entries {
 		prog, err := e.Compile(codegen.Default)
 		if err != nil {
 			fatal(err)
 		}
-		pd, err := core.Analyze(prog, e.Language, e.RunConfig())
+		pd, err := core.AnalyzeCached(cache, prog, e.Language, e.RunConfig())
 		if err != nil {
 			fatal(err)
 		}
@@ -69,6 +89,7 @@ func cmdTrain(args []string) {
 	hidden := fs.Int("hidden", 0, "hidden units (default 12)")
 	seed := fs.Uint64("seed", 0, "training seed (default 1)")
 	exclude := fs.String("exclude", "", "program to hold out of the corpus")
+	cache := cacheFlags(fs)
 	mustParse(fs, args)
 
 	entries := corpus.Study()
@@ -81,7 +102,7 @@ func cmdTrain(args []string) {
 			kept = append(kept, e)
 		}
 	}
-	data := analyzeCorpus(kept)
+	data := analyzeCorpus(kept, cache())
 	cfg := core.Config{Hidden: *hidden, Seed: *seed}
 	if *tree {
 		cfg.Classifier = core.DecisionTree
@@ -129,6 +150,7 @@ func cmdPredict(args []string) {
 	modelPath := fs.String("model", "esp-model.json", "model file")
 	program := fs.String("program", "", "corpus program to predict")
 	verbose := fs.Bool("v", false, "print per-site predictions")
+	cache := cacheFlags(fs)
 	mustParse(fs, args)
 
 	e, ok := corpus.ByName(*program)
@@ -136,7 +158,7 @@ func cmdPredict(args []string) {
 		fatal(fmt.Errorf("unknown corpus program %q", *program))
 	}
 	model := loadModel(*modelPath)
-	data := analyzeCorpus([]corpus.Entry{e})[0]
+	data := analyzeCorpus([]corpus.Entry{e}, cache())[0]
 	pred := &core.Predictor{Model: model}
 	miss := heuristics.MissRate(data.Sites, data.Profile, pred)
 	aphc := heuristics.MissRate(data.Sites, data.Profile, heuristics.NewAPHC())
@@ -169,8 +191,9 @@ func cmdRules(args []string) {
 
 func cmdEval(args []string) {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	cache := cacheFlags(fs)
 	mustParse(fs, args)
-	data := analyzeCorpus(corpus.Study())
+	data := analyzeCorpus(corpus.Study(), cache())
 	t := stats.NewTable("Program", "BTFNT", "APHC", "Perfect")
 	for _, pd := range data {
 		t.Row(pd.Name,

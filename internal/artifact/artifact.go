@@ -1,0 +1,231 @@
+// Package artifact is a persistent, content-addressed cache for derived
+// program analyses. Profiling a corpus program is deterministic — the same
+// IR under the same interpreter configuration always produces the same
+// profile — so the (profile, feature vectors) pair can be stored on disk
+// keyed by a hash of its inputs and reloaded by any later process, making
+// warm corpus analysis skip the interpreter entirely.
+//
+// A cache entry is one file, dir/<key>.espa:
+//
+//	magic "ESPA"
+//	format-version string   (length-prefixed; must equal FormatVersion)
+//	key hex string          (length-prefixed; must equal the file's name key)
+//	payload sha256          (32 bytes)
+//	payload                 (gob-encoded Record)
+//
+// Every field is verified on load and any mismatch — truncation, corruption,
+// a stale format version, a file renamed to the wrong key — is treated as a
+// cache miss, never an error: the caller recomputes and overwrites. Writes
+// go to a temp file in the cache directory which is synced and renamed into
+// place, so concurrent readers and a crash mid-write can observe only the
+// old entry, the new entry, or a miss — never a torn file.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+	"repro/internal/features"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// FormatVersion names the encoding of both the cache key and the payload.
+// Bump it whenever cached bytes could change meaning: the canonical IR
+// encoding (ir.AppendCanonical), the observable semantics of the
+// interpreter or feature extractor, or the Record/Profile/Vector types
+// themselves. A bump invalidates every existing entry (old files fail the
+// version check and recompute); forgetting one serves stale results.
+const FormatVersion = "espa-1"
+
+var magic = [4]byte{'E', 'S', 'P', 'A'}
+
+// Fault-injection sites: a fired load behaves as a miss, a fired store
+// drops the write. Both are invisible to correctness — the cache is an
+// optimization — which is exactly what the chaos tests assert.
+var (
+	siteLoad  = faultinject.Register("artifact.load")
+	siteStore = faultinject.Register("artifact.store")
+)
+
+// Record is the cached analysis of one program: everything core.Analyze
+// derives from executing it, minus what is recomputed from the IR on a hit
+// (the site structures, which hold pointers into the live program).
+type Record struct {
+	Profile *interp.Profile
+	Vectors []features.Vector
+}
+
+// Cache is an open cache directory. The zero value is not usable; a nil
+// *Cache is valid everywhere and never hits, so "no cache" needs no
+// branching at call sites.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// DefaultDir resolves a cache directory from an explicit flag value, the
+// ESPCACHE_DIR environment variable, or the default ".espcache", in that
+// order.
+func DefaultDir(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if env := os.Getenv("ESPCACHE_DIR"); env != "" {
+		return env
+	}
+	return ".espcache"
+}
+
+// Key returns the content address of one analysis: sha256 over the format
+// version, the canonical IR bytes, and every Config field that can alter
+// execution, in fully-defaulted (Canonical) form so a zero config and an
+// explicit-default config address the same entry.
+func Key(prog *ir.Program, cfg interp.Config) string {
+	h := sha256.New()
+	io.WriteString(h, FormatVersion)
+	h.Write([]byte{0})
+	h.Write(ir.AppendCanonical(nil, prog))
+	c := cfg.Canonical()
+	fmt.Fprintf(h, "\x00seed=%d maxinsns=%d memwords=%d depth=%d edges=%t input=%v",
+		c.Seed, c.MaxInsns, c.MemWords, c.MaxCallDepth, c.CollectEdges, c.Input)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".espa")
+}
+
+// Load returns the record stored under key, or ok=false on any kind of
+// miss: absent, truncated, corrupt, stale version, or mis-keyed files all
+// recompute rather than error.
+func (c *Cache) Load(key string) (*Record, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if faultinject.Fire(siteLoad) != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := verify(data, key)
+	if !ok {
+		return nil, false
+	}
+	var rec Record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, false
+	}
+	if rec.Profile == nil {
+		return nil, false
+	}
+	return &rec, true
+}
+
+// Store writes the record under key atomically. A failed store leaves no
+// partial entry; the error is reported so callers can warn, but correctness
+// never depends on it.
+func (c *Cache) Store(key string, rec *Record) error {
+	if c == nil {
+		return nil
+	}
+	if err := faultinject.Fire(siteStore); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("artifact: encode: %w", err)
+	}
+	data := encodeFile(key, payload.Bytes())
+
+	tmp, err := os.CreateTemp(c.dir, ".espa-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+func encodeFile(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	b := append([]byte(nil), magic[:]...)
+	b = appendLenPrefixed(b, []byte(FormatVersion))
+	b = appendLenPrefixed(b, []byte(key))
+	b = append(b, sum[:]...)
+	return append(b, payload...)
+}
+
+func appendLenPrefixed(b, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// verify checks magic, version, key echo, and payload checksum, returning
+// the payload bytes when everything matches.
+func verify(data []byte, key string) ([]byte, bool) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, false
+	}
+	rest := data[len(magic):]
+	version, rest, ok := readLenPrefixed(rest)
+	if !ok || string(version) != FormatVersion {
+		return nil, false
+	}
+	gotKey, rest, ok := readLenPrefixed(rest)
+	if !ok || string(gotKey) != key {
+		return nil, false
+	}
+	if len(rest) < sha256.Size {
+		return nil, false
+	}
+	payload := rest[sha256.Size:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], rest[:sha256.Size]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+func readLenPrefixed(b []byte) (s, rest []byte, ok bool) {
+	n, width := binary.Uvarint(b)
+	if width <= 0 || n > uint64(len(b)-width) {
+		return nil, nil, false
+	}
+	return b[width : width+int(n)], b[width+int(n):], true
+}

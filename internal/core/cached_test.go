@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+)
+
+// A cache hit must be bit-identical to a fresh Analyze — same profile
+// counts, same vectors, same rebuilt sites — and must not run the
+// interpreter at all.
+func TestAnalyzeCachedBitIdentical(t *testing.T) {
+	e, ok := corpus.ByName("bc")
+	if !ok {
+		t.Fatal("no corpus program bc")
+	}
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Analyze(prog, e.Language, e.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := AnalyzeCached(cache, prog, e.Language, e.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Profile, fresh.Profile) || !reflect.DeepEqual(cold.Vectors, fresh.Vectors) {
+		t.Fatal("cold cached analysis differs from plain Analyze")
+	}
+
+	before := interp.TotalRuns()
+	warm, err := AnalyzeCached(cache, prog, e.Language, e.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := interp.TotalRuns() - before; got != 0 {
+		t.Fatalf("warm analysis ran the interpreter %d times", got)
+	}
+	if !reflect.DeepEqual(warm.Profile, fresh.Profile) || !reflect.DeepEqual(warm.Vectors, fresh.Vectors) {
+		t.Fatal("warm cached analysis differs from plain Analyze")
+	}
+	if len(warm.Sites.Sites) != len(fresh.Sites.Sites) {
+		t.Fatal("warm sites not rebuilt")
+	}
+
+	// The warm result must train identically: Examples feed the classifier.
+	if !reflect.DeepEqual(warm.Examples(), fresh.Examples()) {
+		t.Fatal("warm examples differ")
+	}
+}
+
+// A config change must miss (and re-trace) rather than serve the wrong
+// profile.
+func TestAnalyzeCachedConfigMiss(t *testing.T) {
+	e, _ := corpus.ByName("bc")
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeCached(cache, prog, e.Language, e.RunConfig()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.RunConfig()
+	cfg.Seed += 99
+	before := interp.TotalRuns()
+	if _, err := AnalyzeCached(cache, prog, e.Language, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if interp.TotalRuns() == before {
+		t.Fatal("changed config served from cache")
+	}
+}

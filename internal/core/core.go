@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/artifact"
 	"repro/internal/features"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -43,6 +44,41 @@ func Analyze(prog *ir.Program, lang ir.Language, runCfg interp.Config) (*Program
 		Vectors:  features.ExtractAll(ps),
 		Profile:  prof,
 	}, nil
+}
+
+// AnalyzeCached is Analyze backed by a persistent artifact cache: the
+// expensive profiling run (and feature-vector extraction) is skipped when
+// the cache holds an entry for this exact program and configuration. Site
+// structures hold pointers into the live IR, so they are rebuilt from prog
+// on every path; a hit is bit-identical to a fresh Analyze because both the
+// profile and the vectors are pure functions of (prog, runCfg). A nil cache
+// degrades to plain Analyze, and a failed store is ignored — the cache is
+// an optimization, never a correctness dependency.
+func AnalyzeCached(cache *artifact.Cache, prog *ir.Program, lang ir.Language, runCfg interp.Config) (*ProgramData, error) {
+	if cache == nil {
+		return Analyze(prog, lang, runCfg)
+	}
+	key := artifact.Key(prog, runCfg)
+	if rec, ok := cache.Load(key); ok {
+		ps := features.Collect(prog)
+		if len(rec.Vectors) == len(ps.Sites) {
+			return &ProgramData{
+				Name:     prog.Name,
+				Language: lang,
+				Prog:     prog,
+				Sites:    ps,
+				Vectors:  rec.Vectors,
+				Profile:  rec.Profile,
+			}, nil
+		}
+	}
+	pd, err := Analyze(prog, lang, runCfg)
+	if err != nil {
+		return nil, err
+	}
+	// Best effort: a full disk or injected fault costs only the warm start.
+	_ = cache.Store(key, &artifact.Record{Profile: pd.Profile, Vectors: pd.Vectors})
+	return pd, nil
 }
 
 // Example is one training observation: a static feature vector with the

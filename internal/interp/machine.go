@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/guard"
 	"repro/internal/ir"
@@ -34,6 +36,22 @@ const (
 	DefaultMaxCallDepth = 4096
 )
 
+// Canonical returns the configuration with every zero field replaced by its
+// default, so two configurations that run identically compare (and hash)
+// identically. The artifact cache keys on this form.
+func (c Config) Canonical() Config {
+	if c.MaxInsns == 0 {
+		c.MaxInsns = DefaultMaxInsns
+	}
+	if c.MemWords == 0 {
+		c.MemWords = DefaultMemWords
+	}
+	if c.MaxCallDepth == 0 {
+		c.MaxCallDepth = DefaultMaxCallDepth
+	}
+	return c
+}
+
 // Execution errors. The budget-class errors (fuel, stack, heap, call depth)
 // wrap guard.ErrBudgetExceeded, so a caller running untrusted programs can
 // classify "the program exceeded its configured resource budget" with one
@@ -51,11 +69,51 @@ var (
 	ErrBadRuntime = errors.New("interp: unknown runtime intrinsic")
 )
 
+// totalRuns counts completed Run/RunReference invocations process-wide. The
+// artifact-cache tests use it to prove that a warm run performs zero
+// interpreter traces.
+var totalRuns atomic.Int64
+
+// TotalRuns returns the number of interpreter executions started by this
+// process (both the micro-op and the reference path).
+func TotalRuns() int64 { return totalRuns.Load() }
+
+// memBuf is a pooled word memory plus the dirty watermarks recorded when its
+// previous execution released it: every word the program wrote lies in
+// [1, loDirty) or [hiDirty, len) (stores below heapTop advance loDirty,
+// stack-side stores lower hiDirty; word 0 is never written). Reuse only has
+// to zero those two stripes instead of the whole default 16 MiB array, which
+// on the corpus programs is a small fraction of it.
+type memBuf struct {
+	w                []int64
+	loDirty, hiDirty int64
+}
+
+var memPool sync.Pool
+
+// getMem returns a zeroed word memory of the requested size, reusing a
+// pooled buffer when one of the same size is available.
+func getMem(n int64) ([]int64, *memBuf) {
+	if v := memPool.Get(); v != nil {
+		b := v.(*memBuf)
+		if int64(len(b.w)) == n {
+			clear(b.w[1:b.loDirty])
+			clear(b.w[b.hiDirty:])
+			return b.w, b
+		}
+	}
+	b := &memBuf{w: make([]int64, n)}
+	return b.w, b
+}
+
 // machine is one execution of a program.
 type machine struct {
 	prog    *ir.Program
 	cfg     Config
 	mem     []int64
+	buf     *memBuf
+	loDirty int64 // all heap-side writes so far are below this
+	hiDirty int64 // all stack-side writes so far are at or above this
 	heapPtr int64 // bump allocator cursor
 	heapTop int64 // stack/heap collision guard: stack may not descend below
 	rng     uint64
@@ -63,74 +121,52 @@ type machine struct {
 	prof    *Profile
 	depth   int
 
-	funcs    map[string]*funcImage
-	funcList []*funcImage
+	// globals maps each global symbol to its resolved base address; kept
+	// for image building on both paths.
+	globals map[string]int64
+
 	// counts/refs are the dense branch profile: every static conditional
-	// branch site gets a slot at image-build time, and the dispatch loop
-	// counts straight into the slot — no map lookups on the hot path. The
-	// Profile's Branches map is materialized from these once, at run end.
+	// branch site gets a slot at image-build time, and the dispatch loops
+	// (micro-op and reference) count straight into the same slots — no map
+	// lookups on the hot path. The Profile's Branches map is materialized
+	// from these once, at run end.
 	counts []BranchCount
 	refs   []ir.BranchRef
+	slotOf map[ir.BranchRef]int32
+
+	// Reference-path images (built by RunReference, or lazily by the
+	// micro-op path when an activation switches to the reference loop to
+	// reproduce an exact out-of-fuel error point).
+	funcs    map[string]*funcImage
+	funcList []*funcImage
+
+	// Micro-op images (built by Run).
+	ufuncs []*uimage
+	umain  *uimage
 }
 
-// funcImage is a function pre-resolved for dispatch: every symbolic operand
-// (block IDs, global symbols, callee names) is rewritten to a dense index so
-// the interpreter loop never consults a map.
-type funcImage struct {
-	fn     *ir.Func
-	blocks []blockImage
-}
-
-// blockImage carries the per-instruction resolved operands of one block.
-// aux is indexed by pc and its meaning depends on the opcode there:
-//
-//	conditional branch → branch-count slot (high 32 bits) | taken-target
-//	                     block index (low 32 bits)
-//	OpBr               → target block index
-//	OpJmp              → index into jmp, the resolved target table
-//	OpBsr              → callee index into machine.funcList, -1 if unknown
-//	OpLda              → global base + immediate, or unknownSym
-//
-// aux stays nil for blocks with none of these opcodes.
-type blockImage struct {
-	aux []int64
-	jmp [][]int32
-}
-
-// unknownSym marks an OpLda/OpBsr operand that did not resolve at image-build
-// time; executing it reports the same error the unresolved lookup used to.
-const unknownSym = math.MinInt64
-
-// Run executes the program's main function under the given configuration and
-// returns the collected profile.
-func Run(p *ir.Program, cfg Config) (*Profile, error) {
-	if cfg.MaxInsns == 0 {
-		cfg.MaxInsns = DefaultMaxInsns
-	}
-	if cfg.MemWords == 0 {
-		cfg.MemWords = DefaultMemWords
-	}
-	if cfg.MaxCallDepth == 0 {
-		cfg.MaxCallDepth = DefaultMaxCallDepth
-	}
+// newMachine applies configuration defaults, lays out globals, and assigns
+// the dense branch-count slots shared by both execution paths.
+func newMachine(p *ir.Program, cfg Config) *machine {
+	cfg = cfg.Canonical()
 	m := &machine{
-		prog:  p,
-		cfg:   cfg,
-		mem:   make([]int64, cfg.MemWords),
-		rng:   cfg.Seed*2862933555777941757 + 3037000493,
-		fuel:  cfg.MaxInsns,
-		funcs: make(map[string]*funcImage, len(p.Funcs)),
+		prog:   p,
+		cfg:    cfg,
+		rng:    cfg.Seed*2862933555777941757 + 3037000493,
+		fuel:   cfg.MaxInsns,
+		slotOf: make(map[ir.BranchRef]int32),
 	}
+	m.mem, m.buf = getMem(cfg.MemWords)
 	m.prof = &Profile{Program: p.Name}
 	if cfg.CollectEdges {
 		m.prof.Edges = make(map[EdgeRef]int64)
 	}
 	// Lay out globals starting at word 1 (0 stays null).
-	globals := make(map[string]int64, len(p.Globals))
+	m.globals = make(map[string]int64, len(p.Globals))
 	base := int64(1)
 	for i := range p.Globals {
 		g := &p.Globals[i]
-		globals[g.Name] = base
+		m.globals[g.Name] = base
 		for j, v := range g.Init {
 			if base+int64(j) < cfg.MemWords {
 				m.mem[base+int64(j)] = v
@@ -145,18 +181,63 @@ func Run(p *ir.Program, cfg Config) (*Profile, error) {
 	if m.heapTop < m.heapPtr {
 		m.heapTop = m.heapPtr
 	}
-	m.buildImages(globals)
-	mainFn := m.funcs["main"]
-	if mainFn == nil {
-		return nil, ErrNoMain
+	// The global-initializer writes above are the run's initial dirty stripe.
+	m.loDirty = min(max(base, 1), cfg.MemWords)
+	m.hiDirty = cfg.MemWords
+	// Every static branch site gets a slot up front (so StaticSites covers
+	// never-executed branches), in deterministic function/layout order.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Branch() != nil {
+				m.slot(ir.BranchRef{Func: f.Name, Block: b.ID})
+			}
+		}
 	}
-	var args [12]int64 // 6 int (A0..A5) + 6 float arg registers
-	ret, _, err := m.call(mainFn, args, cfg.MemWords)
-	if err != nil {
-		return nil, fmt.Errorf("interp: %s: %w", p.Name, err)
+	return m
+}
+
+// dirty records one written memory word in the watermarks. Stores below the
+// heap/stack boundary advance loDirty; stack-side stores lower hiDirty.
+func (m *machine) dirty(addr int64) {
+	if addr < m.heapTop {
+		if addr >= m.loDirty {
+			m.loDirty = addr + 1
+		}
+	} else if addr < m.hiDirty {
+		m.hiDirty = addr
 	}
+}
+
+// release returns the word memory to the pool with its final dirty
+// watermarks. Called exactly once per execution, success or error.
+func (m *machine) release() {
+	if m.buf == nil {
+		return
+	}
+	m.buf.loDirty = m.loDirty
+	m.buf.hiDirty = m.hiDirty
+	m.mem = nil
+	memPool.Put(m.buf)
+	m.buf = nil
+}
+
+// slot returns the dense count index for a branch site, allocating one the
+// first time the site is seen.
+func (m *machine) slot(ref ir.BranchRef) int32 {
+	s, ok := m.slotOf[ref]
+	if !ok {
+		s = int32(len(m.counts))
+		m.slotOf[ref] = s
+		m.refs = append(m.refs, ref)
+		m.counts = append(m.counts, BranchCount{})
+	}
+	return s
+}
+
+// finish materializes the Profile from the dense counters.
+func (m *machine) finish(ret int64) *Profile {
 	m.prof.Result = ret
-	m.prof.Insns = cfg.MaxInsns - m.fuel
+	m.prof.Insns = m.cfg.MaxInsns - m.fuel
 	m.prof.Branches = make(map[ir.BranchRef]*BranchCount, len(m.refs))
 	for i, ref := range m.refs {
 		c := &m.counts[i]
@@ -164,283 +245,49 @@ func Run(p *ir.Program, cfg Config) (*Profile, error) {
 		m.prof.CondExec += c.Executed
 		m.prof.CondTaken += c.Taken
 	}
-	return m.prof, nil
+	return m.prof
 }
 
-// buildImages pre-resolves every function for dispatch and assigns the dense
-// branch-count slots. Every static branch site gets a slot (so StaticSites
-// covers never-executed branches); symbol resolution errors are deferred to
-// execution via unknownSym sentinels so unreachable bad code stays harmless,
-// as before.
-func (m *machine) buildImages(globals map[string]int64) {
-	p := m.prog
-	m.funcList = make([]*funcImage, 0, len(p.Funcs))
-	fidx := make(map[string]int, len(p.Funcs))
-	for _, f := range p.Funcs {
-		fi := &funcImage{fn: f, blocks: make([]blockImage, len(f.Blocks))}
-		fidx[f.Name] = len(m.funcList)
-		m.funcList = append(m.funcList, fi)
-		m.funcs[f.Name] = fi
+// Run executes the program's main function under the given configuration and
+// returns the collected profile. It dispatches over the pre-decoded micro-op
+// stream; RunReference retains the original per-instruction interpreter, and
+// the two are bit-identical in every observable way (profiles, edges,
+// results, outputs, and error points).
+func Run(p *ir.Program, cfg Config) (*Profile, error) {
+	totalRuns.Add(1)
+	m := newMachine(p, cfg)
+	defer m.release()
+	m.buildUImages()
+	if m.umain == nil {
+		return nil, ErrNoMain
 	}
-	slotOf := make(map[ir.BranchRef]int32)
-	slot := func(ref ir.BranchRef) int32 {
-		s, ok := slotOf[ref]
-		if !ok {
-			s = int32(len(m.counts))
-			slotOf[ref] = s
-			m.refs = append(m.refs, ref)
-			m.counts = append(m.counts, BranchCount{})
-		}
-		return s
+	var args [12]int64 // 6 int (A0..A5) + 6 float arg registers
+	ret, _, err := m.callU(m.umain, args, m.cfg.MemWords)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %s: %w", p.Name, err)
 	}
-	for _, f := range p.Funcs {
-		for _, b := range f.Blocks {
-			if b.Branch() != nil {
-				slot(ir.BranchRef{Func: f.Name, Block: b.ID})
-			}
-		}
-	}
-	for _, fi := range m.funcList {
-		f := fi.fn
-		idToIdx := make(map[int]int, len(f.Blocks))
-		for i, b := range f.Blocks {
-			idToIdx[b.ID] = i
-		}
-		for bi := range f.Blocks {
-			b := f.Blocks[bi]
-			blk := &fi.blocks[bi]
-			ensure := func() []int64 {
-				if blk.aux == nil {
-					blk.aux = make([]int64, len(b.Insns))
-				}
-				return blk.aux
-			}
-			for pc := range b.Insns {
-				in := &b.Insns[pc]
-				switch {
-				case in.Op.IsCondBranch():
-					s := slot(ir.BranchRef{Func: f.Name, Block: b.ID})
-					ensure()[pc] = int64(s)<<32 |
-						int64(uint32(int32(idToIdx[in.Target])))
-				case in.Op == ir.OpBr:
-					ensure()[pc] = int64(idToIdx[in.Target])
-				case in.Op == ir.OpJmp:
-					tg := make([]int32, len(in.Targets))
-					for i, id := range in.Targets {
-						tg[i] = int32(idToIdx[id])
-					}
-					ensure()[pc] = int64(len(blk.jmp))
-					blk.jmp = append(blk.jmp, tg)
-				case in.Op == ir.OpBsr:
-					if i, ok := fidx[in.Sym]; ok {
-						ensure()[pc] = int64(i)
-					} else {
-						ensure()[pc] = unknownSym
-					}
-				case in.Op == ir.OpLda:
-					if base, ok := globals[in.Sym]; ok {
-						ensure()[pc] = base + in.Imm
-					} else {
-						ensure()[pc] = unknownSym
-					}
-				}
-			}
-		}
-	}
+	return m.finish(ret), nil
 }
 
-// call executes one function activation. args holds the incoming A0..A5 and
-// FA0..FA5 register values; sp is the caller's stack pointer.
-func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, retFloat int64, err error) {
-	if m.depth++; m.depth > m.cfg.MaxCallDepth {
-		return 0, 0, ErrCallDepth
+// RunReference executes the program on the retained per-instruction
+// reference interpreter. It exists so differential tests (and any caller
+// that wants a second opinion) can check the micro-op path against the
+// original semantics; production callers use Run.
+func RunReference(p *ir.Program, cfg Config) (*Profile, error) {
+	totalRuns.Add(1)
+	m := newMachine(p, cfg)
+	defer m.release()
+	m.buildImages()
+	mainFn := m.funcs["main"]
+	if mainFn == nil {
+		return nil, ErrNoMain
 	}
-	defer func() { m.depth-- }()
-
-	var regs [ir.NumRegs]int64
-	for i := 0; i < 6; i++ {
-		regs[int(ir.RegA0)+i] = args[i]
-		regs[int(ir.RegFA0)+i] = args[6+i]
+	var args [12]int64
+	ret, _, err := m.call(mainFn, args, m.cfg.MemWords)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %s: %w", p.Name, err)
 	}
-	sp -= fi.fn.FrameSize
-	if sp < m.heapTop {
-		return 0, 0, ErrStack
-	}
-	regs[ir.RegSP] = sp
-
-	fn := fi.fn
-	blockIdx := 0
-	for {
-		b := fn.Blocks[blockIdx]
-		bim := &fi.blocks[blockIdx]
-		nextIdx := blockIdx + 1 // default: fall through in layout order
-		fell := true
-		for pc := 0; pc < len(b.Insns); pc++ {
-			in := &b.Insns[pc]
-			if m.fuel--; m.fuel < 0 {
-				return 0, 0, ErrFuel
-			}
-			// Reads of the zero registers always see zero.
-			regs[ir.RegZero] = 0
-			regs[ir.RegFZero] = 0
-			switch in.Op {
-			case ir.OpAddQ, ir.OpSubQ, ir.OpMulQ, ir.OpDivQ, ir.OpRemQ,
-				ir.OpAndQ, ir.OpOrQ, ir.OpXorQ, ir.OpSllQ, ir.OpSrlQ,
-				ir.OpCmpEq, ir.OpCmpLt, ir.OpCmpLe:
-				bval := regs[in.B]
-				if in.UseImm {
-					bval = in.Imm
-				}
-				v, derr := intALU(in.Op, regs[in.A], bval)
-				if derr != nil {
-					return 0, 0, derr
-				}
-				regs[in.Dst] = v
-			case ir.OpLdiQ:
-				regs[in.Dst] = in.Imm
-			case ir.OpLda:
-				addr := bim.aux[pc]
-				if addr == unknownSym {
-					return 0, 0, fmt.Errorf("interp: unknown global %q", in.Sym)
-				}
-				regs[in.Dst] = addr
-			case ir.OpMov, ir.OpFMov:
-				regs[in.Dst] = regs[in.A]
-			case ir.OpCmovEq:
-				if regs[in.A] == 0 {
-					regs[in.Dst] = regs[in.B]
-				}
-			case ir.OpCmovNe:
-				if regs[in.A] != 0 {
-					regs[in.Dst] = regs[in.B]
-				}
-			case ir.OpFCmovEq:
-				if math.Float64frombits(uint64(regs[in.A])) == 0 {
-					regs[in.Dst] = regs[in.B]
-				}
-			case ir.OpFCmovNe:
-				if math.Float64frombits(uint64(regs[in.A])) != 0 {
-					regs[in.Dst] = regs[in.B]
-				}
-			case ir.OpLdq, ir.OpLdt:
-				addr := regs[in.A] + in.Imm
-				if addr < 0 || addr >= int64(len(m.mem)) {
-					return 0, 0, fmt.Errorf("%w: load at %d in %s", ErrMemBounds, addr, fn.Name)
-				}
-				regs[in.Dst] = m.mem[addr]
-			case ir.OpStq, ir.OpStt:
-				addr := regs[in.A] + in.Imm
-				if addr <= 0 || addr >= int64(len(m.mem)) {
-					return 0, 0, fmt.Errorf("%w: store at %d in %s", ErrMemBounds, addr, fn.Name)
-				}
-				m.mem[addr] = regs[in.B]
-			case ir.OpAddT, ir.OpSubT, ir.OpMulT, ir.OpDivT:
-				a := math.Float64frombits(uint64(regs[in.A]))
-				bv := math.Float64frombits(uint64(regs[in.B]))
-				var r float64
-				switch in.Op {
-				case ir.OpAddT:
-					r = a + bv
-				case ir.OpSubT:
-					r = a - bv
-				case ir.OpMulT:
-					r = a * bv
-				case ir.OpDivT:
-					r = a / bv
-				}
-				regs[in.Dst] = int64(math.Float64bits(r))
-			case ir.OpFAbs:
-				a := math.Float64frombits(uint64(regs[in.A]))
-				regs[in.Dst] = int64(math.Float64bits(math.Abs(a)))
-			case ir.OpFNeg:
-				a := math.Float64frombits(uint64(regs[in.A]))
-				regs[in.Dst] = int64(math.Float64bits(-a))
-			case ir.OpLdiT:
-				regs[in.Dst] = in.Imm
-			case ir.OpCvtQT:
-				regs[in.Dst] = int64(math.Float64bits(float64(regs[in.A])))
-			case ir.OpCvtTQ:
-				regs[in.Dst] = int64(math.Float64frombits(uint64(regs[in.A])))
-			case ir.OpCmpTEq, ir.OpCmpTLt, ir.OpCmpTLe:
-				a := math.Float64frombits(uint64(regs[in.A]))
-				bv := math.Float64frombits(uint64(regs[in.B]))
-				var cond bool
-				switch in.Op {
-				case ir.OpCmpTEq:
-					cond = a == bv
-				case ir.OpCmpTLt:
-					cond = a < bv
-				case ir.OpCmpTLe:
-					cond = a <= bv
-				}
-				r := 0.0
-				if cond {
-					r = 1.0
-				}
-				regs[in.Dst] = int64(math.Float64bits(r))
-			case ir.OpBeq, ir.OpBne, ir.OpBlt, ir.OpBle, ir.OpBgt, ir.OpBge,
-				ir.OpFbeq, ir.OpFbne, ir.OpFblt, ir.OpFble, ir.OpFbgt, ir.OpFbge,
-				ir.OpBeq2, ir.OpBne2:
-				a := bim.aux[pc]
-				bc := &m.counts[int32(a>>32)]
-				bc.Executed++
-				if branchTaken(in, regs[:]) {
-					bc.Taken++
-					nextIdx = int(int32(uint32(a)))
-				}
-				fell = false
-				goto endBlock
-			case ir.OpBr:
-				nextIdx = int(bim.aux[pc])
-				fell = false
-				goto endBlock
-			case ir.OpJmp:
-				tgts := bim.jmp[bim.aux[pc]]
-				idx := regs[in.A]
-				if idx < 0 || idx >= int64(len(tgts)) {
-					return 0, 0, ErrBadJump
-				}
-				nextIdx = int(tgts[idx])
-				fell = false
-				goto endBlock
-			case ir.OpBsr:
-				ci := bim.aux[pc]
-				if ci == unknownSym {
-					return 0, 0, fmt.Errorf("interp: call to unknown function %q", in.Sym)
-				}
-				callee := m.funcList[ci]
-				var cargs [12]int64
-				for i := 0; i < 6; i++ {
-					cargs[i] = regs[int(ir.RegA0)+i]
-					cargs[6+i] = regs[int(ir.RegFA0)+i]
-				}
-				ri, rf, cerr := m.call(callee, cargs, sp)
-				if cerr != nil {
-					return 0, 0, cerr
-				}
-				regs[ir.RegV0] = ri
-				regs[ir.RegFV0] = rf
-			case ir.OpRet:
-				return regs[ir.RegV0], regs[ir.RegFV0], nil
-			case ir.OpRtcall:
-				if rerr := m.runtime(in.Imm, regs[:]); rerr != nil {
-					return 0, 0, rerr
-				}
-			default:
-				return 0, 0, fmt.Errorf("interp: unimplemented opcode %s", in.Op)
-			}
-		}
-	endBlock:
-		if fell && blockIdx+1 >= len(fn.Blocks) {
-			return 0, 0, fmt.Errorf("interp: %s: control fell off the end", fn.Name)
-		}
-		if m.prof.Edges != nil {
-			from := fn.Blocks[blockIdx].ID
-			to := fn.Blocks[nextIdx].ID
-			m.prof.Edges[EdgeRef{Func: fn.Name, From: from, To: to}]++
-		}
-		blockIdx = nextIdx
-	}
+	return m.finish(ret), nil
 }
 
 // branchTaken evaluates a conditional branch against the register file.

@@ -1,0 +1,68 @@
+package ir
+
+import "encoding/binary"
+
+// AppendCanonical appends a deterministic binary encoding of the program to
+// b and returns the extended slice. Two programs encode to the same bytes
+// iff every semantic field — function order, block layout, opcodes,
+// operands, immediates, symbols, jump tables, globals and their
+// initializers — is identical, so the encoding is a stable content address
+// for caching derived artifacts (see internal/artifact). It is an encoding
+// only: nothing decodes it, so adding an IR field here is a compatible
+// change as long as artifact.FormatVersion is bumped with it.
+func AppendCanonical(b []byte, p *Program) []byte {
+	b = appendString(b, p.Name)
+	b = binary.AppendUvarint(b, uint64(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		b = appendString(b, f.Name)
+		b = appendString(b, string(f.Language))
+		b = binary.AppendVarint(b, int64(f.NIntArgs))
+		b = binary.AppendVarint(b, int64(f.NFltArgs))
+		b = binary.AppendVarint(b, f.FrameSize)
+		b = binary.AppendUvarint(b, uint64(len(f.Blocks)))
+		for _, blk := range f.Blocks {
+			b = binary.AppendVarint(b, int64(blk.ID))
+			b = binary.AppendUvarint(b, uint64(len(blk.Insns)))
+			for i := range blk.Insns {
+				in := &blk.Insns[i]
+				b = binary.AppendVarint(b, int64(in.Op))
+				b = append(b, byte(in.Dst), byte(in.A), byte(in.B))
+				b = binary.AppendVarint(b, in.Imm)
+				if in.UseImm {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+				b = appendString(b, in.Sym)
+				b = binary.AppendVarint(b, int64(in.Target))
+				b = binary.AppendUvarint(b, uint64(len(in.Targets)))
+				for _, t := range in.Targets {
+					b = binary.AppendVarint(b, int64(t))
+				}
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Globals)))
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		b = appendString(b, g.Name)
+		b = binary.AppendVarint(b, g.Size)
+		if g.Float {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, uint64(len(g.Init)))
+		for _, v := range g.Init {
+			b = binary.AppendVarint(b, v)
+		}
+	}
+	return b
+}
+
+// appendString appends a length-prefixed string; the prefix keeps adjacent
+// strings from aliasing each other ("ab"+"c" vs "a"+"bc").
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}

@@ -14,10 +14,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/codegen"
 	"repro/internal/faultinject"
 	"repro/internal/features"
 	"repro/internal/heuristics"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minic"
 )
@@ -164,6 +166,39 @@ func TestChaosMixedFaultsUnderLoad(t *testing.T) {
 		failed      atomic.Int64
 	)
 	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	// Artifact-cache traffic rides along so the artifact.load/store sites
+	// face the same chaos: an injected fault must degrade to a miss or a
+	// skipped write (an injected panic surfaces as *faultinject.Panicked),
+	// and a successful load must never observe a wrong record.
+	acache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := &artifact.Record{Profile: &interp.Profile{Program: "chaos", Insns: 1}}
+		step := func(f func()) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(*faultinject.Panicked); !ok {
+						panic(r)
+					}
+				}
+			}()
+			f()
+		}
+		for i := 0; i < 150; i++ {
+			step(func() { _ = acache.Store("cafe", rec) })
+			step(func() {
+				if got, ok := acache.Load("cafe"); ok && got.Profile.Program != "chaos" {
+					t.Error("artifact cache served a wrong record under chaos")
+				}
+			})
+		}
+	}()
+
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
