@@ -22,7 +22,7 @@ fmt-check:
 # the espserve batching worker pool, and concurrent artifact-cache
 # readers/writers).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs
 
 # chaos runs the fault-injection suite under the race detector: seeded
 # error/latency/panic faults at every registered site while concurrent

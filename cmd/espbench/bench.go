@@ -12,6 +12,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/experiments"
 	"repro/internal/features"
 	"repro/internal/minic"
 	"repro/internal/neural"
@@ -156,5 +157,31 @@ func runBenchSuite(selection, dir string) error {
 			name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
 			r.AllocedBytesPerOp(), r.AllocsPerOp(), benchFile(dir, name))
 	}
+	return nil
+}
+
+// runStages times the offline analysis pipeline per stage (compile, trace,
+// featurize, train) over the full study corpus, prints the table, and writes
+// BENCH_stages.json next to the micro-benchmark numbers. Unlike the
+// benchmarks above it runs each program once — the interest is the relative
+// cost split, not steady-state ns/op.
+func runStages(dir string, espCfg core.Config) error {
+	rep, err := experiments.AnalysisStages(corpus.Study(), espCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Render())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	out := benchFile(dir, "stages")
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("per-stage timings -> %s\n", out)
 	return nil
 }

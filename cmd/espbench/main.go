@@ -39,6 +39,7 @@ func main() {
 	hidden := flag.Int("hidden", 0, "override ESP hidden-layer width")
 	seed := flag.Uint64("seed", 0, "override ESP training seed")
 	bench := flag.String("bench", "", "run micro-benchmarks (comma-separated names or \"all\") instead of experiments")
+	stages := flag.Bool("stages", false, "time the analysis pipeline per stage (compile/trace/featurize/train) and write BENCH_stages.json")
 	benchout := flag.String("benchout", ".", "directory for BENCH_<name>.json files")
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default $ESPCACHE_DIR, else .espcache)")
 	noCache := flag.Bool("no-cache", false, "disable the persistent analysis cache")
@@ -75,6 +76,13 @@ func main() {
 
 	if *bench != "" {
 		if err := runBenchSuite(*bench, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *stages {
+		if err := runStages(*benchout, core.Config{Hidden: *hidden, Seed: *seed}); err != nil {
 			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers profiling handlers on the -pprof-addr mux
@@ -64,6 +65,12 @@ func run(args []string) error {
 	noCache := fs.Bool("no-cache", false, "disable the persistent analysis cache for -train")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof on this address (off when empty; bind to localhost)")
+	accessLog := fs.String("access-log", "",
+		"write sampled request traces as JSON lines to this file (\"-\" for stdout; off when empty)")
+	traceSample := fs.Float64("trace-sample", 0.01,
+		"fraction of request traces written to -access-log (0 disables, 1 logs every request)")
+	traceRing := fs.Int("trace-ring", 0,
+		"completed request traces kept in memory for /debug/requests (default 256, -1 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +104,20 @@ func run(args []string) error {
 		}
 	}
 
+	var accessLogW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessLogW = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer f.Close()
+		accessLogW = f
+	}
+
 	s, err := serve.New(serve.Config{
 		Model:          model,
 		Workers:        *workers,
@@ -107,6 +128,9 @@ func run(args []string) error {
 		MaxParseDepth:  *maxParseDepth,
 		MaxCFGBlocks:   *maxCFGBlocks,
 		NoDegrade:      *noDegrade,
+		TraceRing:      *traceRing,
+		TraceSample:    *traceSample,
+		AccessLog:      accessLogW,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/interp"
+	"repro/internal/obs"
+)
+
+// StageStat summarizes one analysis stage's timing distribution, extracted
+// from the same log-bucketed histogram type the serving layer uses, so the
+// offline pipeline and the online service report latency in one vocabulary.
+type StageStat struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	MeanUS  float64 `json:"mean_us"`
+	P50US   float64 `json:"p50_us"`
+	P90US   float64 `json:"p90_us"`
+	P99US   float64 `json:"p99_us"`
+	TotalUS int64   `json:"total_us"`
+}
+
+// StageReport is the per-stage timing breakdown of a corpus analysis run:
+// where the wall time goes between compiling, tracing (the interpreter
+// profiling run), featurizing, and training.
+type StageReport struct {
+	Programs int         `json:"programs"`
+	Stages   []StageStat `json:"stages"`
+}
+
+// stageNames fixes the report order.
+var stageNames = []string{"compile", "trace", "featurize", "train"}
+
+// AnalysisStages runs the full offline pipeline over the given corpus
+// entries, timing each stage separately: compile (source to IR), trace (the
+// profiling interpreter run — the dominant cost), featurize (branch-site
+// collection and Table 2 feature extraction), and train (one model fit over
+// everything). It deliberately bypasses the artifact cache: the point is to
+// measure the stages, and a warm cache would hide the traced ones.
+func AnalysisStages(entries []corpus.Entry, espCfg core.Config) (*StageReport, error) {
+	hists := make(map[string]*obs.Histogram, len(stageNames))
+	for _, name := range stageNames {
+		hists[name] = &obs.Histogram{}
+	}
+	timed := func(stage string, f func() error) error {
+		start := time.Now()
+		err := f()
+		hists[stage].Observe(time.Since(start).Microseconds())
+		return err
+	}
+
+	data := make([]*core.ProgramData, 0, len(entries))
+	for _, e := range entries {
+		pd := &core.ProgramData{Name: e.Name, Language: e.Language}
+		err := timed("compile", func() (err error) {
+			pd.Prog, err = e.Compile(codegen.Default)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stages: compile %s: %w", e.Name, err)
+		}
+		err = timed("trace", func() (err error) {
+			pd.Profile, err = interp.Run(pd.Prog, e.RunConfig())
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stages: trace %s: %w", e.Name, err)
+		}
+		_ = timed("featurize", func() error {
+			pd.Sites = features.Collect(pd.Prog)
+			pd.Vectors = features.ExtractAll(pd.Sites)
+			return nil
+		})
+		data = append(data, pd)
+	}
+	_ = timed("train", func() error {
+		core.Train(data, espCfg)
+		return nil
+	})
+
+	rep := &StageReport{Programs: len(entries)}
+	for _, name := range stageNames {
+		s := hists[name].Snapshot()
+		rep.Stages = append(rep.Stages, StageStat{
+			Stage:   name,
+			Count:   s.Count,
+			MeanUS:  s.Mean(),
+			P50US:   s.Quantile(0.5),
+			P90US:   s.Quantile(0.9),
+			P99US:   s.Quantile(0.99),
+			TotalUS: s.Sum,
+		})
+	}
+	return rep, nil
+}
+
+// Render formats the report as an aligned table, one row per stage.
+func (r *StageReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-stage analysis timings (%d programs)\n", r.Programs)
+	fmt.Fprintf(&b, "%-10s %6s %12s %12s %12s %12s %12s\n",
+		"stage", "n", "mean", "p50", "p90", "p99", "total")
+	for _, s := range r.Stages {
+		fmt.Fprintf(&b, "%-10s %6d %12s %12s %12s %12s %12s\n",
+			s.Stage, s.Count,
+			fmtMicros(s.MeanUS), fmtMicros(s.P50US), fmtMicros(s.P90US),
+			fmtMicros(s.P99US), fmtMicros(float64(s.TotalUS)))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// fmtMicros renders a microsecond quantity at a human scale.
+func fmtMicros(us float64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// TestAnalysisStages runs the per-stage timing pipeline over a small corpus
+// slice and checks the report's shape: every stage present in order, one
+// observation per program for the per-program stages, exactly one for train,
+// and monotone quantiles.
+func TestAnalysisStages(t *testing.T) {
+	entries := corpus.Study()
+	if len(entries) > 3 {
+		entries = entries[:3]
+	}
+	rep, err := AnalysisStages(entries, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != len(entries) {
+		t.Errorf("Programs = %d, want %d", rep.Programs, len(entries))
+	}
+	if got, want := len(rep.Stages), len(stageNames); got != want {
+		t.Fatalf("%d stages, want %d", got, want)
+	}
+	for i, s := range rep.Stages {
+		if s.Stage != stageNames[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Stage, stageNames[i])
+		}
+		wantCount := int64(len(entries))
+		if s.Stage == "train" {
+			wantCount = 1
+		}
+		if s.Count != wantCount {
+			t.Errorf("%s: count %d, want %d", s.Stage, s.Count, wantCount)
+		}
+		if s.P50US > s.P90US || s.P90US > s.P99US {
+			t.Errorf("%s: quantiles not monotone: p50=%g p90=%g p99=%g",
+				s.Stage, s.P50US, s.P90US, s.P99US)
+		}
+		if s.TotalUS < 0 || s.MeanUS < 0 {
+			t.Errorf("%s: negative totals: total=%d mean=%g", s.Stage, s.TotalUS, s.MeanUS)
+		}
+	}
+
+	out := rep.Render()
+	for _, name := range stageNames {
+		if !strings.Contains(out, name) {
+			t.Errorf("Render() missing stage %q:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteHeader emits the # HELP / # TYPE preamble of one Prometheus metric
+// family. typ is "counter", "gauge", or "histogram".
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteHistogram emits the _bucket/_sum/_count series of one histogram in
+// Prometheus text exposition format. labels is the inner label list without
+// braces (e.g. `endpoint="predict"`), or "" for none; the le label is
+// appended to it per bucket. Bucket counts are cumulative and the +Inf
+// bucket equals _count, as the format requires.
+func WriteHistogram(w io.Writer, name, labels string, s Snapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < NumBuckets-1 {
+			le = strconv.FormatFloat(BucketBound(i), 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}

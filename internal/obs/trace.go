@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names used by the serving path. Kept here so the server, the tests,
+// and the docs agree on the vocabulary.
+const (
+	StageDecode    = "decode"     // request body read + JSON decode
+	StageAdmission = "admission"  // admission-control gate
+	StageCache     = "cache"      // compiled-program cache lookup (hit)
+	StageCompile   = "compile"    // parse + codegen on a cache miss
+	StageFeaturize = "featurize"  // feature collection / vector parsing
+	StageQueueWait = "queue-wait" // time between enqueue and worker pickup
+	StageForward   = "forward"    // batched model pass
+	StageEncode    = "encode"     // response JSON encode + write
+)
+
+// Span is one timed stage inside a request, with its start expressed as an
+// offset from the trace start so spans order naturally.
+type Span struct {
+	Stage   string `json:"stage"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Trace is the record of one request's trip through the pipeline. A trace
+// belongs to the goroutine serving its request and is not safe for
+// concurrent mutation; once handed to Recorder.Record it must be treated as
+// immutable. All methods are nil-receiver-safe so uninstrumented call sites
+// cost nothing.
+type Trace struct {
+	ID       string    `json:"id"`
+	Endpoint string    `json:"endpoint"`
+	Start    time.Time `json:"start"`
+	Status   int       `json:"status"`
+	DurUS    int64     `json:"dur_us"`
+	Spans    []Span    `json:"spans"`
+	Err      string    `json:"error,omitempty"`
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(endpoint, id string) *Trace {
+	return &Trace{ID: id, Endpoint: endpoint, Start: time.Now()}
+}
+
+// StartSpan opens a span and returns the closure that ends it.
+func (t *Trace) StartSpan(stage string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.AddSpan(stage, start, time.Since(start)) }
+}
+
+// AddSpan records an externally-timed span (e.g. queue wait measured by the
+// worker pool).
+func (t *Trace) AddSpan(stage string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{
+		Stage:   stage,
+		StartUS: start.Sub(t.Start).Microseconds(),
+		DurUS:   d.Microseconds(),
+	})
+}
+
+// SetStatus records the response status code.
+func (t *Trace) SetStatus(code int) {
+	if t != nil {
+		t.Status = code
+	}
+}
+
+// SetError records the terminal error, if any.
+func (t *Trace) SetError(err error) {
+	if t != nil && err != nil {
+		t.Err = err.Error()
+	}
+}
+
+// finish stamps the total duration.
+func (t *Trace) finish() {
+	if t != nil && t.DurUS == 0 {
+		t.DurUS = time.Since(t.Start).Microseconds()
+	}
+}
+
+type ctxKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil (whose methods no-op).
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// Recorder keeps the most recent completed traces in a bounded ring (served
+// at /debug/requests) and optionally emits a sampled subset as structured
+// JSON-lines access logs. A nil *Recorder is a valid no-op.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	full bool
+
+	seq    atomic.Uint64 // request-ID generator
+	logSeq atomic.Uint64 // sampling counter
+	every  uint64        // log every Nth trace; 0 = never
+
+	logMu sync.Mutex
+	logw  io.Writer
+}
+
+// NewRecorder builds a recorder with the given ring capacity (<= 0 disables
+// the ring), sampling fraction (0 disables the access log, 1 logs every
+// request; in between, every round(1/sample)-th request is logged), and log
+// destination (nil disables the access log regardless of sample).
+func NewRecorder(ringSize int, sample float64, logw io.Writer) *Recorder {
+	r := &Recorder{}
+	if ringSize > 0 {
+		r.ring = make([]*Trace, ringSize)
+	}
+	if logw != nil && sample > 0 {
+		if sample >= 1 {
+			r.every = 1
+		} else {
+			r.every = uint64(1/sample + 0.5)
+		}
+		r.logw = logw
+	}
+	return r
+}
+
+// NextID mints a process-unique request ID.
+func (r *Recorder) NextID() string {
+	if r == nil {
+		return ""
+	}
+	return fmt.Sprintf("r%06d", r.seq.Add(1))
+}
+
+// Record finalizes a completed trace, stores it in the ring (evicting the
+// oldest when full), and writes it as one JSON line when sampled.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	t.finish()
+	if r.ring != nil {
+		r.mu.Lock()
+		r.ring[r.next] = t
+		r.next++
+		if r.next == len(r.ring) {
+			r.next = 0
+			r.full = true
+		}
+		r.mu.Unlock()
+	}
+	if r.every > 0 && r.logSeq.Add(1)%r.every == 0 {
+		line, err := json.Marshal(t)
+		if err != nil {
+			return
+		}
+		line = append(line, '\n')
+		r.logMu.Lock()
+		_, _ = r.logw.Write(line)
+		r.logMu.Unlock()
+	}
+}
+
+// Snapshot returns the ring's traces, oldest first. The traces themselves
+// are shared (immutable after Record), the slice is the caller's.
+func (r *Recorder) Snapshot() []*Trace {
+	if r == nil || r.ring == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Trace
+	if r.full {
+		out = make([]*Trace, 0, len(r.ring))
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring[:r.next]...)
+	}
+	return out
+}

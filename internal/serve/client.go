@@ -6,11 +6,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
+)
+
+// Body-handling bounds: an error body is decoded through a limit so a
+// misbehaving server cannot balloon memory, and up to maxDrainBytes of
+// leftover body is drained before Close so the keep-alive connection goes
+// back to the transport's pool instead of being torn down — without the
+// drain, every retry dials a fresh connection.
+const (
+	maxErrorBodyBytes = 64 << 10
+	maxDrainBytes     = 256 << 10
 )
 
 // APIError is a terminal (non-retryable) HTTP failure from the service:
@@ -127,10 +138,15 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*PredictResponse, er
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain whatever the decoder left (bounded) so the connection is
+		// reusable, then close.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxDrainBytes))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
+		_ = json.NewDecoder(io.LimitReader(resp.Body, maxErrorBodyBytes)).Decode(&e)
 		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -103,6 +105,65 @@ func TestClientExhaustsAttempts(t *testing.T) {
 	}
 	if got := attempts.Load(); got != 3 {
 		t.Fatalf("%d attempts, want MaxAttempts=3", got)
+	}
+}
+
+// TestClientReusesConnectionAcrossRetries asserts the error-path body
+// handling keeps connections poolable: three failed attempts plus the
+// success must all ride one TCP connection. Without draining the error
+// bodies before Close, every retry dials fresh.
+func TestClientReusesConnectionAcrossRetries(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewUnstartedServer(flakyHandler(&attempts, []int{
+		http.StatusInternalServerError,
+		http.StatusServiceUnavailable,
+		http.StatusTooManyRequests,
+	}, "0"))
+	var conns atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	// A dedicated transport so other tests' pooled connections can't help.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	c := NewClient(ts.URL, ClientConfig{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 3,
+		HTTP: &http.Client{Transport: tr},
+	})
+	resp, err := c.Predict(context.Background(), &PredictRequest{ID: "x"})
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if resp.ID != "ok" || attempts.Load() != 4 {
+		t.Fatalf("resp %+v after %d attempts", resp, attempts.Load())
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("%d TCP connections for 4 attempts, want 1 (connections not reused)", got)
+	}
+}
+
+// TestClientBoundsErrorBody sends a huge error payload: the client must
+// surface the status without inhaling the whole body into the decoder.
+func TestClientBoundsErrorBody(t *testing.T) {
+	huge := strings.Repeat("x", 4<<20)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"` + huge + `"}`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 1, BaseDelay: time.Millisecond})
+	_, err := c.Predict(context.Background(), &PredictRequest{ID: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("error %v, want APIError 400", err)
+	}
+	if len(apiErr.Message) > maxErrorBodyBytes {
+		t.Errorf("error message %d bytes leaked past the %d-byte limit", len(apiErr.Message), maxErrorBodyBytes)
 	}
 }
 

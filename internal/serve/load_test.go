@@ -106,6 +106,48 @@ func TestLoadConcurrentClients(t *testing.T) {
 	}
 	t.Logf("admission control shed %d requests; all absorbed by client retries",
 		srv.metrics.shed.Load())
+
+	// One source submission so the trace ring also carries a compile span.
+	if resp, _ := postPredict(t, ts.URL, PredictRequest{Name: "chaos", Source: chaosSource}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("source predict: %d", resp.StatusCode)
+	}
+
+	// The observability acceptance check: after a load run the latency
+	// histograms hold real quantiles and the ring has per-stage spans for
+	// decode, compile, queue-wait, and forward.
+	p50 := srv.metrics.endpoint("predict").latency.Quantile(0.5)
+	p99 := srv.metrics.endpoint("predict").latency.Quantile(0.99)
+	if p50 <= 0 || p99 <= 0 || p99 < p50 {
+		t.Errorf("predict latency quantiles p50=%gµs p99=%gµs after load", p50, p99)
+	}
+	if srv.metrics.queueWait.Count() == 0 {
+		t.Error("queue-wait histogram empty after load")
+	}
+	// Traces land in the ring just after their response is written, so give
+	// the final compile trace a moment to arrive.
+	var stages map[string]bool
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		stages = map[string]bool{}
+		for _, tr := range srv.traces.Snapshot() {
+			for _, sp := range tr.Spans {
+				stages[sp.Stage] = true
+			}
+		}
+		if stages["decode"] && stages["compile"] && stages["queue-wait"] && stages["forward"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{"decode", "compile", "queue-wait", "forward"} {
+		if !stages[want] {
+			t.Errorf("no %q span recorded during the load run (saw %v)", want, stages)
+		}
+	}
+	t.Logf("predict latency p50=%.0fµs p99=%.0fµs over %d requests",
+		p50, p99, srv.metrics.endpoint("predict").requests.Load())
 }
 
 // TestGracefulDrainCompletesInflight asserts the SIGTERM contract: once a

@@ -5,56 +5,118 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // endpointStats is the per-endpoint counter block, updated atomically on
-// every request.
+// every request. The summed-latency counter from the first serving PR is
+// kept for name stability; the histogram behind it is what distinguishes a
+// p99 regression from noise.
 type endpointStats struct {
 	requests     atomic.Int64
 	errors       atomic.Int64 // 4xx/5xx responses
 	latencyMicro atomic.Int64 // summed wall time
+	latency      obs.Histogram
 }
 
 func (s *endpointStats) observe(micros int64, failed bool) {
 	s.requests.Add(1)
 	s.latencyMicro.Add(micros)
+	s.latency.Observe(micros)
 	if failed {
 		s.errors.Add(1)
 	}
 }
 
+// gauge is a read-on-scrape metric registered by a subsystem (the worker
+// pool reports queue depth/age and utilization this way).
+type gauge struct {
+	name, help string
+	fn         func() float64
+}
+
 // metrics aggregates the service counters exposed at /metrics.
 type metrics struct {
 	endpoints map[string]*endpointStats
+	fallback  *endpointStats // accounts requests to unregistered endpoint names
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
-	batches        atomic.Int64 // worker passes executed
-	batchedJobs    atomic.Int64 // jobs folded into those passes
-	predictedVecs  atomic.Int64 // feature vectors predicted
-	inflight       atomic.Int64
-	rejectedDrain  atomic.Int64 // requests refused because the server drains
-	timeoutsCancel atomic.Int64 // requests that hit their deadline
+	batches       atomic.Int64 // worker passes executed
+	batchedJobs   atomic.Int64 // jobs folded into those passes
+	predictedVecs atomic.Int64 // feature vectors predicted
+	inflight      atomic.Int64
+	rejectedDrain atomic.Int64 // requests refused because the server drains
+	timeouts      atomic.Int64 // requests that hit the server-side deadline
+	canceled      atomic.Int64 // requests whose client went away mid-flight
 
 	shed            atomic.Int64 // requests refused with 429 by admission control
 	degraded        atomic.Int64 // requests answered by the heuristic fallback
 	panicsRecovered atomic.Int64 // panics absorbed by middleware or workers
 	budgetRejects   atomic.Int64 // submissions rejected by compile resource budgets
+
+	queueWait obs.Histogram // enqueue-to-worker-pickup per job
+	gauges    []gauge       // registered before serving starts; read-only after
 }
 
 func newMetrics() *metrics {
-	return &metrics{endpoints: map[string]*endpointStats{
+	m := &metrics{endpoints: map[string]*endpointStats{
 		"predict": {},
 		"healthz": {},
 		"metrics": {},
+		"debug":   {},
+		"other":   {},
 	}}
+	m.fallback = m.endpoints["other"]
+	return m
 }
 
-func (m *metrics) endpoint(name string) *endpointStats { return m.endpoints[name] }
+// endpoint returns the named endpoint's stats, falling back to the
+// registered "other" block for unknown names so an unregistered endpoint
+// cannot panic the instrumentation path.
+func (m *metrics) endpoint(name string) *endpointStats {
+	if s, ok := m.endpoints[name]; ok {
+		return s
+	}
+	return m.fallback
+}
 
-// render writes the counters in the Prometheus text exposition style:
-// one `name{labels} value` line per counter, sorted for determinism.
+// addGauge registers a scrape-time gauge. Call before serving starts: the
+// slice is read without a lock on every /metrics render.
+func (m *metrics) addGauge(name, help string, fn func() float64) {
+	m.gauges = append(m.gauges, gauge{name: name, help: help, fn: fn})
+}
+
+// counterDesc pairs one global counter with its exposition metadata.
+type counterDesc struct {
+	name, help string
+	v          *atomic.Int64
+}
+
+func (m *metrics) counters() []counterDesc {
+	return []counterDesc{
+		{"espserve_cache_hits_total", "Compiled-program cache hits.", &m.cacheHits},
+		{"espserve_cache_misses_total", "Compiled-program cache misses.", &m.cacheMisses},
+		{"espserve_batches_total", "Worker model passes executed.", &m.batches},
+		{"espserve_batched_jobs_total", "Jobs folded into worker passes.", &m.batchedJobs},
+		{"espserve_predicted_vectors_total", "Feature vectors predicted.", &m.predictedVecs},
+		{"espserve_drain_rejects_total", "Requests refused because the server drains.", &m.rejectedDrain},
+		{"espserve_request_timeouts_total", "Requests that hit the server-side deadline.", &m.timeouts},
+		{"espserve_request_canceled_total", "Requests abandoned by their client mid-flight.", &m.canceled},
+		{"espserve_shed_total", "Requests refused with 429 by admission control.", &m.shed},
+		{"espserve_degraded_total", "Requests answered by the heuristic fallback.", &m.degraded},
+		{"espserve_panics_recovered_total", "Panics absorbed by middleware or workers.", &m.panicsRecovered},
+		{"espserve_budget_rejects_total", "Submissions rejected by compile resource budgets.", &m.budgetRejects},
+	}
+}
+
+// render writes the full Prometheus text exposition: # HELP/# TYPE metadata
+// for every family, per-endpoint counters and latency histograms
+// (_bucket/_sum/_count), global counters under their original (PR 3) names,
+// the batch-queue wait histogram, and the registered gauges. Endpoint order
+// is sorted for determinism.
 func (m *metrics) render() string {
 	var b strings.Builder
 	names := make([]string, 0, len(m.endpoints))
@@ -62,23 +124,39 @@ func (m *metrics) render() string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	obs.WriteHeader(&b, "espserve_requests_total", "counter", "Requests served, by endpoint.")
 	for _, name := range names {
-		s := m.endpoints[name]
-		fmt.Fprintf(&b, "espserve_requests_total{endpoint=%q} %d\n", name, s.requests.Load())
-		fmt.Fprintf(&b, "espserve_request_errors_total{endpoint=%q} %d\n", name, s.errors.Load())
-		fmt.Fprintf(&b, "espserve_request_latency_micros_total{endpoint=%q} %d\n", name, s.latencyMicro.Load())
+		fmt.Fprintf(&b, "espserve_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests.Load())
 	}
-	fmt.Fprintf(&b, "espserve_cache_hits_total %d\n", m.cacheHits.Load())
-	fmt.Fprintf(&b, "espserve_cache_misses_total %d\n", m.cacheMisses.Load())
-	fmt.Fprintf(&b, "espserve_batches_total %d\n", m.batches.Load())
-	fmt.Fprintf(&b, "espserve_batched_jobs_total %d\n", m.batchedJobs.Load())
-	fmt.Fprintf(&b, "espserve_predicted_vectors_total %d\n", m.predictedVecs.Load())
+	obs.WriteHeader(&b, "espserve_request_errors_total", "counter", "4xx/5xx responses, by endpoint.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "espserve_request_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors.Load())
+	}
+	obs.WriteHeader(&b, "espserve_request_latency_micros_total", "counter", "Summed request wall time in microseconds, by endpoint.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "espserve_request_latency_micros_total{endpoint=%q} %d\n", name, m.endpoints[name].latencyMicro.Load())
+	}
+	obs.WriteHeader(&b, "espserve_request_latency_micros", "histogram", "Request wall time in microseconds, by endpoint.")
+	for _, name := range names {
+		obs.WriteHistogram(&b, "espserve_request_latency_micros",
+			fmt.Sprintf("endpoint=%q", name), m.endpoints[name].latency.Snapshot())
+	}
+
+	for _, c := range m.counters() {
+		obs.WriteHeader(&b, c.name, "counter", c.help)
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.v.Load())
+	}
+
+	obs.WriteHeader(&b, "espserve_inflight_requests", "gauge", "Requests currently being served.")
 	fmt.Fprintf(&b, "espserve_inflight_requests %d\n", m.inflight.Load())
-	fmt.Fprintf(&b, "espserve_drain_rejects_total %d\n", m.rejectedDrain.Load())
-	fmt.Fprintf(&b, "espserve_request_timeouts_total %d\n", m.timeoutsCancel.Load())
-	fmt.Fprintf(&b, "espserve_shed_total %d\n", m.shed.Load())
-	fmt.Fprintf(&b, "espserve_degraded_total %d\n", m.degraded.Load())
-	fmt.Fprintf(&b, "espserve_panics_recovered_total %d\n", m.panicsRecovered.Load())
-	fmt.Fprintf(&b, "espserve_budget_rejects_total %d\n", m.budgetRejects.Load())
+
+	obs.WriteHeader(&b, "espserve_batch_queue_wait_micros", "histogram", "Per-job wait between enqueue and worker pickup in microseconds.")
+	obs.WriteHistogram(&b, "espserve_batch_queue_wait_micros", "", m.queueWait.Snapshot())
+
+	for _, g := range m.gauges {
+		obs.WriteHeader(&b, g.name, "gauge", g.help)
+		fmt.Fprintf(&b, "%s %g\n", g.name, g.fn())
+	}
 	return b.String()
 }

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/features"
+	"repro/internal/obs"
 )
 
 // ErrDraining is returned to submissions that arrive after the pool has
@@ -16,13 +19,19 @@ import (
 var ErrDraining = errors.New("serve: server is draining")
 
 // job is one prediction request in flight through the pool: a batch of
-// feature vectors and the slot its probabilities land in.
+// feature vectors and the slot its probabilities land in. The timestamps
+// let the requester split its wait into queue time and model time; started
+// and finished are written by the worker before close(done), so they are
+// safe to read only after receiving from done.
 type job struct {
-	ctx   context.Context
-	vecs  []features.Vector
-	probs []float64
-	err   error
-	done  chan struct{}
+	ctx      context.Context
+	vecs     []features.Vector
+	probs    []float64
+	err      error
+	done     chan struct{}
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
 }
 
 // pool is the batching worker pool. Requests enqueue jobs; each worker
@@ -34,10 +43,22 @@ type pool struct {
 	model    *core.Model
 	jobs     chan *job
 	maxBatch int
+	nworkers int
 	metrics  *metrics
 
 	mu       sync.RWMutex // guards draining against sends on jobs
 	draining bool
+
+	busy atomic.Int64 // workers currently inside a batch
+
+	// Approximate queue-age tracking: submit stamps enqueue times into a
+	// ring indexed by a send sequence number, workers advance a receive
+	// sequence number, and the age gauge reads the slot at the receive
+	// cursor. All cells are atomics, so the gauge is lock-free and at worst
+	// a few jobs stale.
+	enqSeq   atomic.Uint64
+	deqSeq   atomic.Uint64
+	enqTimes []atomic.Int64 // UnixNano per sequence slot
 
 	workers sync.WaitGroup
 }
@@ -47,8 +68,20 @@ func newPool(model *core.Model, workers, maxBatch, queueDepth int, m *metrics) *
 		model:    model,
 		jobs:     make(chan *job, queueDepth),
 		maxBatch: maxBatch,
+		nworkers: workers,
 		metrics:  m,
+		enqTimes: make([]atomic.Int64, queueDepth+1),
 	}
+	m.addGauge("espserve_batch_queue_depth", "Jobs waiting in the prediction queue.",
+		func() float64 { return float64(len(p.jobs)) })
+	m.addGauge("espserve_batch_queue_age_micros", "Approximate age of the oldest queued job in microseconds.",
+		func() float64 { return float64(p.queueAge().Microseconds()) })
+	m.addGauge("espserve_busy_workers", "Workers currently executing a model pass.",
+		func() float64 { return float64(p.busy.Load()) })
+	m.addGauge("espserve_workers", "Size of the prediction worker pool.",
+		func() float64 { return float64(p.nworkers) })
+	m.addGauge("espserve_worker_utilization", "Fraction of workers currently executing a model pass.",
+		func() float64 { return float64(p.busy.Load()) / float64(p.nworkers) })
 	p.workers.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -56,17 +89,38 @@ func newPool(model *core.Model, workers, maxBatch, queueDepth int, m *metrics) *
 	return p
 }
 
+// queueAge estimates how long the job at the head of the queue has been
+// waiting; zero when the queue is empty.
+func (p *pool) queueAge() time.Duration {
+	deq := p.deqSeq.Load()
+	if p.enqSeq.Load() <= deq {
+		return 0
+	}
+	ns := p.enqTimes[deq%uint64(len(p.enqTimes))].Load()
+	if ns == 0 {
+		return 0
+	}
+	age := time.Since(time.Unix(0, ns))
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
 // submit enqueues the vectors and blocks until a worker has predicted them
-// or the context expires. The returned slice is owned by the caller.
+// or the context expires. The returned slice is owned by the caller. On
+// success the queue-wait and forward stages are recorded into the context's
+// trace, if any.
 func (p *pool) submit(ctx context.Context, vecs []features.Vector) ([]float64, error) {
 	if len(vecs) == 0 {
 		return nil, nil
 	}
 	j := &job{
-		ctx:   ctx,
-		vecs:  vecs,
-		probs: make([]float64, len(vecs)),
-		done:  make(chan struct{}),
+		ctx:      ctx,
+		vecs:     vecs,
+		probs:    make([]float64, len(vecs)),
+		done:     make(chan struct{}),
+		enqueued: time.Now(),
 	}
 	p.mu.RLock()
 	if p.draining {
@@ -75,6 +129,8 @@ func (p *pool) submit(ctx context.Context, vecs []features.Vector) ([]float64, e
 	}
 	select {
 	case p.jobs <- j:
+		seq := p.enqSeq.Add(1) - 1
+		p.enqTimes[seq%uint64(len(p.enqTimes))].Store(j.enqueued.UnixNano())
 		p.mu.RUnlock()
 	case <-ctx.Done():
 		p.mu.RUnlock()
@@ -84,6 +140,10 @@ func (p *pool) submit(ctx context.Context, vecs []features.Vector) ([]float64, e
 	case <-j.done:
 		if j.err != nil {
 			return nil, j.err
+		}
+		if tr := obs.FromContext(ctx); tr != nil && !j.started.IsZero() {
+			tr.AddSpan(obs.StageQueueWait, j.enqueued, j.started.Sub(j.enqueued))
+			tr.AddSpan(obs.StageForward, j.started, j.finished.Sub(j.started))
 		}
 		return j.probs, nil
 	case <-ctx.Done():
@@ -116,6 +176,13 @@ func (p *pool) drain(ctx context.Context) error {
 	}
 }
 
+// dequeued accounts one job leaving the queue: the age cursor advances and
+// the job's wait lands in the queue-wait histogram.
+func (p *pool) dequeued(j *job) {
+	p.deqSeq.Add(1)
+	p.metrics.queueWait.Observe(time.Since(j.enqueued).Microseconds())
+}
+
 // worker drains batches of jobs and predicts each batch's vectors in one
 // model pass.
 func (p *pool) worker() {
@@ -124,6 +191,8 @@ func (p *pool) worker() {
 	var vecs []features.Vector
 	var probs []float64
 	for j := range p.jobs {
+		p.busy.Add(1)
+		p.dequeued(j)
 		batch = append(batch[:0], j)
 		// Opportunistically fold whatever else is already queued into the
 		// same pass, up to maxBatch jobs.
@@ -134,14 +203,17 @@ func (p *pool) worker() {
 				if !ok {
 					break fill
 				}
+				p.dequeued(j2)
 				batch = append(batch, j2)
 			default:
 				break fill
 			}
 		}
+		start := time.Now()
 		vecs = vecs[:0]
 		live := 0
 		for _, b := range batch {
+			b.started = start
 			if b.ctx.Err() != nil {
 				// The requester has already gone; don't spend model time.
 				b.err = b.ctx.Err()
@@ -177,9 +249,12 @@ func (p *pool) worker() {
 				}
 			}
 		}
+		end := time.Now()
 		for _, b := range batch {
+			b.finished = end
 			close(b.done)
 		}
+		p.busy.Add(-1)
 	}
 }
 

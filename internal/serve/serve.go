@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 // Fault-injection sites along the prediction path. In production these are
@@ -80,6 +82,14 @@ type Config struct {
 	// NoDegrade disables the heuristic fallback: model-path failures
 	// surface as 5xx instead of degraded 200 responses.
 	NoDegrade bool
+	// TraceRing bounds the in-memory ring of completed request traces
+	// served at /debug/requests (default 256; negative disables the ring).
+	TraceRing int
+	// TraceSample is the fraction of request traces written to AccessLog
+	// as JSON lines (0 disables the access log, 1 logs every request).
+	TraceSample float64
+	// AccessLog receives sampled trace JSON lines (nil disables).
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxCFGBlocks == 0 {
 		c.MaxCFGBlocks = 16384
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
 	return c
 }
 
@@ -139,6 +152,7 @@ type Server struct {
 	pool     *pool
 	cache    *lru
 	metrics  *metrics
+	traces   *obs.Recorder
 	mux      *http.ServeMux
 	started  time.Time
 	admit    chan struct{} // admission-control semaphore (nil when disabled)
@@ -156,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 		model:    cfg.Model,
 		cache:    newLRU(cfg.CacheSize),
 		metrics:  newMetrics(),
+		traces:   obs.NewRecorder(cfg.TraceRing, cfg.TraceSample, cfg.AccessLog),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 		fallback: heuristics.NewDSHCBallLarus(),
@@ -167,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/debug/requests", s.instrument("debug", s.handleDebugRequests))
 	return s, nil
 }
 
@@ -210,21 +226,54 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with the per-endpoint counters, the request
-// deadline, and panic containment: a panicking handler is accounted as a
-// 500 and the process keeps serving.
+// Flush passes streaming flushes through to the underlying writer, so
+// handlers (and httputil proxies) that depend on http.Flusher keep working
+// behind the instrumentation wrapper. A flush commits the response headers,
+// so it counts as having written.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		w.wrote = true
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// statusClientClosedRequest is the non-standard (nginx-convention) status
+// used to account requests whose client went away before the answer was
+// ready. Nothing meaningful can be delivered; the code keeps cancellations
+// distinguishable from server-side deadline 504s in logs and metrics.
+const statusClientClosedRequest = 499
+
+// requestID picks the trace ID for one request: a client-supplied
+// X-Request-ID wins, otherwise a process-unique ID is minted.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return s.traces.NextID()
+}
+
+// instrument wraps a handler with the per-endpoint counters and latency
+// histogram, the request trace (recorded into the /debug/requests ring and
+// the sampled access log), the request deadline, and panic containment: a
+// panicking handler is accounted as a 500 and the process keeps serving.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 
+		tr := obs.NewTrace(name, s.requestID(r))
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = obs.WithTrace(ctx, tr)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.metrics.panicsRecovered.Add(1)
+				tr.SetError(fmt.Errorf("panic: %v", rec))
 				if sw.wrote {
 					// Headers are gone; record the failure for accounting
 					// only.
@@ -235,6 +284,8 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 				}
 			}
 			s.metrics.endpoint(name).observe(time.Since(start).Microseconds(), sw.status >= 400)
+			tr.SetStatus(sw.status)
+			s.traces.Record(tr)
 		}()
 		h(sw, r.WithContext(ctx))
 	}
@@ -299,15 +350,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 var errTransient = errors.New("transient failure")
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	endAdmit := tr.StartSpan(obs.StageAdmission)
 	if s.admit != nil {
 		select {
 		case s.admit <- struct{}{}:
 			defer func() { <-s.admit }()
 		default:
+			endAdmit()
 			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests,
@@ -315,9 +369,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	endAdmit()
+	endDecode := tr.StartSpan(obs.StageDecode)
 	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1<<16)
 	var req PredictRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		endDecode()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -327,6 +384,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
+	endDecode()
 
 	var (
 		resp PredictResponse
@@ -344,7 +402,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				errorResponse{Error: fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes)})
 			return
 		}
-		img, cached, err := s.compile(&req)
+		img, cached, err := s.compile(tr, &req)
 		switch {
 		case err == nil:
 		case errors.Is(err, guard.ErrBudgetExceeded):
@@ -372,6 +430,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				errorResponse{Error: fmt.Sprintf("request has %d vectors, limit %d", len(req.Vectors), s.cfg.MaxVectors)})
 			return
 		}
+		endFeaturize := tr.StartSpan(obs.StageFeaturize)
 		vecs = make([]features.Vector, len(req.Vectors))
 		refs = make([]string, len(req.Vectors))
 		for i, vals := range req.Vectors {
@@ -384,6 +443,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			vecs[i] = v
 			refs[i] = fmt.Sprintf("#%d", i)
 		}
+		endFeaturize()
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request needs source or vectors"})
 		return
@@ -400,15 +460,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
 	case errors.Is(err, context.Canceled):
-		// The client has gone; nobody is reading a degraded answer.
-		s.metrics.timeoutsCancel.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		// The client has gone; nobody is reading a degraded answer. This is
+		// client behaviour, not a server deadline, so it is accounted
+		// separately and written with the client-closed-request status.
+		s.metrics.canceled.Add(1)
+		tr.SetError(err)
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
 		return
 	case err != nil:
 		timedOut := errors.Is(err, context.DeadlineExceeded)
 		if timedOut {
-			s.metrics.timeoutsCancel.Add(1)
+			s.metrics.timeouts.Add(1)
 		}
+		tr.SetError(err)
 		if s.cfg.NoDegrade {
 			status := http.StatusInternalServerError
 			if timedOut {
@@ -422,7 +486,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.metrics.degraded.Add(1)
 		resp.Degraded = true
 		resp.Predictions = s.degradedPredictions(vecs, refs)
+		endEncode := tr.StartSpan(obs.StageEncode)
 		writeJSON(w, http.StatusOK, resp)
+		endEncode()
 		return
 	}
 
@@ -439,7 +505,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			Confidence:  conf,
 		}
 	}
+	endEncode := tr.StartSpan(obs.StageEncode)
 	writeJSON(w, http.StatusOK, resp)
+	endEncode()
 }
 
 // sourceKey hashes everything that determines a compilation's output.
@@ -473,11 +541,15 @@ func (s *Server) degradedPredictions(vecs []features.Vector, refs []string) []Pr
 
 // compile resolves a source submission to a program image, consulting the
 // LRU cache first. A fault at the cache site degrades to a fresh compile; a
-// fault at the compile site is a transient infrastructure failure.
-func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
+// fault at the compile site is a transient infrastructure failure. The
+// trace gets a cache span on a hit, and compile + featurize spans on a
+// miss.
+func (s *Server) compile(tr *obs.Trace, req *PredictRequest) (*programImage, bool, error) {
 	key := sourceKey(req)
+	endCache := tr.StartSpan(obs.StageCache)
 	if faultinject.Fire(siteCacheGet) == nil {
 		if img, ok := s.cache.get(key); ok {
+			endCache()
 			s.metrics.cacheHits.Add(1)
 			return img, true, nil
 		}
@@ -486,6 +558,7 @@ func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
 	if err := faultinject.Fire(siteCompile); err != nil {
 		return nil, false, fmt.Errorf("compile backend: %w: %w", errTransient, err)
 	}
+	endCompile := tr.StartSpan(obs.StageCompile)
 
 	lang := ir.LangC
 	switch req.Language {
@@ -514,6 +587,8 @@ func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("compile: %w", err)
 	}
+	endCompile()
+	endFeaturize := tr.StartSpan(obs.StageFeaturize)
 	ps := features.Collect(prog)
 	img := &programImage{
 		Name:    name,
@@ -524,6 +599,7 @@ func (s *Server) compile(req *PredictRequest) (*programImage, bool, error) {
 	for i, site := range ps.Sites {
 		img.Refs[i] = site.Ref
 	}
+	endFeaturize()
 	s.cache.add(key, img)
 	return img, false, nil
 }
@@ -558,4 +634,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.render())
+}
+
+// debugRequestsResponse is the /debug/requests body: the trace ring, oldest
+// first.
+type debugRequestsResponse struct {
+	Traces []*obs.Trace `json:"traces"`
+}
+
+// handleDebugRequests serves the bounded ring of recent request traces, each
+// carrying its per-stage spans, for production latency forensics.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, debugRequestsResponse{Traces: s.traces.Snapshot()})
 }
