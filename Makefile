@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot race fuzz chaos
+.PHONY: all build test vet fmt-check check bench bench-hot bench-serve race fuzz chaos
 
 all: check
 
@@ -55,3 +55,10 @@ bench-hot:
 # baseline for the profiling hot path.
 bench-json:
 	$(GO) run ./cmd/espbench -bench all -benchout .
+
+# bench-serve measures the serving request path — the committed float
+# pipeline (encoding/json + float64 forward) against the quantized
+# zero-allocation arena pipeline — and regenerates BENCH_serve.json,
+# committed as the baseline the >=5x acceptance test guards.
+bench-serve:
+	$(GO) run ./cmd/espbench -serve -benchout .

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/serve"
+)
+
+// serveBenchResult is BENCH_serve.json: the request-path throughput of the
+// committed float pipeline (encoding/json decode + float64 forward +
+// encoding/json encode) against the quantized arena pipeline (hand-rolled
+// zero-allocation decode + int8 fused forward + hand-rendered response),
+// measured per prediction on identical request bodies through the same
+// worker pool.
+type serveBenchResult struct {
+	Name              string  `json:"name"`
+	VectorsPerRequest int     `json:"vectors_per_request"`
+	FloatNsPerPred    float64 `json:"float_ns_per_prediction"`
+	QuantNsPerPred    float64 `json:"quant_ns_per_prediction"`
+	// Predictions/sec/core: the pipelines run on one worker with a
+	// synchronous caller, so 1e9/ns-per-prediction is per-core throughput.
+	FloatPredPerSecCore float64 `json:"float_predictions_per_sec_per_core"`
+	QuantPredPerSecCore float64 `json:"quant_predictions_per_sec_per_core"`
+	Speedup             float64 `json:"speedup"`
+	FloatAllocsPerOp    int64   `json:"float_allocs_per_op"`
+	QuantAllocsPerOp    int64   `json:"quant_allocs_per_op"`
+	// Calibration context for the quant numbers.
+	XScale           float64 `json:"xscale"`
+	Guard            float64 `json:"guard"`
+	Margin           float64 `json:"margin"`
+	FallbackFraction float64 `json:"fallback_fraction"`
+}
+
+// runServeBench measures the serving request path and writes BENCH_serve.json.
+func runServeBench(dir string, espCfg core.Config) error {
+	const (
+		trainPrograms = 3 // matches the serve test fixture's scale
+		vectorsPerReq = 4
+	)
+	var data []*core.ProgramData
+	for _, name := range []string{"bc", "grep", "gzip"}[:trainPrograms] {
+		e, ok := corpus.ByName(name)
+		if !ok {
+			return fmt.Errorf("corpus program %s missing", name)
+		}
+		prog, err := e.Compile(codegen.Default)
+		if err != nil {
+			return err
+		}
+		pd, err := core.Analyze(prog, e.Language, e.RunConfig())
+		if err != nil {
+			return err
+		}
+		data = append(data, pd)
+	}
+	if espCfg.Net.MaxEpochs == 0 {
+		espCfg.Net.MaxEpochs = 40
+		espCfg.Net.Patience = 10
+	}
+	floatModel := core.Train(data, espCfg)
+	quantModel := core.Train(data, espCfg)
+	rep, err := core.CalibrateQuant(quantModel, data, nil)
+	if err != nil {
+		return err
+	}
+	if err := quantModel.EnableQuant(); err != nil {
+		return err
+	}
+
+	floatSrv, err := serve.New(serve.Config{Model: floatModel, Workers: 1, MaxBatch: 1})
+	if err != nil {
+		return err
+	}
+	quantSrv, err := serve.New(serve.Config{Model: quantModel, Workers: 1, MaxBatch: 1})
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.PredictRequest{
+		ID:      "bench",
+		Vectors: vectorValues(data[0].Vectors[:vectorsPerReq]),
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	floatRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := floatSrv.PredictPipelineReference(ctx, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var out []byte
+	quantRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			out, err = quantSrv.PredictPipeline(ctx, body, out)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	floatNs := float64(floatRes.T.Nanoseconds()) / float64(floatRes.N*vectorsPerReq)
+	quantNs := float64(quantRes.T.Nanoseconds()) / float64(quantRes.N*vectorsPerReq)
+	res := serveBenchResult{
+		Name:                "serve",
+		VectorsPerRequest:   vectorsPerReq,
+		FloatNsPerPred:      floatNs,
+		QuantNsPerPred:      quantNs,
+		FloatPredPerSecCore: 1e9 / floatNs,
+		QuantPredPerSecCore: 1e9 / quantNs,
+		Speedup:             floatNs / quantNs,
+		FloatAllocsPerOp:    floatRes.AllocsPerOp(),
+		QuantAllocsPerOp:    quantRes.AllocsPerOp(),
+		XScale:              rep.Chosen.XScale,
+		Guard:               rep.Chosen.Guard,
+		Margin:              rep.Chosen.Margin,
+		FallbackFraction:    rep.Chosen.FallbackFraction(),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jd, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchFile(dir, "serve"), append(jd, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("float: %.0f ns/prediction (%.0f predictions/sec/core, %d allocs/op)\n",
+		res.FloatNsPerPred, res.FloatPredPerSecCore, res.FloatAllocsPerOp)
+	fmt.Printf("quant: %.0f ns/prediction (%.0f predictions/sec/core, %d allocs/op)\n",
+		res.QuantNsPerPred, res.QuantPredPerSecCore, res.QuantAllocsPerOp)
+	fmt.Printf("speedup: %.1fx -> %s\n", res.Speedup, benchFile(dir, "serve"))
+	return nil
+}
+
+// vectorValues flattens feature vectors into the request wire shape.
+func vectorValues(vecs []features.Vector) [][]string {
+	out := make([][]string, len(vecs))
+	for i := range vecs {
+		vals := vecs[i].Values
+		out[i] = vals[:]
+	}
+	return out
+}

@@ -60,6 +60,8 @@ func run(args []string) error {
 		"disable the heuristic fallback: model-path failures return 5xx instead of degraded predictions")
 	train := fs.Bool("train", false,
 		"train the model from the corpus at startup instead of loading -model (uses the artifact cache)")
+	quant := fs.Bool("quant", false,
+		"serve the int8 quantized forward path (requires a calibrated model: esptool calibrate, or -train which calibrates in-process)")
 	cacheDir := fs.String("cache-dir", "",
 		"artifact cache directory for -train (default $ESPCACHE_DIR, else .espcache)")
 	noCache := fs.Bool("no-cache", false, "disable the persistent analysis cache for -train")
@@ -89,7 +91,7 @@ func run(args []string) error {
 	var model *core.Model
 	if *train {
 		var err error
-		if model, err = trainStartupModel(*cacheDir, *noCache); err != nil {
+		if model, err = trainStartupModel(*cacheDir, *noCache, *quant); err != nil {
 			return err
 		}
 	} else {
@@ -102,6 +104,16 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *quant && model.QuantCalib == nil {
+			return fmt.Errorf("-quant needs a calibrated model: run `esptool calibrate -model %s` first (or use -train)", *modelPath)
+		}
+	}
+	if *quant {
+		if err := model.EnableQuant(); err != nil {
+			return err
+		}
+		fmt.Printf("espserve: int8 quantized path enabled (xscale %.4f, guard %.6f)\n",
+			model.QuantCalib.XScale, model.QuantCalib.Guard)
 	}
 
 	var accessLogW io.Writer
@@ -179,8 +191,9 @@ func run(args []string) error {
 // trainStartupModel trains an ESP model from the full study corpus at
 // startup. The expensive part — profiling every corpus program — is served
 // from the artifact cache when warm, so a restart with a populated cache
-// reaches serving without a single interpreter trace.
-func trainStartupModel(cacheDir string, noCache bool) (*core.Model, error) {
+// reaches serving without a single interpreter trace. With quant set, the
+// freshly analyzed corpus doubles as the quantization calibration set.
+func trainStartupModel(cacheDir string, noCache, quant bool) (*core.Model, error) {
 	var cache *artifact.Cache
 	if !noCache {
 		var err error
@@ -203,5 +216,13 @@ func trainStartupModel(cacheDir string, noCache bool) (*core.Model, error) {
 	}
 	model := core.Train(data, core.Config{})
 	fmt.Printf("espserve: trained on %d programs in %v\n", len(data), time.Since(start).Round(time.Millisecond))
+	if quant {
+		rep, err := core.CalibrateQuant(model, data, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("espserve: quantization calibrated (margin %.4f, %.2f%% float fallback)\n",
+			rep.Chosen.Margin, 100*rep.Chosen.FallbackFraction())
+	}
 	return model, nil
 }

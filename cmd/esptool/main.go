@@ -6,6 +6,7 @@
 //	esptool predict -model model.json -program gzip
 //	esptool rules -model model.json            # print decision-tree rules
 //	esptool eval                               # all predictors on the corpus
+//	esptool calibrate -model model.json        # decision-pinned int8 calibration
 package main
 
 import (
@@ -35,13 +36,15 @@ func main() {
 		cmdRules(os.Args[2:])
 	case "eval":
 		cmdEval(os.Args[2:])
+	case "calibrate":
+		cmdCalibrate(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: esptool {train|predict|rules|eval} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: esptool {train|predict|rules|eval|calibrate} [flags]")
 	os.Exit(2)
 }
 
@@ -202,6 +205,39 @@ func cmdEval(args []string) {
 			stats.Pct(heuristics.MissRate(pd.Sites, pd.Profile, &heuristics.Perfect{Prof: pd.Profile})))
 	}
 	fmt.Print(t.String())
+}
+
+// cmdCalibrate sweeps the int8 quantization scale over the full corpus,
+// pins every decision to the float reference via the guard band, and writes
+// the calibration into the model file so espserve -quant can use it.
+func cmdCalibrate(args []string) {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	modelPath := fs.String("model", "esp-model.json", "model file to calibrate")
+	out := fs.String("out", "", "output model file (default: overwrite -model)")
+	cache := cacheFlags(fs)
+	mustParse(fs, args)
+
+	model := loadModel(*modelPath)
+	data := analyzeCorpus(corpus.Study(), cache())
+	rep, err := core.CalibrateQuant(model, data, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	dst := *out
+	if dst == "" {
+		dst = *modelPath
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("calibrated model -> %s\n", dst)
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

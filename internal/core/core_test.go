@@ -13,7 +13,7 @@ import (
 )
 
 // analyzeSrc compiles and profiles a MinC program.
-func analyzeSrc(t *testing.T, name, src string, input []int64) *ProgramData {
+func analyzeSrc(t testing.TB, name, src string, input []int64) *ProgramData {
 	t.Helper()
 	ast, err := minic.Parse(name, src)
 	if err != nil {

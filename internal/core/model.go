@@ -95,6 +95,15 @@ type Model struct {
 	MBR     *mbr.Model
 	// TrainStats records the neural training run (empty for trees).
 	TrainStats neural.TrainResult
+	// QuantCalib carries the decision-pinned quantization calibration
+	// (CalibrateQuant), inert until EnableQuant builds the int8 path from
+	// it. It round-trips through Save/Load so a calibrated model file can
+	// serve quantized without re-sweeping the corpus.
+	QuantCalib *QuantCalibration
+
+	// quant, when non-nil, routes TakenProbability/TakenProbabilities
+	// through the int8 forward pass.
+	quant *quantPath
 
 	excluded map[int]bool
 	// scratch pools the per-prediction encode/hidden buffers so
@@ -102,11 +111,69 @@ type Model struct {
 	scratch sync.Pool
 }
 
+// QuantCalibration is the serialized outcome of the decision-pinning sweep:
+// everything needed to rebuild the int8 path deterministically from the
+// float weights.
+type QuantCalibration struct {
+	// XScale quantizes inputs: qx = clamp(round(x·XScale), ±127).
+	XScale float64 `json:"xscale"`
+	// Guard is the half-width of the float-fallback band around 0.5: a
+	// quantized probability within Guard of 0.5 is recomputed in float64.
+	// Chosen by CalibrateQuant as the largest quantized decision margin of
+	// any corpus branch whose quantized decision disagrees with the float
+	// reference — so every corpus decision is pinned by construction.
+	Guard float64 `json:"guard"`
+	// Margin records the clip margin the sweep selected (the fraction of
+	// the corpus's maximum activation magnitude kept representable).
+	Margin float64 `json:"margin,omitempty"`
+}
+
+// quantPath is the assembled int8 serving path. fused answers single
+// predictions via prefolded per-(feature, value) contribution tables;
+// net/enc are the kernel form of the same computation, used by the
+// calibration sweep and batch callers. The two are bit-identical
+// (see quantFused).
+type quantPath struct {
+	net   *neural.QuantNet
+	enc   *features.QuantEncoder
+	fused *quantFused
+}
+
 // predictBuf is the reusable per-prediction scratch.
 type predictBuf struct {
-	x []float64
-	h []float64
+	x   []float64
+	h   []float64
+	qx  []int8
+	acc []int32
 }
+
+// EnableQuant builds the int8 inference path from the stored calibration.
+// Requires the neural classifier and a QuantCalib (from CalibrateQuant or a
+// calibrated model file). Concurrent predictions must not be in flight.
+func (m *Model) EnableQuant() error {
+	if m.Net == nil {
+		return fmt.Errorf("core: quantized inference requires the neural classifier (have %s)", m.Cfg.Classifier)
+	}
+	if m.QuantCalib == nil {
+		return fmt.Errorf("core: model has no quantization calibration; run esptool calibrate (or CalibrateQuant)")
+	}
+	qn, err := neural.Quantize(m.Net, m.QuantCalib.XScale)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	qe, err := features.NewQuantEncoder(m.Encoder, m.QuantCalib.XScale)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	m.quant = &quantPath{net: qn, enc: qe, fused: newQuantFused(qn, qe, m.excluded)}
+	return nil
+}
+
+// DisableQuant routes predictions back through the float64 reference path.
+func (m *Model) DisableQuant() { m.quant = nil }
+
+// QuantEnabled reports whether predictions run through the int8 path.
+func (m *Model) QuantEnabled() bool { return m.quant != nil }
 
 // Train fits an ESP model on the pooled examples of a corpus of programs.
 func Train(corpus []*ProgramData, cfg Config) *Model {
@@ -210,13 +277,28 @@ func maskVector(v features.Vector, excluded map[int]bool) features.Vector {
 // TakenProbability returns the model's estimate that the branch described by
 // the feature vector is taken.
 func (m *Model) TakenProbability(v features.Vector) float64 {
-	v = maskVector(v, m.excluded)
-	if m.Tree != nil {
-		return m.Tree.Predict(v.Values)
-	}
-	if m.MBR != nil {
+	if m.Tree != nil || m.MBR != nil {
+		v = maskVector(v, m.excluded)
+		if m.Tree != nil {
+			return m.Tree.Predict(v.Values)
+		}
 		return m.MBR.Predict(v.Values)
 	}
+	buf := m.getBuf()
+	var y float64
+	if m.quant != nil {
+		y = m.quantForward(&v, buf)
+	} else {
+		v = maskVector(v, m.excluded)
+		y = m.forwardFloat(&v, buf)
+	}
+	m.scratch.Put(buf)
+	return y
+}
+
+// getBuf pools the per-prediction scratch (encode row, hidden activations,
+// and — when quantization is enabled — the int8 input row).
+func (m *Model) getBuf() *predictBuf {
 	buf, _ := m.scratch.Get().(*predictBuf)
 	if buf == nil {
 		buf = &predictBuf{
@@ -224,10 +306,39 @@ func (m *Model) TakenProbability(v features.Vector) float64 {
 			h: make([]float64, m.Net.Hidden),
 		}
 	}
-	m.Encoder.Encode(v, buf.x)
-	y := m.Net.ForwardInto(buf.h, buf.x)
-	m.scratch.Put(buf)
+	if m.quant != nil {
+		if len(buf.qx) != m.Encoder.Dim {
+			buf.qx = make([]int8, m.Encoder.Dim)
+		}
+		if len(buf.acc) != m.Net.Hidden {
+			buf.acc = make([]int32, m.Net.Hidden)
+		}
+	}
+	return buf
+}
+
+// quantForward runs one vector through the int8 fused path, with the
+// float64 fallback inside the calibrated guard band around 0.5 (which is
+// what pins decisions). v may be unmasked — excluded features are gated
+// inside the fused tables, so the hot path never copies the vector. v is a
+// pointer purely for speed (25 string headers) and is not modified.
+func (m *Model) quantForward(v *features.Vector, buf *predictBuf) float64 {
+	y := m.quant.fused.forward(v, buf.acc)
+	if diff := y - 0.5; diff <= m.QuantCalib.Guard && -diff <= m.QuantCalib.Guard {
+		// Too close to the decision boundary for the quantized pass to
+		// be trusted with the outcome: recompute in float64.
+		mv := maskVector(*v, m.excluded)
+		m.Encoder.Encode(mv, buf.x)
+		y = m.Net.ForwardInto(buf.h, buf.x)
+	}
 	return y
+}
+
+// forwardFloat runs one already-masked vector through the float64 reference
+// network.
+func (m *Model) forwardFloat(v *features.Vector, buf *predictBuf) float64 {
+	m.Encoder.Encode(*v, buf.x)
+	return m.Net.ForwardInto(buf.h, buf.x)
 }
 
 // TakenProbabilities predicts a whole batch of feature vectors into out
@@ -245,16 +356,23 @@ func (m *Model) TakenProbabilities(vs []features.Vector, out []float64) {
 		}
 		return
 	}
-	buf, _ := m.scratch.Get().(*predictBuf)
-	if buf == nil {
-		buf = &predictBuf{
-			x: make([]float64, m.Encoder.Dim),
-			h: make([]float64, m.Net.Hidden),
+	buf := m.getBuf()
+	switch {
+	case m.quant != nil:
+		// The fused tables gate excluded features themselves, so predict
+		// straight from the caller's slice — no mask copy per vector.
+		for i := range vs {
+			out[i] = m.quantForward(&vs[i], buf)
 		}
-	}
-	for i, v := range vs {
-		m.Encoder.Encode(maskVector(v, m.excluded), buf.x)
-		out[i] = m.Net.ForwardInto(buf.h, buf.x)
+	case len(m.excluded) == 0:
+		for i := range vs {
+			out[i] = m.forwardFloat(&vs[i], buf)
+		}
+	default:
+		for i, v := range vs {
+			v = maskVector(v, m.excluded)
+			out[i] = m.forwardFloat(&v, buf)
+		}
 	}
 	m.scratch.Put(buf)
 }
@@ -285,7 +403,11 @@ func (p *Predictor) PredictSite(s *features.Site) (heuristics.Prediction, bool) 
 	return heuristics.NotTaken, true
 }
 
-// modelJSON is the serialized form of a model.
+// modelJSON is the serialized form of a model. The quantization section
+// stores only the calibration — the int8 weights are rebuilt
+// deterministically from the float net on EnableQuant, so the file format
+// carries no second copy of the matrix and old tools keep loading new
+// files.
 type modelJSON struct {
 	Classifier ClassifierKind    `json:"classifier"`
 	Hidden     int               `json:"hidden"`
@@ -294,6 +416,7 @@ type modelJSON struct {
 	Net        *neural.Net       `json:"net,omitempty"`
 	Tree       *dtree.Tree       `json:"tree,omitempty"`
 	MBR        *mbr.Model        `json:"mbr,omitempty"`
+	Quant      *QuantCalibration `json:"quant,omitempty"`
 }
 
 // Save writes the model as JSON.
@@ -308,6 +431,7 @@ func (m *Model) Save(w io.Writer) error {
 		Net:        m.Net,
 		Tree:       m.Tree,
 		MBR:        m.MBR,
+		Quant:      m.QuantCalib,
 	})
 }
 
@@ -327,11 +451,12 @@ func Load(r io.Reader) (*Model, error) {
 			Hidden:          mj.Hidden,
 			ExcludeFeatures: mj.Excluded,
 		},
-		Encoder:  mj.Encoder,
-		Net:      mj.Net,
-		Tree:     mj.Tree,
-		MBR:      mj.MBR,
-		excluded: excludeSet(mj.Excluded),
+		Encoder:    mj.Encoder,
+		Net:        mj.Net,
+		Tree:       mj.Tree,
+		MBR:        mj.MBR,
+		QuantCalib: mj.Quant,
+		excluded:   excludeSet(mj.Excluded),
 	}
 	if m.Net == nil && m.Tree == nil && m.MBR == nil {
 		return nil, fmt.Errorf("core: model file has no classifier")

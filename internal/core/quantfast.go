@@ -1,0 +1,191 @@
+package core
+
+import (
+	"repro/internal/features"
+	"repro/internal/neural"
+)
+
+// quantFused is the serving-speed form of the int8 forward pass. The kernel
+// path (features.QuantEncoder + neural.QuantNet.Forward) materializes the
+// full D-wide int8 input row and runs H row-dot-products over it — but the
+// row is almost entirely zeros: each of the 25 features contributes one
+// small one-hot-ish block. So for every (feature, value) pair we prefold
+// that block against the quantized weight matrix once, yielding an H-wide
+// int32 contribution vector, and a prediction becomes 25 table lookups plus
+// 25 H-wide int32 adds.
+//
+// The result is bit-identical to the kernel path by construction: integer
+// addition is exact and associative, so summing per-feature partial dot
+// products gives exactly the accumulators quantDot computes over the full
+// row, and neural.QuantNet.ForwardAcc finishes in Forward's exact float
+// operation order. The calibration sweep therefore measures with the kernel
+// path and serving answers with this one; the differential test holds for
+// both. The AVX2 kernels remain load-bearing for calibration (which probes
+// dense rows) and for ForwardBatch callers.
+type quantFused struct {
+	net   *neural.QuantNet
+	feats [features.NumFeatures]fusedFeature
+}
+
+// fusedFeature maps one feature's values to prefolded contribution vectors.
+// Lookups take the packed-key open-addressing table when every vocabulary
+// value packs into a uint64 (they essentially always do — values are short
+// mnemonics); otherwise the whole feature falls back to a Go map.
+type fusedFeature struct {
+	// gated marks a feature the model excludes (Config.ExcludeFeatures):
+	// masking it to "?" would zero its block, so the fused path just skips
+	// it — which is why serving never needs the per-vector mask copy.
+	gated bool
+	// keys/vals form an open-addressed hash table (power-of-two size,
+	// linear probing). keys[h]==0 marks an empty slot — safe because
+	// packKey never returns 0 for a non-empty string and empty strings
+	// never reach lookup (gated features are skipped).
+	keys  []uint64
+	vals  [][]int32
+	mask  uint64
+	shift uint
+	// unseen is the contribution of an out-of-vocabulary value.
+	unseen []int32
+	// slow replaces keys/vals when some vocabulary value is unpackable.
+	slow map[string][]int32
+}
+
+// packKey packs a short string into a uint64: little-endian bytes with the
+// length in the top byte. Injective over strings of length 1..7, and never
+// zero for them (the length byte is non-zero), so 0 can mark empty slots.
+func packKey(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 7 {
+		return 0, false
+	}
+	var k uint64
+	for i := 0; i < len(s); i++ {
+		k |= uint64(s[i]) << (8 * uint(i))
+	}
+	return k | uint64(len(s))<<56, true
+}
+
+// fusedHashMul is the Fibonacci-hashing multiplier (2^64/φ, odd).
+const fusedHashMul = 0x9E3779B97F4A7C15
+
+// newQuantFused folds the quantized encoder's per-value blocks against the
+// quantized weight matrix. Features in excluded are gated: forward treats
+// them exactly as if the vector had been masked to "?".
+func newQuantFused(qn *neural.QuantNet, qe *features.QuantEncoder, excluded map[int]bool) *quantFused {
+	f := &quantFused{net: qn}
+	d := qn.Inputs
+	for ft := 0; ft < features.NumFeatures; ft++ {
+		if excluded[ft] {
+			f.feats[ft].gated = true
+			continue
+		}
+		off, _ := qe.FeatureSpan(ft)
+		fold := func(block []int8) []int32 {
+			contrib := make([]int32, qn.Hidden)
+			for i := 0; i < qn.Hidden; i++ {
+				row := qn.WQ[i*d+off : i*d+off+len(block)]
+				var acc int32
+				for j, b := range block {
+					acc += int32(row[j]) * int32(b)
+				}
+				contrib[i] = acc
+			}
+			return contrib
+		}
+		known := qe.KnownBlocks(ft)
+		ff := &f.feats[ft]
+		ff.unseen = fold(qe.UnseenBlock(ft))
+		packable := true
+		for val := range known {
+			if _, ok := packKey(val); !ok {
+				packable = false
+				break
+			}
+		}
+		if !packable {
+			ff.slow = make(map[string][]int32, len(known))
+			for val, block := range known {
+				ff.slow[val] = fold(block)
+			}
+			continue
+		}
+		size := 1
+		for size < 2*(len(known)+1) {
+			size <<= 1
+		}
+		ff.keys = make([]uint64, size)
+		ff.vals = make([][]int32, size)
+		ff.mask = uint64(size - 1)
+		ff.shift = 64 - uint(log2(size))
+		for val, block := range known {
+			k, _ := packKey(val)
+			h := (k * fusedHashMul) >> ff.shift
+			for ff.keys[h] != 0 {
+				h = (h + 1) & ff.mask
+			}
+			ff.keys[h] = k
+			ff.vals[h] = fold(block)
+		}
+	}
+	return f
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// forward runs one vector through the fused path. v may be unmasked: the
+// model's excluded features are gated in the tables themselves. acc is the
+// caller's H-wide scratch. Allocates nothing.
+func (f *quantFused) forward(v *features.Vector, acc []int32) float64 {
+	for i := range acc {
+		acc[i] = 0
+	}
+	for ft := range v.Values {
+		ff := &f.feats[ft]
+		val := v.Values[ft]
+		if ff.gated || val == features.Unknown || val == "" {
+			// Masked or gated feature: the encoded block is all-zero,
+			// contribution 0.
+			continue
+		}
+		var contrib []int32
+		switch {
+		case ff.slow != nil:
+			c, ok := ff.slow[val]
+			if !ok {
+				c = ff.unseen
+			}
+			contrib = c
+		default:
+			k, ok := packKey(val)
+			if !ok {
+				// Unpackable query against an all-packable vocabulary:
+				// necessarily out of vocabulary.
+				contrib = ff.unseen
+				break
+			}
+			h := (k * fusedHashMul) >> ff.shift
+			for {
+				kk := ff.keys[h]
+				if kk == k {
+					contrib = ff.vals[h]
+					break
+				}
+				if kk == 0 {
+					contrib = ff.unseen
+					break
+				}
+				h = (h + 1) & ff.mask
+			}
+		}
+		for i, c := range contrib {
+			acc[i] += c
+		}
+	}
+	return f.net.ForwardAcc(acc)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/neural"
+)
+
+// TestQuantFusedMatchesKernelPath is the bit-identity contract between the
+// fused contribution-table path and the kernel path (QuantEncoder.Encode +
+// QuantNet.Forward): same probability, bit for bit, across every lookup
+// shape — vocabulary hits, packable and unpackable (>7 byte) values, unseen
+// values, and gated features.
+func TestQuantFusedMatchesKernelPath(t *testing.T) {
+	mk := func(vals ...string) features.Vector {
+		var v features.Vector
+		for i := range v.Values {
+			v.Values[i] = features.Unknown
+		}
+		for i, val := range vals {
+			v.Values[i] = val
+		}
+		return v
+	}
+	// Feature 1 gets a >7-byte vocabulary value, forcing its fused table
+	// onto the slow-map fallback; the others stay on packed keys.
+	train := []features.Vector{
+		mk("BEQ", "LONG-VOCAB-VALUE", "SLT"),
+		mk("BNE", "F", "SLT"),
+		mk("BEQ", "F", "ADD"),
+		mk("BEQ", "B", "SLT"),
+		mk("BNE", "LONG-VOCAB-VALUE", "ADD"),
+	}
+	var examples []Example
+	for i, v := range train {
+		examples = append(examples, Example{Vector: v, Target: float64(i%2) - 0.5, Weight: 1})
+	}
+	m := TrainExamples(examples, Config{})
+
+	probes := append([]features.Vector(nil), train...)
+	probes = append(probes,
+		mk("NEVER"),                     // unseen short value
+		mk("NEVER-SEEN-AND-QUITE-LONG"), // unseen unpackable value
+		mk("BEQ", "ALSO-LONG-BUT-NEW"),  // unpackable miss on the slow-map feature
+		mk(),                            // fully gated
+	)
+
+	for _, margin := range []float64{0.5, 1.0} {
+		xscale := 127 / (m.Encoder.MaxAbsActivation() * margin)
+		qn, err := neural.Quantize(m.Net, xscale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe, err := features.NewQuantEncoder(m.Encoder, xscale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused := newQuantFused(qn, qe, nil)
+		if fused.feats[1].slow == nil {
+			t.Fatal("feature 1 has an unpackable vocabulary value but no slow map")
+		}
+		if fused.feats[0].keys == nil {
+			t.Fatal("feature 0 has a short-string vocabulary but no packed table")
+		}
+		// A gated table must equal the kernel path on the masked vector.
+		excluded := map[int]bool{0: true}
+		gated := newQuantFused(qn, qe, excluded)
+
+		qx := make([]int8, qe.Dim())
+		acc := make([]int32, qn.Hidden)
+		for pi := range probes {
+			qe.Encode(&probes[pi], qx)
+			want := qn.Forward(qx)
+			got := fused.forward(&probes[pi], acc)
+			if got != want {
+				t.Errorf("margin %v probe %d: fused %v, kernel %v — not bit-identical",
+					margin, pi, got, want)
+			}
+			masked := maskVector(probes[pi], excluded)
+			qe.Encode(&masked, qx)
+			want = qn.Forward(qx)
+			got = gated.forward(&probes[pi], acc)
+			if got != want {
+				t.Errorf("margin %v probe %d: gated fused %v, masked kernel %v — not bit-identical",
+					margin, pi, got, want)
+			}
+		}
+	}
+}
+
+// TestPackKey pins the packed-key invariants the hash table's empty-slot
+// sentinel depends on: injectivity over packable strings and never-zero.
+func TestPackKey(t *testing.T) {
+	if _, ok := packKey(""); ok {
+		t.Error("empty string must be unpackable (0 marks empty slots)")
+	}
+	if _, ok := packKey("12345678"); ok {
+		t.Error("8-byte string must be unpackable")
+	}
+	seen := make(map[uint64]string)
+	var vals []string
+	for _, s := range []string{"a", "b", "ab", "ba", "aa", "A", "\x00", "\x00\x00", "BEQ", "BEQZ", "1234567"} {
+		vals = append(vals, s)
+	}
+	for i := 0; i < 200; i++ {
+		vals = append(vals, fmt.Sprintf("v%d", i))
+	}
+	for _, s := range vals {
+		k, ok := packKey(s)
+		if !ok {
+			t.Fatalf("packKey(%q) not packable", s)
+		}
+		if k == 0 {
+			t.Fatalf("packKey(%q) = 0, collides with the empty-slot sentinel", s)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("packKey collision: %q and %q -> %#x", prev, s, k)
+		}
+		seen[k] = s
+	}
+}

@@ -1,0 +1,144 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/neural"
+)
+
+// quantFixture builds an encoder over a small synthetic training set with
+// the shapes that matter: common and rare values (skewed column stats),
+// gated features, and a constant column candidate.
+func quantFixture() (*Encoder, []Vector) {
+	mk := func(vals ...string) Vector {
+		var v Vector
+		for i := range v.Values {
+			v.Values[i] = Unknown
+		}
+		for i, val := range vals {
+			v.Values[i] = val
+		}
+		return v
+	}
+	train := []Vector{
+		mk("BEQ", "F", "SLT"),
+		mk("BEQ", "F", "ADD"),
+		mk("BEQ", "B", "SLT"),
+		mk("BNE", "F", "SLT"),
+		mk("BEQ", "F", "SLT"),
+		mk("BEQ", "F", "RARE"), // rare value: skewed Bernoulli stats
+		mk("BEQ", "F"),         // gated third feature
+	}
+	return NewEncoder(train), train
+}
+
+// TestQuantEncoderMatchesFloatPath is the grid-equivalence contract: for
+// every vector (training values, unseen values, gated features), the
+// precomputed-block encoder produces exactly the bytes the float
+// Encode → QuantizeInput pipeline produces.
+func TestQuantEncoderMatchesFloatPath(t *testing.T) {
+	enc, train := quantFixture()
+	for _, xscale := range []float64{127 / enc.MaxAbsActivation(), 127 / 4.0, 16.0} {
+		qe, err := NewQuantEncoder(enc, xscale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The float reference: a throwaway quant net carries QuantizeInput's
+		// grid for the same xscale.
+		qn, err := neural.Quantize(neural.New(neural.Config{Inputs: enc.Dim, Hidden: 1, Seed: 1}), xscale)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		probe := append([]Vector(nil), train...)
+		unseen := train[0]
+		unseen.Values[0] = "NEVER-SEEN"
+		probe = append(probe, unseen)
+		gatedAll := Vector{}
+		for i := range gatedAll.Values {
+			gatedAll.Values[i] = Unknown
+		}
+		probe = append(probe, gatedAll)
+
+		x := make([]float64, enc.Dim)
+		want := make([]int8, enc.Dim)
+		got := make([]int8, enc.Dim)
+		for vi, v := range probe {
+			enc.Encode(v, x)
+			qn.QuantizeInput(x, want)
+			qe.Encode(&v, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("xscale=%v vector %d column %d: block path %d, float path %d",
+						xscale, vi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantEncoderZeroAlloc pins the hot-path property the serving layer
+// depends on: steady-state encoding allocates nothing.
+func TestQuantEncoderZeroAlloc(t *testing.T) {
+	enc, train := quantFixture()
+	qe, err := NewQuantEncoder(enc, 127/enc.MaxAbsActivation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int8, enc.Dim)
+	v := train[0]
+	if allocs := testing.AllocsPerRun(200, func() { qe.Encode(&v, dst) }); allocs != 0 {
+		t.Fatalf("QuantEncoder.Encode allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestQuantEncoderValidates pins the error and panic paths.
+func TestQuantEncoderValidates(t *testing.T) {
+	enc, _ := quantFixture()
+	if _, err := NewQuantEncoder(nil, 1); err == nil {
+		t.Error("nil encoder: no error")
+	}
+	for _, s := range []float64{0, -2} {
+		if _, err := NewQuantEncoder(enc, s); err == nil {
+			t.Errorf("xscale=%v: no error", s)
+		}
+	}
+	qe, err := NewQuantEncoder(enc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short dst did not panic")
+		}
+	}()
+	qe.Encode(&Vector{}, make([]int8, enc.Dim-1))
+}
+
+// TestMaxAbsActivation checks the calibration range against a brute-force
+// scan of every encodable column state.
+func TestMaxAbsActivation(t *testing.T) {
+	enc, train := quantFixture()
+	var brute float64
+	x := make([]float64, enc.Dim)
+	probe := append([]Vector(nil), train...)
+	unseen := train[0]
+	unseen.Values[1] = "NOPE"
+	probe = append(probe, unseen)
+	for _, v := range probe {
+		enc.Encode(v, x)
+		for _, xv := range x {
+			if a := xv; a < 0 {
+				a = -a
+				if a > brute {
+					brute = a
+				}
+			} else if a > brute {
+				brute = a
+			}
+		}
+	}
+	if m := enc.MaxAbsActivation(); m < brute {
+		t.Fatalf("MaxAbsActivation %v < observed activation %v", m, brute)
+	}
+}

@@ -86,6 +86,11 @@ func (m *Model) computeInformationWeights() {
 		wTaken += e.Weight * e.Target
 		wNot += e.Weight * (1 - e.Target)
 	}
+	if wTaken+wNot <= 0 {
+		// A weightless memory carries no measurable information; keep the
+		// uniform weights rather than dividing by the zero total below.
+		return
+	}
 	base := entropy(wTaken, wNot)
 	for f := 0; f < features.NumFeatures; f++ {
 		type bucket struct{ taken, not float64 }

@@ -118,6 +118,26 @@ func TestSerializationRoundtrip(t *testing.T) {
 	}
 }
 
+// TestWeightlessMemory pins a case testing/quick found: every stored
+// memory carrying execution weight zero used to drive the information-gain
+// computation through 0/0, poisoning all feature weights (and every
+// prediction) with NaN.
+func TestWeightlessMemory(t *testing.T) {
+	var exs []Example
+	for i := 0; i < 6; i++ {
+		exs = append(exs, ex(i%3, string(rune('A'+i%4)), 0, 0))
+	}
+	m := New(exs, Config{K: 5, InformationWeights: true})
+	for f, w := range m.FeatW {
+		if math.IsNaN(w) {
+			t.Fatalf("feature %d weight is NaN", f)
+		}
+	}
+	if p := m.Predict(exs[0].Values); p < 0 || p > 1 || math.IsNaN(p) {
+		t.Fatalf("prediction %v out of [0,1]", p)
+	}
+}
+
 // TestPredictionBounded: predictions are probabilities for arbitrary
 // memories.
 func TestPredictionBounded(t *testing.T) {

@@ -152,10 +152,18 @@ func (n *Net) ForwardInto(h []float64, x []float64) float64 {
 }
 
 // ForwardBatch runs every row of xs through the network, writing the output
-// probabilities into out (len(out) must equal len(xs)). The caller provides
-// one hidden scratch buffer (length Hidden) that is reused across the whole
-// batch — the serving layer's batched inference hook.
+// probabilities into out (len(out) must equal len(xs), checked — a short out
+// would otherwise panic mid-batch with rows already mutated). The caller
+// provides one hidden scratch buffer (length Hidden) that is reused across
+// the whole batch — the serving layer's batched inference hook. The empty
+// batch is an explicit no-op.
 func (n *Net) ForwardBatch(h []float64, xs [][]float64, out []float64) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("neural: ForwardBatch out length %d, want %d", len(out), len(xs)))
+	}
+	if len(xs) == 0 {
+		return
+	}
 	for i, x := range xs {
 		out[i] = n.ForwardInto(h, x)
 	}

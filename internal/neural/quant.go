@@ -1,0 +1,172 @@
+package neural
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantNet is the int8 inference twin of Net: the hidden×inputs weight
+// matrix quantized symmetrically per row to int8, inputs quantized to int8
+// with one fixed calibrated scale, and the hidden pre-activations computed
+// as int32 dot products (quant_kernels). Only the first layer — the O(D·H)
+// bulk of the forward pass — runs in fixed point; biases, tanh, and the
+// H-wide output layer stay float64, where they cost nothing and keep the
+// output a smooth probability.
+//
+// Quantization moves probabilities, never measured outcomes: the calibration
+// step (core.CalibrateQuant) picks XScale and a decision guard band so that
+// taken/not-taken decisions — and therefore every miss rate — are pinned to
+// the float reference over the whole corpus. See DESIGN.md.
+type QuantNet struct {
+	Inputs int
+	Hidden int
+	// WQ is the row-major Hidden×Inputs int8 weight matrix:
+	// WQ[i*Inputs+j] ≈ W[i][j] / WScale[i]. Row-major (the transpose of
+	// Net.W's column-major layout) so each hidden unit's dot product walks
+	// one contiguous int8 row.
+	WQ []int8
+	// WScale dequantizes row i: w ≈ int8 · WScale[i] (symmetric, per row).
+	WScale []float64
+	// XScale quantizes inputs: qx = clamp(round(x · XScale), ±127). Fixed
+	// at calibration time rather than per-vector, so a (feature, value)
+	// pair always quantizes to the same int8 pattern and the quantized
+	// encoder can precompute whole blocks (features.QuantEncoder).
+	XScale float64
+	// B, V, A are carried unquantized from the float net.
+	B []float64
+	V []float64
+	A float64
+
+	// deq[i] = WScale[i]/XScale folds both scales into the single
+	// float multiply that turns row i's int32 accumulator into a
+	// pre-activation.
+	deq []float64
+}
+
+// QuantizeSym exposes the symmetric int8 grid to the feature-level
+// quantized encoder, which precomputes per-value input blocks and must land
+// on exactly the codes QuantizeInput would produce (same step, same
+// rounding). step is the quantization step size, i.e. 1/XScale for inputs.
+func QuantizeSym(v, step float64) int8 { return quantizeSym(v, step) }
+
+// quantizeSym quantizes v symmetrically: clamp(round(v/scale)) to ±127.
+// The -128 code is never produced, keeping the grid symmetric around zero.
+func quantizeSym(v, scale float64) int8 {
+	if scale == 0 {
+		return 0
+	}
+	r := math.Round(v / scale)
+	if r > 127 {
+		return 127
+	}
+	if r < -127 {
+		return -127
+	}
+	return int8(r)
+}
+
+// Quantize builds the int8 twin of a trained float net. xscale is the input
+// quantization scale (1/xscale is the largest representable activation
+// magnitude; larger inputs saturate).
+func Quantize(n *Net, xscale float64) (*QuantNet, error) {
+	if n == nil {
+		return nil, fmt.Errorf("neural: Quantize: nil net")
+	}
+	if xscale <= 0 || math.IsInf(xscale, 0) || math.IsNaN(xscale) {
+		return nil, fmt.Errorf("neural: Quantize: bad xscale %v", xscale)
+	}
+	q := &QuantNet{
+		Inputs: n.Inputs,
+		Hidden: n.Hidden,
+		WQ:     make([]int8, n.Hidden*n.Inputs),
+		WScale: make([]float64, n.Hidden),
+		XScale: xscale,
+		B:      append([]float64(nil), n.B...),
+		V:      append([]float64(nil), n.V...),
+		A:      n.A,
+		deq:    make([]float64, n.Hidden),
+	}
+	for i := 0; i < n.Hidden; i++ {
+		var maxAbs float64
+		for j := 0; j < n.Inputs; j++ {
+			if a := math.Abs(n.Weight(i, j)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1 // all-zero row: any scale dequantizes zeros to zero
+		}
+		q.WScale[i] = scale
+		q.deq[i] = scale / xscale
+		row := q.WQ[i*n.Inputs : (i+1)*n.Inputs]
+		for j := 0; j < n.Inputs; j++ {
+			row[j] = quantizeSym(n.Weight(i, j), scale)
+		}
+	}
+	return q, nil
+}
+
+// QuantizeInput writes the int8 quantization of x into qx (both length
+// Inputs). Serving uses features.QuantEncoder instead, which produces the
+// same bytes from precomputed per-value blocks without touching float64.
+func (q *QuantNet) QuantizeInput(x []float64, qx []int8) {
+	if len(x) != q.Inputs || len(qx) != q.Inputs {
+		panic(fmt.Sprintf("neural: QuantizeInput lengths x=%d qx=%d, want %d", len(x), len(qx), q.Inputs))
+	}
+	inv := 1 / q.XScale
+	for j, v := range x {
+		qx[j] = quantizeSym(v, inv)
+	}
+}
+
+// Forward returns the quantized network's output probability for one
+// already-quantized input row. It allocates nothing.
+//
+// The nonlinearity is tanhApprox, not math.Tanh: the approximation error is
+// calibration noise by design (the sweep measures flips against this exact
+// function), and the table lookup is what keeps the int8 pass from being
+// tanh-bound.
+func (q *QuantNet) Forward(qx []int8) float64 {
+	if len(qx) != q.Inputs {
+		panic(fmt.Sprintf("neural: QuantNet.Forward input length %d, want %d", len(qx), q.Inputs))
+	}
+	z := q.A
+	d := q.Inputs
+	for i := 0; i < q.Hidden; i++ {
+		acc := quantDot(q.WQ[i*d:(i+1)*d], qx)
+		z += q.V[i] * tanhApprox(float64(acc)*q.deq[i]+q.B[i])
+	}
+	return 0.5 * (tanhApprox(z) + 1)
+}
+
+// ForwardAcc finishes a forward pass from externally computed hidden-unit
+// accumulators (acc[i] = Σ_j WQ[i·d+j]·qx[j]). Integer addition is exact
+// and associative, so any decomposition of the dot products — in
+// particular the per-feature-block fusion core builds for serving — yields
+// accumulators identical to quantDot's, and this function performs the
+// float combination in exactly Forward's operation order. The two are
+// therefore bit-identical: the calibration sweep can measure with Forward
+// and serving can answer with ForwardAcc.
+func (q *QuantNet) ForwardAcc(acc []int32) float64 {
+	if len(acc) != q.Hidden {
+		panic(fmt.Sprintf("neural: QuantNet.ForwardAcc acc length %d, want %d", len(acc), q.Hidden))
+	}
+	z := q.A
+	for i, a := range acc {
+		z += q.V[i] * tanhApprox(float64(a)*q.deq[i]+q.B[i])
+	}
+	return 0.5 * (tanhApprox(z) + 1)
+}
+
+// ForwardBatch runs every quantized row through the network, writing the
+// output probabilities into out. len(out) must equal len(qxs); the empty
+// batch is a no-op.
+func (q *QuantNet) ForwardBatch(qxs [][]int8, out []float64) {
+	if len(out) != len(qxs) {
+		panic(fmt.Sprintf("neural: QuantNet.ForwardBatch out length %d, want %d", len(out), len(qxs)))
+	}
+	for i, qx := range qxs {
+		out[i] = q.Forward(qx)
+	}
+}

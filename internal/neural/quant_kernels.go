@@ -1,0 +1,22 @@
+package neural
+
+// The quantized forward pass reduces to one integer kernel: the int8 dot
+// product with an int32 accumulator. Unlike the float64 CSR kernels, whose
+// assembly must replay the exact IEEE rounding of the Go loop, integer
+// addition is associative — any summation order produces the same int32 —
+// so the AVX2 version (quant_kernels_amd64.s) is exactly equal to this
+// generic loop by construction, and the differential tests assert ==.
+//
+// Accumulator bound: |a[i]*b[i]| ≤ 128·128 = 16384, so the int32 accumulator
+// is exact for any n ≤ 2^31/2^14 = 131072 elements. Quantized input rows are
+// a few hundred columns wide; callers stay far inside the bound.
+
+// quantDotGeneric is the portable int8 dot product.
+func quantDotGeneric(a, b []int8) int32 {
+	var acc int32
+	_ = b[:len(a)]
+	for i, av := range a {
+		acc += int32(av) * int32(b[i])
+	}
+	return acc
+}

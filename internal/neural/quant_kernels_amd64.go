@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package neural
+
+// useAVX2 gates the int8 kernels on hardware and OS support: AVX2 in CPUID
+// leaf 7 plus YMM state enabled in XCR0 (the same discipline as useAVX for
+// the float kernels).
+var useAVX2 = x86HasAVX2()
+
+// x86HasAVX2 reports CPU + OS support for the AVX2 integer kernels
+// (implemented in quant_kernels_amd64.s).
+func x86HasAVX2() bool
+
+//go:noescape
+func quantDotAVX2(a, b *int8, n int) int32
+
+// quantDot returns the int8 dot product Σ a[i]·b[i] as int32. The AVX2 and
+// generic paths return identical values for all inputs (integer adds are
+// order-independent), so this dispatch never changes results.
+func quantDot(a, b []int8) int32 {
+	if useAVX2 && len(a) > 0 {
+		return quantDotAVX2(&a[0], &b[0], len(a))
+	}
+	return quantDotGeneric(a, b)
+}

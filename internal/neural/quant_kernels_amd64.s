@@ -1,0 +1,79 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// The int8 dot-product kernel behind the quantized forward pass. Sixteen
+// int8 lanes are sign-extended to int16, VPMADDWD multiplies and pairwise
+// adds them into eight int32 lanes, and the lanes accumulate across the row.
+// Integer addition is associative, so the lane-parallel order is exactly
+// equal to the scalar loop — no FMA/rounding caveats apply here, unlike the
+// float kernels in csr_kernels_amd64.s.
+
+// func x86HasAVX2() bool
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	BTL  $27, CX       // OSXSAVE
+	JCC  no
+	BTL  $28, CX       // AVX
+	JCC  no
+	XORL CX, CX
+	XGETBV             // XCR0 in AX
+	ANDL $6, AX        // XMM|YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	BTL  $5, BX        // AVX2
+	JCC  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func quantDotAVX2(a, b *int8, n int) int32
+//
+// ret = Σ_{i<n} int32(a[i]) * int32(b[i])
+TEXT ·quantDotAVX2(SB), NOSPLIT, $0-28
+	MOVQ  a+0(FP), SI
+	MOVQ  b+8(FP), DI
+	MOVQ  n+16(FP), CX
+	VPXOR Y0, Y0, Y0       // eight int32 accumulator lanes
+vloop:
+	CMPQ CX, $16
+	JLT  vsum
+	VPMOVSXBW (SI), Y1     // 16 int8 -> 16 int16
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y1, Y2, Y2   // pairwise a*b sums -> 8 int32
+	VPADDD    Y2, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JMP  vloop
+vsum:
+	// Horizontal sum of the eight lanes into AX.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD  X1, X0, X0
+	VPSHUFD $0xEE, X0, X1  // high qword -> low
+	VPADDD  X1, X0, X0
+	VPSHUFD $0x55, X0, X1  // lane 1 -> lane 0
+	VPADDD  X1, X0, X0
+	VMOVD   X0, AX
+	VZEROUPPER
+stail:
+	TESTQ CX, CX
+	JE    done
+	MOVBQSX (SI), R8
+	MOVBQSX (DI), R9
+	IMULQ   R9, R8
+	ADDL    R8, AX
+	INCQ    SI
+	INCQ    DI
+	DECQ    CX
+	JMP     stail
+done:
+	MOVL AX, ret+24(FP)
+	RET

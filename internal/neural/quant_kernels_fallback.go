@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package neural
+
+func quantDot(a, b []int8) int32 {
+	return quantDotGeneric(a, b)
+}

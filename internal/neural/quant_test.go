@@ -1,0 +1,260 @@
+package neural
+
+import (
+	"math"
+	"testing"
+)
+
+// edgeValues are the int8 extremes the quant kernels must handle exactly:
+// the most negative code (−128, which the symmetric quantizer never emits
+// but the kernel contract still covers), the extremes of the symmetric
+// grid, zero, and ±1.
+var edgeValues = []int8{-128, -127, -1, 0, 1, 127}
+
+// TestQuantDotEdgeValuesExhaustive runs every (a, b) pair of edge values
+// through both kernels at a length past the vector width, checking the
+// exact int32 accumulation (including -128·-128 = 16384 products).
+func TestQuantDotEdgeValuesExhaustive(t *testing.T) {
+	const n = 37 // two 16-lane iterations plus a 5-lane scalar tail
+	for _, av := range edgeValues {
+		for _, bv := range edgeValues {
+			a := make([]int8, n)
+			b := make([]int8, n)
+			for i := range a {
+				a[i] = av
+				b[i] = bv
+			}
+			want := int32(n) * int32(av) * int32(bv)
+			if got := quantDotGeneric(a, b); got != want {
+				t.Errorf("generic dot(%d,%d)×%d = %d, want %d", av, bv, n, got, want)
+			}
+			if got := quantDot(a, b); got != want {
+				t.Errorf("dispatched dot(%d,%d)×%d = %d, want %d", av, bv, n, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantDotLengthsAroundVectorWidth sweeps every length 0..67 — odd
+// lengths, exact multiples of the 16-lane width, and one-off lengths on
+// both sides — with mixed-sign contents, asserting the dispatched kernel
+// (AVX2 where available) equals the generic loop exactly.
+func TestQuantDotLengthsAroundVectorWidth(t *testing.T) {
+	rng := newRNG(7)
+	for n := 0; n <= 67; n++ {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := 0; i < n; i++ {
+			a[i] = int8(rng.next())
+			b[i] = int8(rng.next())
+		}
+		// Plant edge codes at the boundaries the tail logic cares about.
+		if n > 0 {
+			a[0], b[0] = -128, 127
+			a[n-1], b[n-1] = 127, -128
+		}
+		want := quantDotGeneric(a, b)
+		if got := quantDot(a, b); got != want {
+			t.Fatalf("n=%d: dispatched dot %d, generic %d", n, got, want)
+		}
+	}
+}
+
+// TestQuantDotUnalignedOffsets slides both operands across sub-slice
+// offsets so the AVX2 loads hit every 16-byte misalignment.
+func TestQuantDotUnalignedOffsets(t *testing.T) {
+	rng := newRNG(11)
+	backing := make([]int8, 128)
+	for i := range backing {
+		backing[i] = int8(rng.next())
+	}
+	for off := 0; off < 16; off++ {
+		for n := 15; n <= 49; n += 17 {
+			a := backing[off : off+n]
+			b := backing[off+n : off+2*n]
+			want := quantDotGeneric(a, b)
+			if got := quantDot(a, b); got != want {
+				t.Fatalf("off=%d n=%d: dispatched dot %d, generic %d", off, n, got, want)
+			}
+		}
+	}
+}
+
+// FuzzQuantDot compares the dispatched kernel against the generic fallback
+// on arbitrary byte strings: the two halves of the input become the two
+// operands. On amd64 this differentially fuzzes the assembly; under the
+// purego tag (or other GOARCH) it degenerates to self-consistency.
+func FuzzQuantDot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x7f, 0x00, 0x01, 0xff, 0x80})
+	seed := make([]byte, 66)
+	for i := range seed {
+		seed[i] = byte(i*37 + 128)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 2
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := 0; i < n; i++ {
+			a[i] = int8(data[i])
+			b[i] = int8(data[n+i])
+		}
+		want := quantDotGeneric(a, b)
+		if got := quantDot(a, b); got != want {
+			t.Fatalf("n=%d: dispatched dot %d, generic %d", n, got, want)
+		}
+	})
+}
+
+// TestQuantizeSym pins the quantizer's grid: symmetric ±127, round half
+// away from zero, saturating.
+func TestQuantizeSym(t *testing.T) {
+	cases := []struct {
+		v, scale float64
+		want     int8
+	}{
+		{0, 1, 0},
+		{1, 1, 1},
+		{-1, 1, -1},
+		{0.5, 1, 1}, // round half away from zero
+		{-0.5, 1, -1},
+		{0.49, 1, 0},
+		{126.6, 1, 127},
+		{1000, 1, 127},   // saturate high
+		{-1000, 1, -127}, // saturate low symmetrically (never -128)
+		{3, 2, 2},        // scale divides before rounding
+		{1, 0, 0},        // degenerate scale quantizes to zero
+	}
+	for _, c := range cases {
+		if got := quantizeSym(c.v, c.scale); got != c.want {
+			t.Errorf("quantizeSym(%v, %v) = %d, want %d", c.v, c.scale, got, c.want)
+		}
+	}
+}
+
+// TestQuantizeRoundTrip checks Quantize against a hand-computed net: the
+// dequantized weights stay within half a quantization step of the float
+// weights, and the quantized forward output stays close to the float one.
+func TestQuantizeRoundTrip(t *testing.T) {
+	cfg := Config{Inputs: 33, Hidden: 5, Seed: 3}
+	n := New(cfg)
+	q, err := Quantize(n, 127/4.0) // representable input range ±4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n.Hidden; i++ {
+		for j := 0; j < n.Inputs; j++ {
+			w := n.Weight(i, j)
+			wq := float64(q.WQ[i*q.Inputs+j]) * q.WScale[i]
+			if d := math.Abs(w - wq); d > q.WScale[i]/2+1e-12 {
+				t.Fatalf("weight (%d,%d): float %v dequantized %v, off by %v > step/2 %v",
+					i, j, w, wq, d, q.WScale[i]/2)
+			}
+		}
+	}
+
+	rng := newRNG(9)
+	x := make([]float64, cfg.Inputs)
+	qx := make([]int8, cfg.Inputs)
+	h := make([]float64, cfg.Hidden)
+	var worst float64
+	for trial := 0; trial < 200; trial++ {
+		for j := range x {
+			x[j] = rng.uniform() * 3
+		}
+		q.QuantizeInput(x, qx)
+		yf := n.ForwardInto(h, x)
+		yq := q.Forward(qx)
+		if d := math.Abs(yf - yq); d > worst {
+			worst = d
+		}
+	}
+	// The error budget here is loose — the decision-pinning calibration is
+	// what guarantees outcomes — but a broken quantizer would blow far past
+	// this.
+	if worst > 0.05 {
+		t.Fatalf("worst |float-quant| probability gap %v > 0.05", worst)
+	}
+}
+
+// TestQuantizeAllZeroRow covers the degenerate all-zero weight row: its
+// scale must stay finite and its contribution exactly tanh(bias).
+func TestQuantizeAllZeroRow(t *testing.T) {
+	n := &Net{
+		Inputs: 8,
+		Hidden: 2,
+		W:      make([]float64, 16),
+		B:      []float64{0.25, -0.5},
+		V:      []float64{1, 1},
+	}
+	// Row 1 gets real weights; row 0 stays all zero.
+	for j := 0; j < 8; j++ {
+		n.SetWeight(1, j, float64(j-4)/8)
+	}
+	q, err := Quantize(n, 127.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.WScale[0] != 1 {
+		t.Fatalf("all-zero row scale = %v, want 1", q.WScale[0])
+	}
+	qx := make([]int8, 8)
+	for i := range qx {
+		qx[i] = 127
+	}
+	got := q.Forward(qx)
+	if math.IsNaN(got) || got < 0 || got > 1 {
+		t.Fatalf("forward with all-zero row = %v, want a probability", got)
+	}
+}
+
+// TestQuantizeRejectsBadScale pins the error paths.
+func TestQuantizeRejectsBadScale(t *testing.T) {
+	n := New(Config{Inputs: 4, Hidden: 2, Seed: 1})
+	for _, s := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := Quantize(n, s); err == nil {
+			t.Errorf("Quantize(xscale=%v): no error", s)
+		}
+	}
+	if _, err := Quantize(nil, 1); err == nil {
+		t.Error("Quantize(nil): no error")
+	}
+}
+
+// TestQuantForwardBatchValidates mirrors the Net.ForwardBatch contract:
+// mismatched lengths panic, the empty batch is a no-op.
+func TestQuantForwardBatchValidates(t *testing.T) {
+	n := New(Config{Inputs: 4, Hidden: 2, Seed: 1})
+	q, err := Quantize(n, 127.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.ForwardBatch(nil, nil) // empty batch: no panic
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ForwardBatch length mismatch did not panic")
+			}
+		}()
+		q.ForwardBatch(make([][]int8, 2), make([]float64, 1))
+	}()
+}
+
+// BenchmarkQuantDot measures the int8 kernel at the serving row width.
+func BenchmarkQuantDot(b *testing.B) {
+	const n = 256
+	rng := newRNG(5)
+	a := make([]int8, n)
+	c := make([]int8, n)
+	for i := 0; i < n; i++ {
+		a[i] = int8(rng.next())
+		c[i] = int8(rng.next())
+	}
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += quantDot(a, c)
+	}
+	_ = sink
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/testutil"
+)
+
+// arenaBody builds a vectors-only request body by hand so tests control the
+// exact JSON surface (whitespace, escapes, key order).
+func arenaBody(id string, rows [][]string) string {
+	b, _ := json.Marshal(PredictRequest{ID: id, Vectors: rows})
+	return string(b)
+}
+
+func fullRow(first string) []string {
+	row := make([]string, features.NumFeatures)
+	for i := range row {
+		row[i] = "?"
+	}
+	row[0] = first
+	return row
+}
+
+// TestArenaDecode pins the fast-path/slow-path split: bodies the scanner
+// owns must decode to exactly what features.FromValues produces from the
+// encoding/json parse, and every other shape must be refused so the slow
+// path keeps its semantics.
+func TestArenaDecode(t *testing.T) {
+	rows := [][]string{fullRow("BEQ"), fullRow("BNE")}
+	fast := []string{
+		arenaBody("", rows),
+		arenaBody("req-1", rows),
+		// Whitespace everywhere the grammar allows it.
+		strings.ReplaceAll(arenaBody("req-2", rows), ",", " ,\n\t "),
+		// Escapes in the id and in a value.
+		`{"id":"a\"b\\c\nd","vectors":[[` + strings.Repeat(`"\t",`, features.NumFeatures-1) + `"x"]]}`,
+		// Key order flipped, duplicate key (last wins, same as encoding/json).
+		`{"vectors":` + mustJSON(rows) + `,"id":"first","id":"second"}`,
+		// Empty strings normalize to Unknown.
+		`{"vectors":[[` + strings.Repeat(`"",`, features.NumFeatures-1) + `""]]}`,
+	}
+	for _, body := range fast {
+		ar := getArena()
+		if !ar.decode([]byte(body), 4096) {
+			t.Errorf("fast path refused %q", body)
+			continue
+		}
+		var req PredictRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatalf("reference parse of %q: %v", body, err)
+		}
+		if ar.id != req.ID {
+			t.Errorf("id %q, want %q for %q", ar.id, req.ID, body)
+		}
+		if len(ar.vecs) != len(req.Vectors) {
+			t.Fatalf("%d vectors, want %d for %q", len(ar.vecs), len(req.Vectors), body)
+		}
+		for i, vals := range req.Vectors {
+			want, err := features.FromValues(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ar.vecs[i].Values != want.Values {
+				t.Errorf("vector %d: %v, want %v", i, ar.vecs[i].Values, want.Values)
+			}
+		}
+		putArena(ar)
+	}
+
+	slow := map[string]string{
+		"source request":   `{"source":"int main() {}"}`,
+		"both":             `{"source":"x","vectors":` + mustJSON(rows) + `}`,
+		"unknown key":      `{"vectors":` + mustJSON(rows) + `,"extra":1}`,
+		"no vectors":       `{}`,
+		"empty vectors":    `{"vectors":[]}`,
+		"wrong arity":      `{"vectors":[["BEQ"]]}`,
+		"row not strings":  `{"vectors":[[1,2]]}`,
+		"unicode escape":   `{"id":"\u0041","vectors":` + mustJSON(rows) + `}`,
+		"trailing garbage": arenaBody("x", rows) + "garbage",
+		"truncated":        arenaBody("x", rows)[:20],
+		"not an object":    `[1,2,3]`,
+		"over limit":       `{"vectors":` + mustJSON([][]string{fullRow("a"), fullRow("b"), fullRow("c")}) + `}`,
+	}
+	for name, body := range slow {
+		ar := getArena()
+		limit := 4096
+		if name == "over limit" {
+			limit = 2
+		}
+		if ar.decode([]byte(body), limit) {
+			t.Errorf("%s: fast path accepted %q, must fall back", name, body)
+		}
+		putArena(ar)
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestArenaResponseMatchesEncodingJSON checks the hand-rolled response
+// encoder against the encoding/json rendering of the same PredictResponse:
+// both must unmarshal to identical values (bit-exact probabilities included).
+func TestArenaResponseMatchesEncodingJSON(t *testing.T) {
+	probs := []float64{0.5, 0.25, 0.875, 1e-7, 0.9999999999999999, 1}
+	for _, id := range []string{"", "req-1", "needs \"escaping\"\n\tok\x01"} {
+		ar := getArena()
+		ar.id = id
+		got := append([]byte(nil), ar.encodeResponse(probs)...)
+		putArena(ar)
+
+		want := PredictResponse{ID: id, Predictions: make([]Prediction, len(probs))}
+		for i, p := range probs {
+			conf := p
+			if conf < 0.5 {
+				conf = 1 - conf
+			}
+			want.Predictions[i] = Prediction{
+				Branch:      fmt.Sprintf("#%d", i),
+				Taken:       p > 0.5,
+				Probability: p,
+				Confidence:  conf,
+			}
+		}
+		var fromArena, fromJSON PredictResponse
+		if err := json.Unmarshal(got, &fromArena); err != nil {
+			t.Fatalf("arena encoding is not valid JSON: %v\n%s", err, got)
+		}
+		ref, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(ref, &fromJSON); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", fromArena) != fmt.Sprintf("%+v", fromJSON) {
+			t.Errorf("id %q:\narena: %+v\njson:  %+v", id, fromArena, fromJSON)
+		}
+		if got[len(got)-1] != '\n' {
+			t.Error("arena encoding lost the trailing newline json.Encoder emits")
+		}
+	}
+}
+
+// TestArenaPipelineZeroAlloc is the tentpole allocation contract: the
+// internal request pipeline — read body, decode, submit through the worker
+// pool, encode the response — performs zero heap allocations at steady
+// state. The net/http connection machinery around it is explicitly outside
+// the pooled region.
+func TestArenaPipelineZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold on plain builds")
+	}
+	model, data := testModel(t)
+	_ = model
+	srv, ts := testServer(t, Config{Workers: 2, MaxBatch: 8})
+	ts.Close()
+
+	body := []byte(arenaBody("alloc-test", vectorValues(data[0].Vectors[:4])))
+	rd := bytes.NewReader(body)
+	ctx := context.Background()
+
+	run := func() {
+		ar := getArena()
+		rd.Reset(body)
+		data, err := ar.readBody(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ar.decode(data, srv.cfg.MaxVectors) {
+			t.Fatal("fast path refused the steady-state body")
+		}
+		j := ar.prepareJob(ctx)
+		reusable, err := srv.pool.submitJob(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reusable {
+			t.Fatal("completed job reported not reusable")
+		}
+		ar.encodeResponse(j.probs)
+		putArena(ar)
+	}
+	run() // warm the arena pool and the job's probs buffer
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Fatalf("request pipeline allocates %v per request, want 0", allocs)
+	}
+}
+
+// TestPredictVectorsFastPathEndToEnd drives the fast path through the real
+// HTTP handler and checks the response against the model served offline —
+// including an id that forces the escape-decoding path.
+func TestPredictVectorsFastPathEndToEnd(t *testing.T) {
+	model, data := testModel(t)
+	_, ts := testServer(t, Config{})
+	vecs := data[0].Vectors[:6]
+	offline := make([]float64, len(vecs))
+	model.TakenProbabilities(vecs, offline)
+
+	for _, id := range []string{"plain-id", `quoted "id"`, ""} {
+		resp, pr := postPredict(t, ts.URL, PredictRequest{ID: id, Vectors: vectorValues(vecs)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("id %q: status %d", id, resp.StatusCode)
+		}
+		if pr.ID != id {
+			t.Errorf("id %q echoed as %q", id, pr.ID)
+		}
+		if pr.Degraded || pr.Cached {
+			t.Errorf("id %q: degraded=%v cached=%v on the healthy fast path", id, pr.Degraded, pr.Cached)
+		}
+		if len(pr.Predictions) != len(vecs) {
+			t.Fatalf("id %q: %d predictions, want %d", id, len(pr.Predictions), len(vecs))
+		}
+		for i, p := range pr.Predictions {
+			if p.Branch != fmt.Sprintf("#%d", i) {
+				t.Errorf("prediction %d branch %q", i, p.Branch)
+			}
+			if p.Probability != offline[i] {
+				t.Errorf("prediction %d probability %v, offline %v", i, p.Probability, offline[i])
+			}
+			if p.Taken != (offline[i] > 0.5) {
+				t.Errorf("prediction %d taken %v, want %v", i, p.Taken, offline[i] > 0.5)
+			}
+		}
+	}
+}

@@ -21,8 +21,14 @@ var ErrDraining = errors.New("serve: server is draining")
 // job is one prediction request in flight through the pool: a batch of
 // feature vectors and the slot its probabilities land in. The timestamps
 // let the requester split its wait into queue time and model time; started
-// and finished are written by the worker before close(done), so they are
-// safe to read only after receiving from done.
+// and finished are written by the worker before the send on done, so they
+// are safe to read only after receiving from done.
+//
+// done is a 1-buffered channel that the worker sends to (rather than
+// closes), so a job object is reusable: after the requester receives the
+// completion token the channel is empty again and the job can carry the
+// next request (the arena keeps one per pooled request). The buffer also
+// means the worker never blocks on a requester that stopped waiting.
 type job struct {
 	ctx      context.Context
 	vecs     []features.Vector
@@ -119,37 +125,49 @@ func (p *pool) submit(ctx context.Context, vecs []features.Vector) ([]float64, e
 		ctx:      ctx,
 		vecs:     vecs,
 		probs:    make([]float64, len(vecs)),
-		done:     make(chan struct{}),
+		done:     make(chan struct{}, 1),
 		enqueued: time.Now(),
 	}
+	if _, err := p.submitJob(j); err != nil {
+		return nil, err
+	}
+	return j.probs, nil
+}
+
+// submitJob enqueues a caller-owned job and blocks until a worker completes
+// it or the job's context expires. The bool reports whether the caller may
+// reuse the job and the buffers it references: false means the caller
+// stopped waiting while a worker still owned them, so they must not be
+// pooled (abandon them to the garbage collector).
+func (p *pool) submitJob(j *job) (reusable bool, err error) {
 	p.mu.RLock()
 	if p.draining {
 		p.mu.RUnlock()
-		return nil, ErrDraining
+		return true, ErrDraining
 	}
 	select {
 	case p.jobs <- j:
 		seq := p.enqSeq.Add(1) - 1
 		p.enqTimes[seq%uint64(len(p.enqTimes))].Store(j.enqueued.UnixNano())
 		p.mu.RUnlock()
-	case <-ctx.Done():
+	case <-j.ctx.Done():
 		p.mu.RUnlock()
-		return nil, ctx.Err()
+		return true, j.ctx.Err()
 	}
 	select {
 	case <-j.done:
 		if j.err != nil {
-			return nil, j.err
+			return true, j.err
 		}
-		if tr := obs.FromContext(ctx); tr != nil && !j.started.IsZero() {
+		if tr := obs.FromContext(j.ctx); tr != nil && !j.started.IsZero() {
 			tr.AddSpan(obs.StageQueueWait, j.enqueued, j.started.Sub(j.enqueued))
 			tr.AddSpan(obs.StageForward, j.started, j.finished.Sub(j.started))
 		}
-		return j.probs, nil
-	case <-ctx.Done():
-		// The worker still owns j.probs and will complete it; the caller
+		return true, nil
+	case <-j.ctx.Done():
+		// The worker still owns the job and will complete it; the caller
 		// just stops waiting.
-		return nil, ctx.Err()
+		return false, j.ctx.Err()
 	}
 }
 
@@ -252,7 +270,7 @@ func (p *pool) worker() {
 		end := time.Now()
 		for _, b := range batch {
 			b.finished = end
-			close(b.done)
+			b.done <- struct{}{} // 1-buffered: never blocks, job stays reusable
 		}
 		p.busy.Add(-1)
 	}

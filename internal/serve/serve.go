@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -372,8 +373,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	endAdmit()
 	endDecode := tr.StartSpan(obs.StageDecode)
 	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1<<16)
-	var req PredictRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	ar := getArena()
+	data, err := ar.readBody(body)
+	if err != nil {
+		putArena(ar)
 		endDecode()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -384,6 +387,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
+	featStart := time.Now()
+	if ar.decode(data, s.cfg.MaxVectors) {
+		// The zero-allocation fast path owns the well-formed vectors-only
+		// request end to end. The scan fuses parsing and featurization, so
+		// the featurize span covers the same wall time the two-step slow
+		// path reports separately.
+		endDecode()
+		tr.AddSpan(obs.StageFeaturize, featStart, time.Since(featStart))
+		s.predictPooled(w, r, tr, ar)
+		return
+	}
+	// Anything else — source submissions, malformed bodies, over-limit or
+	// wrong-arity vectors — re-parses through encoding/json, which carries
+	// the full semantics and error reporting.
+	var req PredictRequest
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+		putArena(ar)
+		endDecode()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	putArena(ar)
 	endDecode()
 
 	var (
@@ -450,7 +475,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var probs []float64
-	err := faultinject.Fire(siteSubmit)
+	err = faultinject.Fire(siteSubmit)
 	if err == nil {
 		probs, err = s.pool.submit(r.Context(), vecs)
 	}
@@ -508,6 +533,72 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	endEncode := tr.StartSpan(obs.StageEncode)
 	writeJSON(w, http.StatusOK, resp)
 	endEncode()
+}
+
+// predictPooled serves a fast-path vectors request entirely from the arena:
+// the reusable job carries the decoded vectors through the worker pool and
+// the response is rendered by hand into the arena's buffer. Error paths fall
+// back to writeJSON (they are off the steady state, allocations there are
+// irrelevant); the arena is returned to the pool only when the worker no
+// longer owns it.
+func (s *Server) predictPooled(w http.ResponseWriter, r *http.Request, tr *obs.Trace, ar *requestArena) {
+	reusable := true
+	err := faultinject.Fire(siteSubmit)
+	var j *job
+	if err == nil {
+		j = ar.prepareJob(r.Context())
+		reusable, err = s.pool.submitJob(j)
+	}
+	switch {
+	case errors.Is(err, ErrDraining):
+		s.metrics.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
+		s.metrics.canceled.Add(1)
+		tr.SetError(err)
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
+	case err != nil:
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		if timedOut {
+			s.metrics.timeouts.Add(1)
+		}
+		tr.SetError(err)
+		if s.cfg.NoDegrade {
+			status := http.StatusInternalServerError
+			if timedOut {
+				status = http.StatusGatewayTimeout
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			break
+		}
+		// Degraded mode answers from the heuristic tier over the same
+		// vectors. The worker only ever reads vecs, so sharing them with an
+		// unfinished job is safe; the arena itself stays un-pooled if the
+		// worker still owns it.
+		s.metrics.degraded.Add(1)
+		refs := make([]string, len(ar.vecs))
+		for i := range refs {
+			refs[i] = fmt.Sprintf("#%d", i)
+		}
+		resp := PredictResponse{
+			ID:          ar.id,
+			Degraded:    true,
+			Predictions: s.degradedPredictions(ar.vecs, refs),
+		}
+		endEncode := tr.StartSpan(obs.StageEncode)
+		writeJSON(w, http.StatusOK, resp)
+		endEncode()
+	default:
+		out := ar.encodeResponse(j.probs)
+		endEncode := tr.StartSpan(obs.StageEncode)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+		endEncode()
+	}
+	if reusable {
+		putArena(ar)
+	}
 }
 
 // sourceKey hashes everything that determines a compilation's output.

@@ -27,7 +27,7 @@ var (
 	fixtureErr   error
 )
 
-func testModel(t *testing.T) (*core.Model, []*core.ProgramData) {
+func testModel(t testing.TB) (*core.Model, []*core.ProgramData) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		names := []string{"bc", "grep", "gzip"}

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil carries small cross-package test helpers.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count assertions (testing.AllocsPerRun) are meaningless under
+// race instrumentation, which allocates on its own; tests gate on this.
+const RaceEnabled = false
