@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot bench-serve race fuzz chaos
+.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus race fuzz chaos gencorpus-check
 
 all: check
 
@@ -22,7 +22,14 @@ fmt-check:
 # the espserve batching worker pool, and concurrent artifact-cache
 # readers/writers).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus
+
+# gencorpus-check is the short generative soak CI runs on every push: the
+# generator property suite (~200 programs across the five mixes, each
+# parsed, compiled, and executed under guard budgets) with the race
+# detector watching the parallel shard-analysis path.
+gencorpus-check:
+	$(GO) test -race -short ./internal/gencorpus
 
 # chaos runs the fault-injection suite under the race detector: seeded
 # error/latency/panic faults at every registered site while concurrent
@@ -31,10 +38,12 @@ race:
 chaos:
 	$(GO) test -race -run Chaos ./internal/serve/... ./internal/faultinject/...
 
-# fuzz runs both fuzz targets for a short budget, the same way CI does.
+# fuzz runs every fuzz target for a short budget, the same way CI does.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=20s ./internal/minic
 	$(GO) test -run=NONE -fuzz=FuzzEncode -fuzztime=20s ./internal/features
+	$(GO) test -run=NONE -fuzz=FuzzQuantDot -fuzztime=20s ./internal/neural
+	$(GO) test -run=NONE -fuzz=FuzzGenCorpus -fuzztime=20s ./internal/gencorpus
 
 check: build vet fmt-check test race chaos
 
@@ -62,3 +71,9 @@ bench-json:
 # committed as the baseline the >=5x acceptance test guards.
 bench-serve:
 	$(GO) run ./cmd/espbench -serve -benchout .
+
+# bench-gencorpus measures the generative-corpus pipeline (generation,
+# cold/warm analysis through the artifact cache, streaming training) and
+# regenerates BENCH_gencorpus.json, committed as the throughput baseline.
+bench-gencorpus:
+	$(GO) run ./cmd/espbench -gencorpus -benchout .

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/gencorpus"
+	"repro/internal/interp"
+)
+
+// gencorpusBenchResult is BENCH_gencorpus.json: throughput of the
+// generative-corpus pipeline — generation, cold analysis (interpreter
+// traces), warm analysis (artifact-cache hits), and streaming training.
+type gencorpusBenchResult struct {
+	Name     string `json:"name"`
+	Programs int    `json:"programs"`
+	Shards   int    `json:"shards"`
+	Examples int    `json:"examples"`
+	// GenNsPerProgram is pure generation cost (no compile/run).
+	GenNsPerProgram float64 `json:"gen_ns_per_program"`
+	// ColdAnalyzeNsPerProgram includes compile + trace + featurize + store.
+	ColdAnalyzeNsPerProgram float64 `json:"cold_analyze_ns_per_program"`
+	// WarmAnalyzeNsPerProgram is the same path served from the cache.
+	WarmAnalyzeNsPerProgram float64 `json:"warm_analyze_ns_per_program"`
+	// WarmTraces must be 0: the zero-interpreter-work guarantee.
+	WarmTraces int64 `json:"warm_traces"`
+	// TrainNs is the end-to-end streaming fit (warm loads + classifier).
+	TrainNs float64 `json:"train_ns"`
+}
+
+// runGencorpusBench measures the generative pipeline end to end on a
+// fresh (temp-dir) cache so cold and warm numbers are honest, and writes
+// BENCH_gencorpus.json.
+func runGencorpusBench(dir string, cfg core.Config) error {
+	const programs = 200
+	const shardSize = 50
+	spec := gencorpus.Spec{Seed: 1, N: programs}
+
+	start := time.Now()
+	entries := spec.Entries()
+	genNs := float64(time.Since(start).Nanoseconds()) / programs
+
+	cacheDir, err := os.MkdirTemp("", "espbench-gencorpus-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	cache, err := artifact.Open(cacheDir)
+	if err != nil {
+		return err
+	}
+	src := &gencorpus.ShardedCorpus{Entries: entries, Size: shardSize, Cache: cache}
+
+	// Cold: every shard analyzed through the interpreter.
+	start = time.Now()
+	for i := 0; i < src.NumShards(); i++ {
+		if _, err := src.Load(i); err != nil {
+			return err
+		}
+	}
+	coldNs := float64(time.Since(start).Nanoseconds()) / programs
+
+	// Warm: the same shard loads served from the cache — the interpreter
+	// trace drops out, the compile + featurize work remains.
+	tracesBefore := interp.TotalRuns()
+	start = time.Now()
+	for i := 0; i < src.NumShards(); i++ {
+		if _, err := src.Load(i); err != nil {
+			return err
+		}
+	}
+	warmNs := float64(time.Since(start).Nanoseconds()) / programs
+	warmTraces := interp.TotalRuns() - tracesBefore
+
+	// The end-to-end streaming fit over the warm cache.
+	start = time.Now()
+	_, st, err := core.TrainStreaming(context.Background(), src, cfg, "")
+	if err != nil {
+		return err
+	}
+	trainNs := float64(time.Since(start).Nanoseconds())
+
+	out := gencorpusBenchResult{
+		Name:                    "gencorpus",
+		Programs:                programs,
+		Shards:                  st.Shards,
+		Examples:                st.Examples,
+		GenNsPerProgram:         genNs,
+		ColdAnalyzeNsPerProgram: coldNs,
+		WarmAnalyzeNsPerProgram: warmNs,
+		WarmTraces:              warmTraces,
+		TrainNs:                 trainNs,
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	path := benchFile(dir, "gencorpus")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("gencorpus: %d programs  gen %.0f ns/prog  cold %.0f ns/prog  warm %.0f ns/prog (traces=%d)  train %.0f ms -> %s\n",
+		programs, genNs, coldNs, warmNs, out.WarmTraces, trainNs/1e6, path)
+	return nil
+}

@@ -39,6 +39,9 @@ func main() {
 	figure := flag.Int("figure", 0, "render one figure (1-2)")
 	scheme := flag.Bool("scheme", false, "run the Scheme language study")
 	corpusSize := flag.Bool("corpussize", false, "run the corpus-size study")
+	figure2b := flag.Bool("figure2b", false, "run the Figure 2b generated-corpus-size study (opt-in: trains on up to -gen-max programs)")
+	genMax := flag.Int("gen-max", 4000, "largest generated corpus size for -figure2b")
+	genBench := flag.Bool("gencorpus", false, "benchmark the generative-corpus pipeline and write BENCH_gencorpus.json")
 	ablations := flag.Bool("ablations", false, "run the ESP design ablations")
 	orders := flag.Bool("orders", false, "run the exhaustive APHC order search")
 	profileEst := flag.Bool("profileest", false, "run the Section 6 profile-estimation study")
@@ -102,6 +105,13 @@ func main() {
 		}
 		return
 	}
+	if *genBench {
+		if err := runGencorpusBench(*benchout, core.Config{Hidden: *hidden, Seed: *seed}); err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cache *artifact.Cache
 	if !*noCache {
@@ -114,7 +124,7 @@ func main() {
 	}
 	ctx := experiments.NewContextWithCache(cache)
 	espCfg := core.Config{Hidden: *hidden, Seed: *seed}
-	any := *table != 0 || *figure != 0 || *scheme || *corpusSize || *ablations || *orders || *profileEst
+	any := *table != 0 || *figure != 0 || *scheme || *corpusSize || *figure2b || *ablations || *orders || *profileEst
 
 	run := func(name string, f func() (string, error)) {
 		out, err := f()
@@ -200,6 +210,24 @@ func main() {
 	if !any || *corpusSize {
 		run("corpus size", func() (string, error) {
 			r, err := experiments.CorpusSize(ctx, []int{8, 12, 16, 23}, espCfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	// Figure 2b is opt-in only: its largest corpus sizes train on thousands
+	// of generated programs, far beyond the default everything-run's budget.
+	if *figure2b {
+		run("figure 2b", func() (string, error) {
+			sizes := []int{46, 100, 250, 500, 1000, 2000, 4000}
+			var kept []int
+			for _, s := range sizes {
+				if s <= *genMax {
+					kept = append(kept, s)
+				}
+			}
+			r, err := experiments.CorpusSizeGen(ctx, experiments.GenSweep{Sizes: kept}, espCfg)
 			if err != nil {
 				return "", err
 			}

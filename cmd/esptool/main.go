@@ -7,9 +7,12 @@
 //	esptool rules -model model.json            # print decision-tree rules
 //	esptool eval                               # all predictors on the corpus
 //	esptool calibrate -model model.json        # decision-pinned int8 calibration
+//	esptool gencorpus -seed 1 -n 5             # emit generated MinC workloads
+//	esptool train -gen 1000 -shard 64 -stream-dir ckpt -out model.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/gencorpus"
 	"repro/internal/heuristics"
 	"repro/internal/ir"
 	"repro/internal/stats"
@@ -38,13 +42,15 @@ func main() {
 		cmdEval(os.Args[2:])
 	case "calibrate":
 		cmdCalibrate(os.Args[2:])
+	case "gencorpus":
+		cmdGencorpus(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: esptool {train|predict|rules|eval|calibrate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: esptool {train|predict|rules|eval|calibrate|gencorpus} [flags]")
 	os.Exit(2)
 }
 
@@ -92,25 +98,53 @@ func cmdTrain(args []string) {
 	hidden := fs.Int("hidden", 0, "hidden units (default 12)")
 	seed := fs.Uint64("seed", 0, "training seed (default 1)")
 	exclude := fs.String("exclude", "", "program to hold out of the corpus")
+	genN := fs.Int("gen", 0, "train on this many generated programs instead of the real corpus")
+	genSeed := fs.Int64("gen-seed", 1, "generated-corpus base seed")
+	genMix := fs.String("gen-mix", "", "restrict generation to one mix (default: cycle all)")
+	shard := fs.Int("shard", 64, "streaming shard size for -gen")
+	streamDir := fs.String("stream-dir", "", "checkpoint directory for streaming training (resumable)")
 	cache := cacheFlags(fs)
 	mustParse(fs, args)
 
-	entries := corpus.Study()
-	if *lang != "" {
-		entries = corpus.ByLanguage(ir.Language(*lang))
-	}
-	var kept []corpus.Entry
-	for _, e := range entries {
-		if e.Name != *exclude {
-			kept = append(kept, e)
-		}
-	}
-	data := analyzeCorpus(kept, cache())
 	cfg := core.Config{Hidden: *hidden, Seed: *seed}
 	if *tree {
 		cfg.Classifier = core.DecisionTree
 	}
-	model := core.Train(data, cfg)
+
+	var model *core.Model
+	var programs, examples int
+	if *genN > 0 {
+		spec := gencorpus.Spec{Seed: *genSeed, N: *genN}
+		if *genMix != "" {
+			m, err := gencorpus.ParseMix(*genMix)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Mixes = []gencorpus.Mix{m}
+		}
+		src := &gencorpus.ShardedCorpus{Entries: spec.Entries(), Size: *shard, Cache: cache()}
+		m, st, err := core.TrainStreaming(context.Background(), src, cfg, *streamDir)
+		if err != nil {
+			fatal(err)
+		}
+		model = m
+		programs, examples = *genN, st.Examples
+		fmt.Printf("streamed %d shards (%d resumed from checkpoints)\n", st.Shards, st.Resumed)
+	} else {
+		entries := corpus.Study()
+		if *lang != "" {
+			entries = corpus.ByLanguage(ir.Language(*lang))
+		}
+		var kept []corpus.Entry
+		for _, e := range entries {
+			if e.Name != *exclude {
+				kept = append(kept, e)
+			}
+		}
+		data := analyzeCorpus(kept, cache())
+		model = core.Train(data, cfg)
+		programs, examples = len(data), countExamples(data)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -120,10 +154,41 @@ func cmdTrain(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("trained %s on %d programs (%d examples dim=%d) -> %s\n",
-		cfg.Classifier, len(data), countExamples(data), model.Encoder.Dim, *out)
+		cfg.Classifier, programs, examples, model.Encoder.Dim, *out)
 	if cfg.Classifier == core.NeuralNet {
 		fmt.Printf("epochs=%d best thresholded error=%.4f\n",
 			model.TrainStats.Epochs, model.TrainStats.BestThresholded)
+	}
+}
+
+// cmdGencorpus emits generated workloads. The output is a pure function of
+// the flags — byte-identical across invocations and machines — so it can be
+// diffed, archived, and replayed.
+func cmdGencorpus(args []string) {
+	fs := flag.NewFlagSet("gencorpus", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "base seed")
+	n := fs.Int("n", 1, "number of programs")
+	mix := fs.String("mix", "", "restrict to one mix: loop-heavy, pointer-chasing, recursion-heavy, call-dense, mixed (default: cycle all)")
+	prints := fs.Bool("prints", false, "instrument programs with __print statements")
+	list := fs.Bool("list", false, "print one metadata line per program instead of sources")
+	mustParse(fs, args)
+
+	spec := gencorpus.Spec{Seed: *seed, N: *n, Opt: gencorpus.Options{Prints: *prints}}
+	if *mix != "" {
+		m, err := gencorpus.ParseMix(*mix)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Mixes = []gencorpus.Mix{m}
+	}
+	for i := 0; i < spec.N; i++ {
+		p := spec.Program(i)
+		if *list {
+			fmt.Printf("%s seed=%d runseed=%d input=%v bytes=%d\n",
+				p.Name, p.Seed, p.RunSeed, p.Input, len(p.Source))
+			continue
+		}
+		fmt.Printf("// program: %s\n// seed: %d  runseed: %d  input: %v\n%s\n", p.Name, p.Seed, p.RunSeed, p.Input, p.Source)
 	}
 }
 

@@ -1,166 +1,65 @@
-package codegen
+package codegen_test
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
+	"repro/internal/codegen"
+	"repro/internal/corpus"
+	"repro/internal/gencorpus"
 	"repro/internal/interp"
-	"repro/internal/ir"
 	"repro/internal/minic"
 )
 
-// TestDifferentialRandomPrograms generates random MinC programs and checks
-// that every target/compiler configuration computes identical outputs — the
-// compiler axes of Tables 6 and 7 must be semantics-preserving by
-// construction, so any divergence is a code-generator bug.
+// TestDifferentialRandomPrograms generates random MinC programs (the shared
+// gencorpus generator with __print instrumentation enabled, cycling through
+// every branch-character mix) and checks that every target/compiler
+// configuration computes identical outputs — the compiler axes of Tables 6
+// and 7 must be semantics-preserving by construction, so any divergence is
+// a code-generator bug.
 func TestDifferentialRandomPrograms(t *testing.T) {
 	trials := 60
 	if testing.Short() {
 		trials = 10
 	}
-	targets := []Target{AlphaCCv2, AlphaGEM, AlphaGCC, MIPSCC,
-		{Name: "tiny-regs", ISA: ISAAlpha, IntTemps: 3, FloatTemps: 3, FoldConstants: true}}
+	targets := []codegen.Target{codegen.AlphaCCv2, codegen.AlphaGEM, codegen.AlphaGCC, codegen.MIPSCC,
+		{Name: "tiny-regs", ISA: codegen.ISAAlpha, IntTemps: 3, FloatTemps: 3, FoldConstants: true}}
+	spec := gencorpus.Spec{Seed: 1000, N: trials, Opt: gencorpus.Options{Prints: true}}
 	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(int64(1000 + trial)))
-		src := genProgram(rng)
-		ast, err := minic.Parse("fuzz", src)
+		p := spec.Program(trial)
+		ast, err := minic.Parse(p.Name, p.Source+corpus.StdlibSource+corpus.Stdlib2Source)
 		if err != nil {
-			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, src)
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, p.Source)
 		}
-		base := runFor(t, trial, ast, AlphaCC, src)
+		base := runFor(t, trial, ast, p, codegen.AlphaCC)
 		for _, tgt := range targets {
-			got := runFor(t, trial, ast, tgt, src)
+			got := runFor(t, trial, ast, p, tgt)
 			if got.Result != base.Result {
 				t.Fatalf("trial %d: %s result %d, base %d\n%s",
-					trial, tgt.Name, got.Result, base.Result, src)
+					trial, tgt.Name, got.Result, base.Result, p.Source)
 			}
 			if len(got.Outputs) != len(base.Outputs) {
 				t.Fatalf("trial %d: %s output count %d, base %d\n%s",
-					trial, tgt.Name, len(got.Outputs), len(base.Outputs), src)
+					trial, tgt.Name, len(got.Outputs), len(base.Outputs), p.Source)
 			}
 			for i := range got.Outputs {
 				if got.Outputs[i] != base.Outputs[i] {
 					t.Fatalf("trial %d: %s output[%d] = %d, base %d\n%s",
-						trial, tgt.Name, i, got.Outputs[i], base.Outputs[i], src)
+						trial, tgt.Name, i, got.Outputs[i], base.Outputs[i], p.Source)
 				}
 			}
 		}
 	}
 }
 
-func runFor(t *testing.T, trial int, ast *minic.Program, tgt Target, src string) *interp.Profile {
+func runFor(t *testing.T, trial int, ast *minic.Program, p gencorpus.Program, tgt codegen.Target) *interp.Profile {
 	t.Helper()
-	prog, err := Compile(ast, ir.LangC, tgt)
+	prog, err := codegen.Compile(ast, p.Entry().Language, tgt)
 	if err != nil {
-		t.Fatalf("trial %d: compile for %s: %v\n%s", trial, tgt.Name, err, src)
+		t.Fatalf("trial %d: compile for %s: %v\n%s", trial, tgt.Name, err, p.Source)
 	}
-	prof, err := interp.Run(prog, interp.Config{Seed: uint64(trial + 1), MaxInsns: 2_000_000})
+	prof, err := interp.Run(prog, interp.Config{Input: p.Input, Seed: p.RunSeed, MaxInsns: 8_000_000})
 	if err != nil {
-		t.Fatalf("trial %d: run for %s: %v\n%s", trial, tgt.Name, err, src)
+		t.Fatalf("trial %d: run for %s: %v\n%s", trial, tgt.Name, err, p.Source)
 	}
 	return prof
-}
-
-// genProgram builds a random but safe MinC program: globals, a few scalar
-// locals mutated through nested ifs and bounded loops, no division (to
-// avoid fault divergence) and no unbounded recursion.
-func genProgram(rng *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("int g0;\nint g1;\nint arr[16];\n")
-	b.WriteString("int main() {\n")
-	b.WriteString("\tint v0;\n\tint v1;\n\tint v2;\n\tint i0;\n\tint i1;\n\tint i2;\n")
-	b.WriteString("\tv0 = 3; v1 = 7; v2 = 11; g0 = 2; g1 = 5;\n")
-	b.WriteString("\tfor (i0 = 0; i0 < 16; i0 = i0 + 1) { arr[i0] = i0 * 3 % 7; }\n")
-	depth := 0
-	var stmt func(indent string, inLoop bool)
-	expr := func() string { return genExpr(rng, 3) }
-	stmt = func(indent string, inLoop bool) {
-		switch choice := rng.Intn(10); {
-		case choice < 4: // assignment
-			b.WriteString(fmt.Sprintf("%s%s = %s;\n", indent, genLval(rng), expr()))
-		case choice < 6 && depth < 3: // if / if-else
-			depth++
-			b.WriteString(fmt.Sprintf("%sif (%s) {\n", indent, genCond(rng)))
-			stmt(indent+"\t", inLoop)
-			if rng.Intn(2) == 0 {
-				b.WriteString(indent + "} else {\n")
-				stmt(indent+"\t", inLoop)
-			}
-			b.WriteString(indent + "}\n")
-			depth--
-		case choice < 8 && depth < 2: // bounded counted loop
-			// Each nesting depth owns its induction variable, so nested
-			// loops cannot livelock each other.
-			iv := fmt.Sprintf("i%d", depth)
-			depth++
-			n := 2 + rng.Intn(9)
-			b.WriteString(fmt.Sprintf("%sfor (%s = 0; %s < %d; %s = %s + 1) {\n",
-				indent, iv, iv, n, iv, iv))
-			stmt(indent+"\t", true)
-			if rng.Intn(3) == 0 {
-				b.WriteString(fmt.Sprintf("%s\tif (%s) { break; }\n", indent, genCond(rng)))
-			}
-			b.WriteString(indent + "}\n")
-			depth--
-		case choice < 9: // print
-			b.WriteString(fmt.Sprintf("%s__print(%s);\n", indent, expr()))
-		default: // library call through the assignment path
-			b.WriteString(fmt.Sprintf("%s%s = %s;\n", indent, genLval(rng), expr()))
-		}
-	}
-	nStmts := 4 + rng.Intn(8)
-	for s := 0; s < nStmts; s++ {
-		stmt("\t", false)
-	}
-	b.WriteString("\t__print(v0); __print(v1); __print(v2); __print(g0); __print(g1);\n")
-	b.WriteString("\treturn v0 + v1 * 3 + g0;\n}\n")
-	return b.String()
-}
-
-var fuzzVars = []string{"v0", "v1", "v2", "g0", "g1"}
-
-func genLval(rng *rand.Rand) string {
-	if rng.Intn(4) == 0 {
-		return fmt.Sprintf("arr[%d]", rng.Intn(16))
-	}
-	return fuzzVars[rng.Intn(len(fuzzVars))]
-}
-
-// genExpr produces an integer expression with magnitudes kept in range by
-// modular reduction (no division, so no fault divergence).
-func genExpr(rng *rand.Rand, depth int) string {
-	if depth == 0 || rng.Intn(3) == 0 {
-		switch rng.Intn(3) {
-		case 0:
-			return fmt.Sprintf("%d", rng.Intn(100)-50)
-		case 1:
-			return fuzzVars[rng.Intn(len(fuzzVars))]
-		default:
-			return fmt.Sprintf("arr[%d]", rng.Intn(16))
-		}
-	}
-	ops := []string{"+", "-", "*"}
-	op := ops[rng.Intn(len(ops))]
-	l := genExpr(rng, depth-1)
-	r := genExpr(rng, depth-1)
-	if op == "*" {
-		// Keep products bounded.
-		return fmt.Sprintf("((%s %% 1000) %s (%s %% 1000))", l, op, r)
-	}
-	return fmt.Sprintf("(%s %s %s)", l, op, r)
-}
-
-func genCond(rng *rand.Rand) string {
-	cmps := []string{"<", "<=", ">", ">=", "==", "!="}
-	c := fmt.Sprintf("%s %s %s", genExpr(rng, 2), cmps[rng.Intn(len(cmps))], genExpr(rng, 2))
-	switch rng.Intn(4) {
-	case 0:
-		return fmt.Sprintf("%s && %s %s %s", c, genExpr(rng, 1), cmps[rng.Intn(len(cmps))], genExpr(rng, 1))
-	case 1:
-		return fmt.Sprintf("%s || %s %s %s", c, genExpr(rng, 1), cmps[rng.Intn(len(cmps))], genExpr(rng, 1))
-	default:
-		return c
-	}
 }

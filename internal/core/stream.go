@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ShardSource supplies a training corpus in shards, so a corpus far larger
+// than the paper's 46 programs can be analyzed incrementally instead of
+// being materialized in memory at once. Implementations must be
+// deterministic: Load(i) returns the same examples, in the same order, on
+// every call — the streaming trainer's bit-identical resume guarantee rests
+// on it.
+type ShardSource interface {
+	// NumShards returns the shard count.
+	NumShards() int
+	// ShardID returns a stable identifier for shard i (program names, a
+	// content hash — anything that changes when the shard's contents do).
+	// It binds checkpoints: a resumed run with a different ShardID ignores
+	// the stale checkpoint and recomputes.
+	ShardID(i int) string
+	// Load analyzes shard i and returns its training examples in
+	// deterministic order.
+	Load(i int) ([]Example, error)
+}
+
+// StreamStats reports what a streaming training run did.
+type StreamStats struct {
+	// Shards is the total shard count.
+	Shards int
+	// Resumed counts shards restored from checkpoints instead of analyzed.
+	Resumed int
+	// Examples is the pooled training-example count.
+	Examples int
+}
+
+// shardCheckpoint is the on-disk record of one completed shard: the
+// extracted examples, bound to the exact configuration, shard identity, and
+// shard order that produced them.
+type shardCheckpoint struct {
+	ConfigHash string    `json:"config_hash"`
+	Examples   []Example `json:"examples"`
+}
+
+// streamHash fingerprints everything that determines the pooled example
+// stream: the fully-defaulted configuration and the ordered shard IDs.
+func streamHash(src ShardSource, cfg Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "espstream-1\x00%+v\n", cfg)
+	for i := 0; i < src.NumShards(); i++ {
+		fmt.Fprintf(h, "%s\x00", src.ShardID(i))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TrainStreaming fits an ESP model on a sharded corpus with crash safety:
+// each shard's extracted examples are checkpointed to dir as they complete,
+// and a rerun after a kill resumes from the checkpoints instead of
+// re-analyzing finished shards. Because shard extraction and training are
+// both deterministic, a resumed run produces weights bit-identical to an
+// uninterrupted one. dir == "" disables checkpointing (the run still
+// streams shard by shard).
+//
+// ctx is checked between shards: on cancellation the shards completed so
+// far remain checkpointed and ctx.Err() is returned.
+func TrainStreaming(ctx context.Context, src ShardSource, cfg Config, dir string) (*Model, *StreamStats, error) {
+	cfg = cfg.withDefaults()
+	var hash string
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		hash = streamHash(src, cfg)
+	}
+	stats := &StreamStats{Shards: src.NumShards()}
+	var examples []Example
+	for i := 0; i < src.NumShards(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		var path string
+		if dir != "" {
+			path = filepath.Join(dir, fmt.Sprintf("shard-%05d.json", i))
+			if exs, ok := loadShardCheckpoint(path, hash); ok {
+				examples = append(examples, exs...)
+				stats.Resumed++
+				continue
+			}
+		}
+		exs, err := src.Load(i)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: stream shard %d: %w", i, err)
+		}
+		if dir != "" {
+			cp := shardCheckpoint{ConfigHash: hash, Examples: exs}
+			data, err := json.Marshal(cp)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: checkpoint shard %d: %w", i, err)
+			}
+			if err := writeAtomic(path, data); err != nil {
+				return nil, nil, fmt.Errorf("core: checkpoint shard %d: %w", i, err)
+			}
+		}
+		examples = append(examples, exs...)
+	}
+	stats.Examples = len(examples)
+	return TrainExamples(examples, cfg), stats, nil
+}
+
+// loadShardCheckpoint returns the examples recorded at path if the file
+// exists, parses, and carries the expected hash. Corrupt, partial, or stale
+// checkpoints are treated as absent: the shard just recomputes.
+func loadShardCheckpoint(path, wantHash string) ([]Example, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var cp shardCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil || cp.ConfigHash != wantHash {
+		return nil, false
+	}
+	return cp.Examples, true
+}
+
+// writeAtomic lands data at path via a synced temp file and rename, so a
+// kill mid-write leaves either no checkpoint or a complete one — never a
+// torn file a resume could half-read.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".shard-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

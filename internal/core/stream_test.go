@@ -1,0 +1,177 @@
+package core_test
+
+// Streaming sharded training: the kill-and-resume bit-identity guarantee
+// and the zero-warm-trace guarantee, tested end to end over generated
+// programs flowing through the real analyze pipeline and artifact cache.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/gencorpus"
+	"repro/internal/interp"
+)
+
+// streamCfg keeps the nets small so the suite stays fast; determinism does
+// not depend on training length.
+func streamCfg() core.Config {
+	cfg := core.Config{Seed: 7, Hidden: 8}
+	cfg.Net.MaxEpochs = 40
+	cfg.Net.Patience = 10
+	return cfg
+}
+
+// testShards builds a 12-program generated corpus in 4-program shards,
+// analyzed through an artifact cache rooted at cacheDir.
+func testShards(t *testing.T, cacheDir string) *gencorpus.ShardedCorpus {
+	t.Helper()
+	cache, err := artifact.Open(cacheDir)
+	if err != nil {
+		t.Fatalf("artifact.Open: %v", err)
+	}
+	spec := gencorpus.Spec{Seed: 11, N: 12}
+	return &gencorpus.ShardedCorpus{Entries: spec.Entries(), Size: 4, Cache: cache}
+}
+
+// modelBytes serializes a model for bit-identity comparison.
+func modelBytes(t *testing.T, m *core.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// failAfter wraps a ShardSource and fails every Load past the first n,
+// simulating a crash mid-run.
+type failAfter struct {
+	core.ShardSource
+	n int
+}
+
+func (f *failAfter) Load(i int) ([]core.Example, error) {
+	if i >= f.n {
+		return nil, fmt.Errorf("simulated crash at shard %d", i)
+	}
+	return f.ShardSource.Load(i)
+}
+
+func TestTrainStreamingResumeBitIdentical(t *testing.T) {
+	cacheDir := t.TempDir()
+	src := testShards(t, cacheDir)
+	cfg := streamCfg()
+
+	// Reference: one uninterrupted run with no checkpointing at all.
+	ref, refStats, err := core.TrainStreaming(context.Background(), src, cfg, "")
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if refStats.Shards != 3 || refStats.Resumed != 0 {
+		t.Fatalf("reference stats = %+v, want 3 shards, 0 resumed", refStats)
+	}
+	if refStats.Examples == 0 {
+		t.Fatal("reference run produced no examples")
+	}
+	want := modelBytes(t, ref)
+
+	// Crashed run: dies after two shards, leaving their checkpoints behind.
+	dir := t.TempDir()
+	_, _, err = core.TrainStreaming(context.Background(), &failAfter{src, 2}, cfg, dir)
+	if err == nil {
+		t.Fatal("crashed run unexpectedly succeeded")
+	}
+	cps, _ := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if len(cps) != 2 {
+		t.Fatalf("crashed run left %d checkpoints, want 2", len(cps))
+	}
+
+	// Resume: the two finished shards restore from checkpoints, only the
+	// third analyzes, and the weights are bit-identical to the reference.
+	resumed, stats, err := core.TrainStreaming(context.Background(), src, cfg, dir)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if stats.Resumed != 2 {
+		t.Fatalf("resumed %d shards, want 2", stats.Resumed)
+	}
+	if got := modelBytes(t, resumed); !bytes.Equal(got, want) {
+		t.Errorf("resumed model differs from uninterrupted model (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestTrainStreamingWarmRunZeroTraces(t *testing.T) {
+	cacheDir := t.TempDir()
+	src := testShards(t, cacheDir)
+	cfg := streamCfg()
+
+	cold, _, err := core.TrainStreaming(context.Background(), src, cfg, "")
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	want := modelBytes(t, cold)
+
+	// Warm run against the filled artifact cache, with no checkpoint dir:
+	// every analysis is a cache hit, so the interpreter never runs.
+	before := interp.TotalRuns()
+	warm, _, err := core.TrainStreaming(context.Background(), testShards(t, cacheDir), cfg, "")
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if traces := interp.TotalRuns() - before; traces != 0 {
+		t.Errorf("warm streaming run did %d interpreter traces, want 0", traces)
+	}
+	if got := modelBytes(t, warm); !bytes.Equal(got, want) {
+		t.Errorf("warm model differs from cold model")
+	}
+}
+
+func TestTrainStreamingStaleCheckpoints(t *testing.T) {
+	cacheDir := t.TempDir()
+	src := testShards(t, cacheDir)
+	cfg := streamCfg()
+
+	ref, _, err := core.TrainStreaming(context.Background(), src, cfg, "")
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := modelBytes(t, ref)
+
+	dir := t.TempDir()
+	// Corrupt checkpoint: truncated JSON.
+	if err := os.WriteFile(filepath.Join(dir, "shard-00000.json"), []byte(`{"config_hash":"tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stale checkpoint: valid JSON bound to a different configuration; its
+	// examples are poison and must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "shard-00001.json"),
+		[]byte(`{"config_hash":"0000","examples":[{"Vector":{},"Target":1,"Weight":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := core.TrainStreaming(context.Background(), src, cfg, dir)
+	if err != nil {
+		t.Fatalf("run over stale checkpoints: %v", err)
+	}
+	if stats.Resumed != 0 {
+		t.Fatalf("resumed %d shards from corrupt/stale checkpoints, want 0", stats.Resumed)
+	}
+	if got := modelBytes(t, m); !bytes.Equal(got, want) {
+		t.Errorf("model trained over stale checkpoint dir differs from reference")
+	}
+}
+
+func TestTrainStreamingContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := testShards(t, t.TempDir())
+	_, _, err := core.TrainStreaming(ctx, src, streamCfg(), "")
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -47,6 +47,14 @@ func NewContextWithCache(cache *artifact.Cache) *Context {
 	return c
 }
 
+// PersistentCache returns the artifact cache backing this context (nil when
+// the context is purely in-process), so drivers that stream analyses outside
+// the in-process memo — the Figure 2b generated-corpus sweep — share the
+// same on-disk artifacts.
+func (c *Context) PersistentCache() *artifact.Cache {
+	return c.cache
+}
+
 // Data compiles, profiles, and analyzes one corpus entry under a target,
 // caching the result.
 func (c *Context) Data(e corpus.Entry, tgt codegen.Target) (*core.ProgramData, error) {

@@ -51,6 +51,7 @@ var (
 	memoFigure2    memoOf[*Figure2Result]
 	memoScheme     memoOf[*SchemeStudyResult]
 	memoCorpusSize memoOf[*CorpusSizeResult]
+	memoFigure2b   memoOf[*CorpusSizeGenResult]
 	memoClassifier memoOf[[]AblationPoint]
 	memoPolarity   memoOf[[]AblationPoint]
 	memoProfileEst memoOf[*ProfileEstimationResult]
@@ -96,6 +97,19 @@ func corpusSizeForTest(t *testing.T) *CorpusSizeResult {
 	ctx := ctxForTest(t)
 	return memoCorpusSize.get(t, func() (*CorpusSizeResult, error) {
 		return CorpusSize(ctx, []int{8, 23}, core.Config{})
+	})
+}
+
+// figure2bForTest runs a miniature Figure 2b sweep: the full driver path
+// (generate -> stream-train -> per-mix evaluation) over corpus sizes small
+// enough for CI; EXPERIMENTS.md documents the full 46 -> 4000 render.
+func figure2bForTest(t *testing.T) *CorpusSizeGenResult {
+	ctx := ctxForTest(t)
+	return memoFigure2b.get(t, func() (*CorpusSizeGenResult, error) {
+		cfg := core.Config{Hidden: 8}
+		cfg.Net.MaxEpochs = 60
+		cfg.Net.Patience = 15
+		return CorpusSizeGen(ctx, GenSweep{Sizes: []int{10, 40}, EvalN: 3, Shard: 10}, cfg)
 	})
 }
 
@@ -369,6 +383,41 @@ func TestCorpusSizeReproduction(t *testing.T) {
 	if fullGap > 0.02 {
 		t.Errorf("with the full C corpus ESP (%.3f) must at least match APHC (%.3f)",
 			full.ESP, full.APHC)
+	}
+}
+
+func TestCorpusSizeGenReproduction(t *testing.T) {
+	res := figure2bForTest(t)
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if len(p.PerMix) != 5 {
+			t.Fatalf("size %d: %d mix columns, want 5", p.Programs, len(p.PerMix))
+		}
+		if p.Overall <= 0 || p.Overall >= 1 {
+			t.Errorf("size %d: overall miss %.3f out of range", p.Programs, p.Overall)
+		}
+		for _, mm := range p.PerMix {
+			if mm.ESP < 0 || mm.ESP > 1 || mm.APHC < 0 || mm.APHC > 1 {
+				t.Errorf("size %d %s: miss rates out of range (%v)", p.Programs, mm.Mix, mm)
+			}
+		}
+	}
+	// The APHC baseline is size-independent by construction.
+	for mi := range res.Points[0].PerMix {
+		if res.Points[0].PerMix[mi].APHC != res.Points[1].PerMix[mi].APHC {
+			t.Errorf("APHC baseline varies with training-corpus size")
+		}
+	}
+	// Growing the training corpus 4x must not make ESP materially worse on
+	// the held-out programs.
+	if res.Points[1].Overall > res.Points[0].Overall+0.05 {
+		t.Errorf("growing the corpus hurt: %.3f -> %.3f",
+			res.Points[0].Overall, res.Points[1].Overall)
+	}
+	if res.Stats.Examples == 0 {
+		t.Error("streaming training saw no examples")
 	}
 }
 

@@ -85,6 +85,10 @@ func TestGoldenCorpusSize(t *testing.T) {
 	checkGolden(t, "corpussize", corpusSizeForTest(t).Render())
 }
 
+func TestGoldenFigure2b(t *testing.T) {
+	checkGolden(t, "figure2b", figure2bForTest(t).Render())
+}
+
 func TestGoldenAblations(t *testing.T) {
 	out := RenderAblations("Ablation: classifier", classifierAblationForTest(t)) + "\n" +
 		RenderAblations("Ablation: Call heuristic polarity", polarityAblationForTest(t))

@@ -1,0 +1,6 @@
+//go:build !slow
+
+package gencorpus_test
+
+// slowTests is enabled by the slow build tag; see slow_test.go.
+const slowTests = false

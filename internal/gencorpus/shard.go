@@ -1,0 +1,126 @@
+package gencorpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// ShardedCorpus slices a corpus into fixed-size shards and feeds each one
+// through the standard analysis pipeline — Entry.Compile, then the cached
+// profile/featurize path — so core.TrainStreaming can train on thousands of
+// generated programs incrementally. It implements core.ShardSource.
+//
+// Determinism: shard boundaries are fixed by entry order, per-entry analysis
+// is a pure function of (entry, target), and although entries within a shard
+// analyze in parallel, the returned examples are assembled in entry order —
+// so Load(i) is bit-identical across runs, worker counts, and cache
+// temperature.
+type ShardedCorpus struct {
+	// Entries is the corpus in training order (e.g. Spec.Entries()).
+	Entries []corpus.Entry
+	// Size is the shard size in programs (default 64).
+	Size int
+	// Cache, when non-nil, backs analysis with the content-addressed
+	// artifact cache: a warm run does zero interpreter traces.
+	Cache *artifact.Cache
+	// Target selects the compilation target (default codegen.Default).
+	Target codegen.Target
+}
+
+func (c *ShardedCorpus) target() codegen.Target {
+	if c.Target == (codegen.Target{}) {
+		return codegen.Default
+	}
+	return c.Target
+}
+
+func (c *ShardedCorpus) size() int {
+	if c.Size <= 0 {
+		return 64
+	}
+	return c.Size
+}
+
+// NumShards implements core.ShardSource.
+func (c *ShardedCorpus) NumShards() int {
+	return (len(c.Entries) + c.size() - 1) / c.size()
+}
+
+// shard returns the entry range of shard i.
+func (c *ShardedCorpus) shard(i int) []corpus.Entry {
+	lo := i * c.size()
+	hi := lo + c.size()
+	if hi > len(c.Entries) {
+		hi = len(c.Entries)
+	}
+	return c.Entries[lo:hi]
+}
+
+// ShardID implements core.ShardSource: a digest of every entry's identity
+// and content, so a checkpoint can never be replayed against a shard whose
+// programs, inputs, or seeds have changed.
+func (c *ShardedCorpus) ShardID(i int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "genshard-1\x00%+v\x00", c.target())
+	for _, e := range c.shard(i) {
+		fmt.Fprintf(h, "%s\x00%s\x00%v\x00%d\n", e.Name, e.Source, e.Input, e.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Load implements core.ShardSource: compile and analyze every entry of
+// shard i (in parallel, through the artifact cache) and return the pooled
+// training examples in entry order.
+func (c *ShardedCorpus) Load(i int) ([]core.Example, error) {
+	entries := c.shard(i)
+	tgt := c.target()
+	perEntry := make([][]core.Example, len(entries))
+	errs := make([]error, len(entries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				e := entries[j]
+				prog, err := e.Compile(tgt)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				pd, err := core.AnalyzeCached(c.Cache, prog, e.Language, e.RunConfig())
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				perEntry[j] = pd.Examples()
+			}
+		}()
+	}
+	for j := range entries {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	var out []core.Example
+	for j := range entries {
+		if errs[j] != nil {
+			return nil, errs[j]
+		}
+		out = append(out, perEntry[j]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,8 @@
+//go:build slow
+
+package gencorpus_test
+
+// slowTests widens the property sweep to 5000 seeds per mix:
+//
+//	go test -tags slow ./internal/gencorpus
+const slowTests = true

@@ -1,174 +1,49 @@
-package interp
+package interp_test
+
+// This file is the differential property test of the profiling pipeline:
+// randomized small MinC programs — drawn from the shared gencorpus
+// generator, cycling through every branch-character mix — are compiled and
+// executed, and the collected branch profiles are checked against
+// invariants that must hold for every program: counts sum correctly, taken
+// never exceeds executed, edges are consistent with branch counts, and two
+// runs of the same program are bit-identical.
 
 import (
 	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"repro/internal/codegen"
+	"repro/internal/gencorpus"
+	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/minic"
 )
 
-// This file is the differential property test of the profiling pipeline:
-// randomized small MinC programs are generated, compiled, and executed, and
-// the collected branch profiles are checked against invariants that must
-// hold for every program — counts sum correctly, taken never exceeds
-// executed, edges are consistent with branch counts, and two runs of the
-// same program are bit-identical.
-
-// progGen emits random but always-terminating MinC programs: loops are only
-// ever the canonical bounded counting form, so every generated program halts
-// well within the interpreter's instruction budget.
-type progGen struct {
-	rng   *rand.Rand
-	b     strings.Builder
-	depth int
-	vars  []string
-	// callable bounds which helpers may be called: helper h may only call
-	// helpers with a smaller index, so the call graph is acyclic and the
-	// call depth is bounded.
-	callable int
-}
-
-func (g *progGen) emit(format string, args ...any) {
-	g.b.WriteString(strings.Repeat("\t", g.depth))
-	fmt.Fprintf(&g.b, format, args...)
-	g.b.WriteByte('\n')
-}
-
-// expr builds a random arithmetic expression over the in-scope variables.
-// Division and modulo are excluded so no generated program can trap.
-func (g *progGen) expr(depth int) string {
-	if depth <= 0 || g.rng.Intn(3) == 0 {
-		switch g.rng.Intn(4) {
-		case 0:
-			return fmt.Sprintf("%d", g.rng.Intn(41)-20)
-		case 1:
-			return "__rand() % 17"
-		default:
-			return g.vars[g.rng.Intn(len(g.vars))]
-		}
-	}
-	op := []string{"+", "-", "*"}[g.rng.Intn(3)]
-	l, r := g.expr(depth-1), g.expr(depth-1)
-	if op == "*" {
-		// Keep products bounded so no overflow weirdness accumulates.
-		return fmt.Sprintf("((%s %% 100) %s (%s %% 100))", l, op, r)
-	}
-	return fmt.Sprintf("(%s %s %s)", l, op, r)
-}
-
-func (g *progGen) cond() string {
-	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
-	return fmt.Sprintf("%s %s %s", g.expr(1), op, g.expr(1))
-}
-
-// stmts emits a random statement list. Loop nesting is capped at two and
-// every loop runs at most 20 iterations.
-func (g *progGen) stmts(n, loopDepth int) {
-	for s := 0; s < n; s++ {
-		v := g.vars[g.rng.Intn(len(g.vars))]
-		switch g.rng.Intn(5) {
-		case 0, 1: // assignment
-			g.emit("%s = %s;", v, g.expr(2))
-		case 2: // if / if-else
-			g.emit("if (%s) {", g.cond())
-			g.depth++
-			g.stmts(1+g.rng.Intn(2), loopDepth)
-			g.depth--
-			if g.rng.Intn(2) == 0 {
-				g.emit("} else {")
-				g.depth++
-				g.stmts(1+g.rng.Intn(2), loopDepth)
-				g.depth--
-			}
-			g.emit("}")
-		case 3: // bounded counting loop
-			if loopDepth >= 2 {
-				g.emit("%s = %s;", v, g.expr(1))
-				continue
-			}
-			iv := fmt.Sprintf("i%d", g.rng.Intn(1000000))
-			g.emit("int %s;", iv)
-			g.emit("for (%s = 0; %s < %d; %s = %s + 1) {", iv, iv, 1+g.rng.Intn(20), iv, iv)
-			g.depth++
-			// The loop counter is deliberately NOT added to g.vars: body
-			// statements must never reassign it, or termination is gone.
-			g.stmts(1+g.rng.Intn(2), loopDepth+1)
-			g.depth--
-			g.emit("}")
-		case 4: // call a helper lower in the (acyclic) call order
-			if g.callable == 0 {
-				g.emit("%s = %s;", v, g.expr(1))
-				continue
-			}
-			g.emit("%s = helper%d(%s);", v, g.rng.Intn(g.callable), g.expr(1))
-		}
-	}
-}
-
-// generate builds one random program.
-func generate(seed int64) string {
-	g := &progGen{rng: rand.New(rand.NewSource(seed))}
-	for h := 0; h < 2; h++ {
-		g.emit("int helper%d(int a) {", h)
-		g.depth++
-		g.vars = []string{"a", "r"}
-		g.callable = h
-		g.emit("int r;")
-		g.emit("r = a;")
-		g.stmts(2+g.rng.Intn(2), 1) // helpers count as one loop level deep
-		g.emit("return r;")
-		g.depth--
-		g.emit("}")
-	}
-	g.emit("int main() {")
-	g.depth++
-	g.callable = 2
-	g.vars = []string{"x", "y", "z"}
-	for _, v := range g.vars {
-		g.emit("int %s;", v)
-		g.emit("%s = __input(%d);", v, len(g.vars))
-	}
-	g.stmts(4+g.rng.Intn(4), 0)
-	g.emit("return x + y + z;")
-	g.depth--
-	g.emit("}")
-	return g.b.String()
-}
-
-// runProfile compiles and executes one generated program.
-func runProfile(t *testing.T, src string, seed uint64) *Profile {
+// runProfile compiles (stdlib linked, as for every corpus program) and
+// executes one generated program.
+func runProfile(t *testing.T, p gencorpus.Program) *interp.Profile {
 	t.Helper()
-	ast, err := minic.Parse("generated", src)
+	prog, err := p.Entry().Compile(codegen.Default)
 	if err != nil {
-		t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		t.Fatalf("generated program does not compile: %v\n%s", err, p.Source)
 	}
-	prog, err := codegen.Compile(ast, ir.LangC, codegen.Default)
-	if err != nil {
-		t.Fatalf("generated program does not compile: %v\n%s", err, src)
-	}
-	prof, err := Run(prog, Config{
-		Input:        []int64{3, 7, 11},
-		Seed:         seed,
+	prof, err := interp.Run(prog, interp.Config{
+		Input:        p.Input,
+		Seed:         p.RunSeed,
 		CollectEdges: true,
 	})
 	if err != nil {
-		t.Fatalf("generated program does not run: %v\n%s", err, src)
+		t.Fatalf("generated program does not run: %v\n%s", err, p.Source)
 	}
 	return prof
 }
 
 func TestRandomProgramProfileInvariants(t *testing.T) {
-	const programs = 60
-	for pi := 0; pi < programs; pi++ {
-		pi := pi
+	spec := gencorpus.Spec{Seed: 1000, N: 60}
+	for pi := 0; pi < spec.N; pi++ {
+		p := spec.Program(pi)
 		t.Run(fmt.Sprintf("seed%d", pi), func(t *testing.T) {
 			t.Parallel()
-			src := generate(int64(1000 + pi))
-			prof := runProfile(t, src, uint64(pi)+1)
+			prof := runProfile(t, p)
 
 			// Branch-count invariants: taken <= executed, nothing negative,
 			// and the per-site counts sum to the program totals.
@@ -227,7 +102,7 @@ func TestRandomProgramProfileInvariants(t *testing.T) {
 
 			// Determinism: the same program, input, and seed reproduce the
 			// profile exactly — counts, edges, outputs, and result.
-			again := runProfile(t, src, uint64(pi)+1)
+			again := runProfile(t, p)
 			if again.Insns != prof.Insns || again.CondExec != prof.CondExec ||
 				again.CondTaken != prof.CondTaken || again.Result != prof.Result {
 				t.Fatalf("rerun diverged: insns %d/%d cond %d/%d taken %d/%d result %d/%d",
@@ -261,8 +136,9 @@ func TestRandomProgramProfileInvariants(t *testing.T) {
 // conditional branches, or the invariants above are vacuous.
 func TestGeneratedProgramsExerciseBranches(t *testing.T) {
 	withBranches := 0
-	for pi := 0; pi < 20; pi++ {
-		prof := runProfile(t, generate(int64(2000+pi)), uint64(pi)+1)
+	spec := gencorpus.Spec{Seed: 2000, N: 20}
+	for pi := 0; pi < spec.N; pi++ {
+		prof := runProfile(t, spec.Program(pi))
 		if prof.CondExec > 0 {
 			withBranches++
 		}
