@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus race fuzz chaos gencorpus-check
+.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus race fuzz chaos cluster-chaos gencorpus-check
 
 all: check
 
@@ -22,7 +22,7 @@ fmt-check:
 # the espserve batching worker pool, and concurrent artifact-cache
 # readers/writers).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus ./internal/cluster
 
 # gencorpus-check is the short generative soak CI runs on every push: the
 # generator property suite (~200 programs across the five mixes, each
@@ -38,6 +38,15 @@ gencorpus-check:
 chaos:
 	$(GO) test -race -run Chaos ./internal/serve/... ./internal/faultinject/...
 
+# cluster-chaos runs the replicated-serving chaos suite under the race
+# detector: a seeded injector fires faults at the routing, peer-cache, and
+# reload sites while a replica is killed and restarted mid-load, a peer
+# partition opens and heals, and hot reloads land mid-burst — asserting
+# every completed answer is bit-identical or exactly-degraded, loss stays
+# bounded, and no goroutines leak.
+cluster-chaos:
+	$(GO) test -race -run 'ClusterChaos|Peer|Router|Ring' ./internal/cluster
+
 # fuzz runs every fuzz target for a short budget, the same way CI does.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=20s ./internal/minic
@@ -45,7 +54,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzQuantDot -fuzztime=20s ./internal/neural
 	$(GO) test -run=NONE -fuzz=FuzzGenCorpus -fuzztime=20s ./internal/gencorpus
 
-check: build vet fmt-check test race chaos
+check: build vet fmt-check test race chaos cluster-chaos
 
 # bench runs the full benchmark suite (every table/figure plus the component
 # micro-benchmarks). Expect several minutes.

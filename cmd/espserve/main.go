@@ -24,10 +24,12 @@ import (
 	_ "net/http/pprof" // registers profiling handlers on the -pprof-addr mux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -65,6 +67,12 @@ func run(args []string) error {
 	cacheDir := fs.String("cache-dir", "",
 		"artifact cache directory for -train (default $ESPCACHE_DIR, else .espcache)")
 	noCache := fs.Bool("no-cache", false, "disable the persistent analysis cache for -train")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0,
+		"evict least-recently-used artifact cache entries past this size (0 = unbounded)")
+	peers := fs.String("peers", "",
+		"comma-separated base URLs of peer replicas sharing the artifact cache (enables the peer-cache protocol)")
+	self := fs.String("self", "",
+		"this replica's own base URL, excluded from -peers fetches")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof on this address (off when empty; bind to localhost)")
 	accessLog := fs.String("access-log", "",
@@ -88,32 +96,70 @@ func run(args []string) error {
 		go func() { _ = http.Serve(pln, nil) }()
 	}
 
-	var model *core.Model
-	if *train {
+	// The artifact cache backs -train and the peer-cache protocol; when
+	// peers are configured, analyses arrive from replicas that already did
+	// the work before the interpreter is ever consulted.
+	var cache *artifact.Cache
+	if !*noCache && (*train || *peers != "") {
 		var err error
-		if model, err = trainStartupModel(*cacheDir, *noCache, *quant); err != nil {
-			return err
+		if cache, err = artifact.Open(artifact.DefaultDir(*cacheDir)); err != nil {
+			fmt.Fprintf(os.Stderr, "espserve: %v (continuing uncached)\n", err)
+			cache = nil
 		}
-	} else {
-		f, err := os.Open(*modelPath)
-		if err != nil {
-			return err
-		}
-		model, err = core.Load(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		if *quant && model.QuantCalib == nil {
-			return fmt.Errorf("-quant needs a calibrated model: run `esptool calibrate -model %s` first (or use -train)", *modelPath)
-		}
+		cache.SetMaxBytes(*cacheMaxBytes)
 	}
-	if *quant {
-		if err := model.EnableQuant(); err != nil {
-			return err
+	var analysis core.AnalysisCache = cache
+	var peerCache *cluster.PeerCache
+	if *peers != "" {
+		var peerURLs []string
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				peerURLs = append(peerURLs, u)
+			}
 		}
-		fmt.Printf("espserve: int8 quantized path enabled (xscale %.4f, guard %.6f)\n",
-			model.QuantCalib.XScale, model.QuantCalib.Guard)
+		peerCache = cluster.NewPeerCache(cache, cluster.PeerCacheConfig{
+			Self:  strings.TrimRight(*self, "/"),
+			Peers: peerURLs,
+		})
+		analysis = peerCache
+	}
+
+	// loadModel produces a fresh serving model from the configured source —
+	// the corpus (-train, warmed by the artifact/peer cache) or the -model
+	// file — both at startup and on each SIGHUP hot reload.
+	loadModel := func() (*core.Model, error) {
+		var model *core.Model
+		if *train {
+			var err error
+			if model, err = trainStartupModel(analysis, *quant); err != nil {
+				return nil, err
+			}
+		} else {
+			f, err := os.Open(*modelPath)
+			if err != nil {
+				return nil, err
+			}
+			model, err = core.Load(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			if *quant && model.QuantCalib == nil {
+				return nil, fmt.Errorf("-quant needs a calibrated model: run `esptool calibrate -model %s` first (or use -train)", *modelPath)
+			}
+		}
+		if *quant {
+			if err := model.EnableQuant(); err != nil {
+				return nil, err
+			}
+			fmt.Printf("espserve: int8 quantized path enabled (xscale %.4f, guard %.6f)\n",
+				model.QuantCalib.XScale, model.QuantCalib.Guard)
+		}
+		return model, nil
+	}
+	model, err := loadModel()
+	if err != nil {
+		return err
 	}
 
 	var accessLogW io.Writer
@@ -148,11 +194,22 @@ func run(args []string) error {
 		return err
 	}
 
+	handler := s.Handler()
+	if peerCache != nil {
+		// Peer hits/misses surface in this server's /metrics, and other
+		// replicas fetch our cache entries at the peer path.
+		peerCache.SetCounters(s.ClusterStats())
+		mux := http.NewServeMux()
+		mux.Handle(cluster.PeerPathPrefix, peerCache.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	// The resolved address goes to stdout so scripts (and tests) binding
 	// ":0" can find the port.
 	fmt.Printf("espserve: serving %s model on %s\n",
@@ -160,6 +217,27 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-reloads the model without dropping a request: in-flight
+	// work stays pinned to its version while new requests see the reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			m, err := loadModel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "espserve: reload: %v\n", err)
+				continue
+			}
+			v, err := s.Reload(m)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "espserve: reload: %v\n", err)
+				continue
+			}
+			fmt.Printf("espserve: model reloaded (version %d)\n", v)
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -190,17 +268,12 @@ func run(args []string) error {
 
 // trainStartupModel trains an ESP model from the full study corpus at
 // startup. The expensive part — profiling every corpus program — is served
-// from the artifact cache when warm, so a restart with a populated cache
-// reaches serving without a single interpreter trace. With quant set, the
-// freshly analyzed corpus doubles as the quantization calibration set.
-func trainStartupModel(cacheDir string, noCache, quant bool) (*core.Model, error) {
-	var cache *artifact.Cache
-	if !noCache {
-		var err error
-		if cache, err = artifact.Open(artifact.DefaultDir(cacheDir)); err != nil {
-			fmt.Fprintf(os.Stderr, "espserve: %v (training uncached)\n", err)
-		}
-	}
+// from the analysis cache when warm (the local artifact cache, or a peer
+// replica's via the cluster peer protocol), so a restart with a populated
+// cache — or a cold replica joining a warm cluster — reaches serving
+// without a single interpreter trace. With quant set, the freshly analyzed
+// corpus doubles as the quantization calibration set.
+func trainStartupModel(cache core.AnalysisCache, quant bool) (*core.Model, error) {
 	start := time.Now()
 	var data []*core.ProgramData
 	for _, e := range corpus.Study() {

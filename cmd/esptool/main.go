@@ -59,6 +59,8 @@ func usage() {
 func cacheFlags(fs *flag.FlagSet) func() *artifact.Cache {
 	dir := fs.String("cache-dir", "", "artifact cache directory (default $ESPCACHE_DIR, else .espcache)")
 	noCache := fs.Bool("no-cache", false, "disable the persistent analysis cache")
+	maxBytes := fs.Int64("cache-max-bytes", 0,
+		"evict least-recently-used cache entries past this size (0 = unbounded)")
 	return func() *artifact.Cache {
 		if *noCache {
 			return nil
@@ -68,6 +70,7 @@ func cacheFlags(fs *flag.FlagSet) func() *artifact.Cache {
 			fmt.Fprintf(os.Stderr, "esptool: %v (continuing uncached)\n", err)
 			return nil
 		}
+		c.SetMaxBytes(*maxBytes)
 		return c
 	}
 }

@@ -31,6 +31,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/features"
@@ -69,6 +73,10 @@ type Record struct {
 // branching at call sites.
 type Cache struct {
 	dir string
+
+	// maxBytes bounds the directory's total entry size; 0 disables GC.
+	maxBytes atomic.Int64
+	gcMu     sync.Mutex // serializes eviction sweeps
 }
 
 // Open creates (if needed) and opens a cache directory.
@@ -133,6 +141,20 @@ func (c *Cache) Load(key string) (*Record, bool) {
 	if err != nil {
 		return nil, false
 	}
+	rec, ok := DecodeRecord(data, key)
+	if !ok {
+		return nil, false
+	}
+	c.touch(key)
+	return rec, true
+}
+
+// DecodeRecord verifies a framed cache file (magic, format version, key
+// echo, payload checksum) against key and decodes its payload. It is the
+// trust boundary for bytes that arrived over the network: a cluster peer's
+// response goes through the exact same checks as a local file, so a
+// corrupt or mis-keyed peer payload is a miss, never a poisoned entry.
+func DecodeRecord(data []byte, key string) (*Record, bool) {
 	payload, ok := verify(data, key)
 	if !ok {
 		return nil, false
@@ -145,6 +167,48 @@ func (c *Cache) Load(key string) (*Record, bool) {
 		return nil, false
 	}
 	return &rec, true
+}
+
+// LoadRaw returns the verified framed bytes of the entry under key — the
+// whole on-disk file, checksum and all — for the peer protocol to ship
+// without re-encoding. Verification happens before serving so a replica
+// never forwards a torn or mis-keyed file to a peer.
+func (c *Cache) LoadRaw(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if faultinject.Fire(siteLoad) != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	if _, ok := verify(data, key); !ok {
+		return nil, false
+	}
+	c.touch(key)
+	return data, true
+}
+
+// StoreRaw installs framed bytes received from a peer, verifying the full
+// framing against key first so a malicious or corrupt peer response can
+// never land on disk. The write is atomic exactly like Store's.
+func (c *Cache) StoreRaw(key string, data []byte) error {
+	if c == nil {
+		return nil
+	}
+	if _, ok := verify(data, key); !ok {
+		return fmt.Errorf("artifact: raw store: payload fails verification for key %.16s", key)
+	}
+	if err := faultinject.Fire(siteStore); err != nil {
+		return err
+	}
+	if err := c.writeAtomic(key, data); err != nil {
+		return err
+	}
+	c.gc()
+	return nil
 }
 
 // Store writes the record under key atomically. A failed store leaves no
@@ -161,8 +225,14 @@ func (c *Cache) Store(key string, rec *Record) error {
 	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
 		return fmt.Errorf("artifact: encode: %w", err)
 	}
-	data := encodeFile(key, payload.Bytes())
+	if err := c.writeAtomic(key, encodeFile(key, payload.Bytes())); err != nil {
+		return err
+	}
+	c.gc()
+	return nil
+}
 
+func (c *Cache) writeAtomic(key string, data []byte) error {
 	tmp, err := os.CreateTemp(c.dir, ".espa-*.tmp")
 	if err != nil {
 		return err
@@ -180,6 +250,89 @@ func (c *Cache) Store(key string, rec *Record) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// SetMaxBytes bounds the total size of cache entries; when a store pushes
+// the directory past the bound, the least-recently-used entries (by
+// modification time, which Load hits refresh) are evicted until it fits.
+// Zero or negative disables eviction. Safe to call concurrently with loads
+// and stores.
+func (c *Cache) SetMaxBytes(n int64) {
+	if c == nil {
+		return
+	}
+	c.maxBytes.Store(n)
+	c.gc()
+}
+
+// MaxBytes returns the configured size bound (0 = unbounded).
+func (c *Cache) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxBytes.Load()
+}
+
+// touch refreshes an entry's timestamps on a hit so LRU eviction keeps
+// hot entries. Best-effort: a racing eviction or read-only directory just
+// means the entry ages normally.
+func (c *Cache) touch(key string) {
+	if c.maxBytes.Load() <= 0 {
+		return
+	}
+	now := time.Now()
+	_ = os.Chtimes(c.path(key), now, now)
+}
+
+// gc evicts least-recently-used entries until the directory fits the
+// configured bound. Eviction is a plain unlink of a fully-written entry:
+// a reader that already opened the file keeps its data (POSIX semantics),
+// and a reader that races the unlink sees a clean miss — never a torn
+// entry. Temp files from in-flight writes are left alone.
+func (c *Cache) gc() {
+	limit := c.maxBytes.Load()
+	if limit <= 0 {
+		return
+	}
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".espa" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // racing eviction or store; skip
+		}
+		files = append(files, entry{e.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= limit {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return files[i].mtime.Before(files[j].mtime)
+	})
+	for _, f := range files {
+		if total <= limit {
+			break
+		}
+		if os.Remove(filepath.Join(c.dir, f.name)) == nil {
+			total -= f.size
+		}
+	}
 }
 
 func encodeFile(key string, payload []byte) []byte {

@@ -1,0 +1,262 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syntheticKey returns a distinct well-formed hex key; the cache does not
+// require a key to be derivable from the record, so GC tests can populate
+// many entries from one analysis.
+func syntheticKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+// entrySize stores one entry and measures its on-disk size so bounds can
+// be expressed as "room for n entries".
+func entrySize(t *testing.T, rec *Record) int64 {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(syntheticKey(0), rec); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.path(syntheticKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// backdate pins an entry's mtime to a fixed point in the past so eviction
+// order is deterministic regardless of store timing.
+func backdate(t *testing.T, c *Cache, key string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(c.path(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCEvictsOldestWhenOverBound: with room for two entries, storing five
+// leaves the two youngest; the directory total respects the bound.
+func TestGCEvictsOldestWhenOverBound(t *testing.T) {
+	_, rec := analyzed(t, "bc")
+	size := entrySize(t, rec)
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Store(syntheticKey(i), rec); err != nil {
+			t.Fatal(err)
+		}
+		backdate(t, c, syntheticKey(i), time.Duration(5-i)*time.Hour)
+	}
+	c.SetMaxBytes(2*size + size/2)
+
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, _ := e.Info()
+		total += info.Size()
+	}
+	if total > c.MaxBytes() {
+		t.Fatalf("directory holds %d bytes, bound is %d", total, c.MaxBytes())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Load(syntheticKey(i)); ok {
+			t.Errorf("entry %d (old) survived eviction", i)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if got, ok := c.Load(syntheticKey(i)); !ok || !reflect.DeepEqual(got, rec) {
+			t.Errorf("entry %d (young) evicted or corrupt", i)
+		}
+	}
+}
+
+// TestGCKeepsRecentlyHitEntries: a Load refreshes an entry's age, so the
+// oldest-by-store entry survives eviction if it was just hit — LRU, not
+// FIFO.
+func TestGCKeepsRecentlyHitEntries(t *testing.T) {
+	_, rec := analyzed(t, "bc")
+	size := entrySize(t, rec)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Store(syntheticKey(i), rec); err != nil {
+			t.Fatal(err)
+		}
+		backdate(t, c, syntheticKey(i), time.Duration(3-i)*time.Hour)
+	}
+	// Enable LRU tracking without evicting, then hit the oldest entry.
+	c.SetMaxBytes(100 * size)
+	if _, ok := c.Load(syntheticKey(0)); !ok {
+		t.Fatal("setup load missed")
+	}
+	// Shrink to two entries' room: entry 1 is now the least recently used.
+	c.SetMaxBytes(2*size + size/2)
+
+	if _, ok := c.Load(syntheticKey(1)); ok {
+		t.Error("least-recently-used entry survived")
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := c.Load(syntheticKey(i)); !ok {
+			t.Errorf("recently-used entry %d evicted", i)
+		}
+	}
+}
+
+// TestGCDisabledByDefault: without SetMaxBytes the cache never evicts.
+func TestGCDisabledByDefault(t *testing.T) {
+	_, rec := analyzed(t, "bc")
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Store(syntheticKey(i), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := c.Load(syntheticKey(i)); !ok {
+			t.Fatalf("entry %d missing with GC disabled", i)
+		}
+	}
+}
+
+// TestGCSafeUnderConcurrentLoads: loads racing eviction must observe a
+// full record or a clean miss, never an error or a torn entry, and the
+// race detector must stay quiet.
+func TestGCSafeUnderConcurrentLoads(t *testing.T) {
+	_, rec := analyzed(t, "bc")
+	size := entrySize(t, rec)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(3 * size)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := syntheticKey((g*25 + i) % 8)
+				if i%2 == 0 {
+					if err := c.Store(key, rec); err != nil {
+						t.Errorf("store: %v", err)
+						return
+					}
+				}
+				if got, ok := c.Load(key); ok && !reflect.DeepEqual(got, rec) {
+					t.Error("load racing GC observed a wrong record")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRawRoundTripAcrossCaches is the peer-protocol contract: bytes read
+// with LoadRaw from one cache install verbatim into another via StoreRaw,
+// and the receiving cache then hits locally with an identical record.
+func TestRawRoundTripAcrossCaches(t *testing.T) {
+	key, rec := analyzed(t, "bc")
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.LoadRaw(key); ok {
+		t.Fatal("raw hit on empty cache")
+	}
+	if err := a.Store(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := a.LoadRaw(key)
+	if !ok {
+		t.Fatal("raw miss after store")
+	}
+	if got, ok := DecodeRecord(raw, key); !ok || !reflect.DeepEqual(got, rec) {
+		t.Fatal("DecodeRecord of raw bytes differs from stored record")
+	}
+	if err := b.StoreRaw(key, raw); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Load(key); !ok || !reflect.DeepEqual(got, rec) {
+		t.Fatal("receiving cache does not hit after StoreRaw")
+	}
+}
+
+// TestStoreRawRejectsBadPayloads: corrupt or mis-keyed peer bytes must be
+// refused before touching disk — the local cache cannot be poisoned by a
+// bad peer.
+func TestStoreRawRejectsBadPayloads(t *testing.T) {
+	key, rec := analyzed(t, "bc")
+	otherKey, _ := analyzed(t, "gzip")
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Store(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := src.LoadRaw(key)
+	if !ok {
+		t.Fatal("raw miss after store")
+	}
+
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if err := dst.StoreRaw(key, flipped); err == nil {
+		t.Fatal("corrupt raw payload accepted")
+	}
+	if err := dst.StoreRaw(otherKey, raw); err == nil {
+		t.Fatal("mis-keyed raw payload accepted")
+	}
+	if _, ok := dst.Load(key); ok {
+		t.Fatal("rejected payload landed on disk")
+	}
+	if _, ok := DecodeRecord(raw, otherKey); ok {
+		t.Fatal("DecodeRecord accepted a wrong key")
+	}
+}
+
+// TestRawNilCache: the nil-cache convention extends to the raw API.
+func TestRawNilCache(t *testing.T) {
+	var c *Cache
+	if _, ok := c.LoadRaw("deadbeef"); ok {
+		t.Fatal("nil cache raw hit")
+	}
+	if err := c.StoreRaw("deadbeef", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(1)
+	if c.MaxBytes() != 0 {
+		t.Fatal("nil cache reports a bound")
+	}
+}

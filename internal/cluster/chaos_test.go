@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/features"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/serve"
+)
+
+// chaosSource is the source-path payload: it exercises compile, cache, and
+// forward sites on whichever replica the router picks.
+const chaosSource = `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 40; i = i + 1) {
+		if (i % 4 == 0) { s = s + 2; } else { s = s + 1; }
+	}
+	return s;
+}`
+
+func chaosProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	ast, err := minic.Parse("chaos", chaosSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(ast, ir.LangC, codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// recoverInjected converts an injected-panic escape into a no-op so chaos
+// driver goroutines survive; any other panic is real and re-raised.
+func recoverInjected() {
+	if r := recover(); r != nil {
+		if _, ok := r.(*faultinject.Panicked); !ok {
+			panic(r)
+		}
+	}
+}
+
+// TestClusterChaosKillRestartPartitionReload is the cluster chaos suite: a
+// seeded injector fires faults at every cluster and serve site while
+// concurrent clients drive the router, a replica is killed and restarted
+// mid-load, a peer-cache partition opens and heals, and model reloads land
+// mid-burst on the surviving replicas.
+//
+// The contract under all of it: the router never routes to a drained
+// replica, every completed 200 is bit-identical to the single-process
+// reference (or exactly-degraded per the serve rules), shed/failed stays a
+// bounded fraction of traffic, the healed cluster serves clean
+// bit-identical answers, and nothing leaks goroutines.
+func TestClusterChaosKillRestartPartitionReload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos in short mode")
+	}
+	model, data := testModel(t)
+	baseline := runtime.NumGoroutine()
+
+	// Offline references for both request paths.
+	vecs := data[0].Vectors[:12]
+	offlineModel := make([]float64, len(vecs))
+	model.TakenProbabilities(vecs, offlineModel)
+	offlineDegraded := degradedReference(vecs)
+	srcVecs := features.ExtractAll(features.Collect(chaosProgram(t)))
+	srcModel := make([]float64, len(srcVecs))
+	model.TakenProbabilities(srcVecs, srcModel)
+	srcDegraded := degradedReference(srcVecs)
+
+	// Reference analysis for the peer-cache traffic.
+	prog := chaosProgram(t)
+	refPD, err := core.Analyze(prog, ir.LangC, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replicas := []*testReplica{
+		newTestReplica(t, "r0", serve.Config{Workers: 2, MaxBatch: 4, RequestTimeout: 10 * time.Second}),
+		newTestReplica(t, "r1", serve.Config{Workers: 2, MaxBatch: 4, RequestTimeout: 10 * time.Second}),
+		newTestReplica(t, "r2", serve.Config{Workers: 2, MaxBatch: 4, RequestTimeout: 10 * time.Second}),
+	}
+	connectPeers(replicas...)
+
+	reps := make([]*Replica, len(replicas))
+	for i, r := range replicas {
+		reps[i] = &Replica{Name: r.name}
+		reps[i].SetURL(r.ts.URL)
+	}
+	router := NewRouter(RouterConfig{
+		MaxFailover: 3,
+		Counters:    replicas[0].srv.ClusterStats(),
+	}, reps...)
+	rts := httptest.NewServer(router)
+
+	// Seeded faults at every cluster and serve site; panics only where the
+	// stack contains them (the serve forward path).
+	inj := faultinject.New(42,
+		faultinject.Rule{Site: "cluster.route", Kind: faultinject.Error, Rate: 0.10},
+		faultinject.Rule{Site: "cluster.peer.get", Kind: faultinject.Error, Rate: 0.20},
+		faultinject.Rule{Site: "cluster.peer.get", Kind: faultinject.Latency, Delay: 2 * time.Millisecond, Rate: 0.10},
+		faultinject.Rule{Site: "cluster.reload", Kind: faultinject.Error, Rate: 0.25},
+		faultinject.Rule{Site: "serve.forward", Kind: faultinject.Error, Rate: 0.10},
+		faultinject.Rule{Site: "serve.forward", Kind: faultinject.Panic, Rate: 0.03},
+		faultinject.Rule{Site: "serve.cache.get", Kind: faultinject.Error, Rate: 0.10},
+		faultinject.Rule{Site: "serve.compile", Kind: faultinject.Error, Rate: 0.05},
+		faultinject.Rule{Site: "serve.pool.submit", Kind: faultinject.Error, Rate: 0.05},
+		faultinject.Rule{Site: "artifact.load", Kind: faultinject.Error, Rate: 0.10},
+		faultinject.Rule{Site: "artifact.store", Kind: faultinject.Error, Rate: 0.10},
+	)
+	deactivate := faultinject.Activate(inj)
+	defer deactivate()
+
+	vecBody, err := json.Marshal(serve.PredictRequest{ID: "v", Vectors: vectorValues(vecs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcBody, err := json.Marshal(serve.PredictRequest{ID: "s", Name: "chaos", Source: chaosSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg, loadWG sync.WaitGroup
+		ok200      atomic.Int64
+		degraded   atomic.Int64
+		shed       atomic.Int64
+		failed     atomic.Int64
+	)
+	stop := make(chan struct{})
+	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	const clients = 12
+	for c := 0; c < clients; c++ {
+		loadWG.Add(1)
+		go func(c int) {
+			defer loadWG.Done()
+			for r := 0; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, m, d := vecBody, offlineModel, offlineDegraded
+				if (c+r)%2 == 1 {
+					body, m, d = srcBody, srcModel, srcDegraded
+				}
+				resp, err := httpc.Post(rts.URL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				var pr serve.PredictResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					if decErr != nil {
+						t.Errorf("client %d: decode: %v", c, decErr)
+						return
+					}
+					checkPredictions(t, &pr, m, d)
+					ok200.Add(1)
+					if pr.Degraded {
+						degraded.Add(1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Peer-cache traffic rides along: every replica repeatedly analyzes the
+	// chaos program through its PeerCache (the first computes, the others
+	// warm from it when the partition allows), plus absent-key probes that
+	// keep the peer-fetch path hot. A completed analysis must equal the
+	// reference exactly, whatever faults fired.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		probe := func(f func()) {
+			defer recoverInjected()
+			f()
+		}
+		for i := 0; i < 30; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range replicas {
+				probe(func() {
+					pd, err := core.AnalyzeCached(r.peers, prog, ir.LangC, interp.Config{})
+					if err != nil {
+						t.Errorf("%s: analyze under chaos: %v", r.name, err)
+						return
+					}
+					if len(pd.Vectors) != len(refPD.Vectors) || pd.Profile.Insns != refPD.Profile.Insns {
+						t.Errorf("%s: peer-cached analysis diverged from reference", r.name)
+					}
+				})
+				probe(func() {
+					_, _ = r.peers.Load("00000000000000000000000000000000000000000000000000000000000000ff")
+				})
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// The chaos script: drain+kill a replica mid-load, reload the survivors
+	// mid-burst, partition a peer, then heal everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		sleep := func(d time.Duration) { time.Sleep(d) }
+
+		sleep(50 * time.Millisecond)
+		// Partition: r0 loses sight of r2's peer cache.
+		replicas[0].peers.Ring().SetDrained(replicas[2].ts.URL, true)
+
+		sleep(50 * time.Millisecond)
+		// Kill r1 without warning; the router must absorb it as failover.
+		replicas[1].ts.Close()
+
+		// Reload churn on the survivors while the cluster is degraded.
+		for i := 0; i < 10; i++ {
+			for _, r := range []*testReplica{replicas[0], replicas[2]} {
+				func() {
+					defer recoverInjected()
+					_, _ = r.srv.Reload(model)
+				}()
+			}
+			sleep(2 * time.Millisecond)
+		}
+
+		sleep(50 * time.Millisecond)
+		// Restart r1 on a fresh port: same ring identity, new URL.
+		replicas[1].restart()
+		router.Replica("r1").SetURL(replicas[1].ts.URL)
+		// Heal the partition and the peer rings.
+		connectPeers(replicas...)
+
+		sleep(100 * time.Millisecond)
+	}()
+
+	wg.Wait()
+	loadWG.Wait()
+
+	total := ok200.Load() + shed.Load() + failed.Load()
+	if ok200.Load() == 0 {
+		t.Fatal("no request succeeded under cluster chaos")
+	}
+	if bad := shed.Load() + failed.Load(); bad*2 > total {
+		t.Errorf("shed+failed = %d of %d requests — loss not bounded", bad, total)
+	}
+	for _, site := range []string{"cluster.route", "cluster.peer.get", "cluster.reload"} {
+		if inj.Hits(site) == 0 {
+			t.Errorf("site %s never reached under cluster chaos", site)
+		} else if inj.Fired(site) == 0 {
+			t.Errorf("site %s never fired (%d hits)", site, inj.Hits(site))
+		}
+	}
+
+	// Faults off, cluster healed: the very next answers are clean and
+	// bit-identical on both paths, through the router.
+	deactivate()
+	for _, probe := range []struct {
+		body []byte
+		want []float64
+		deg  []float64
+	}{{vecBody, offlineModel, offlineDegraded}, {srcBody, srcModel, srcDegraded}} {
+		resp, err := httpc.Post(rts.URL+"/predict", "application/json", bytes.NewReader(probe.body))
+		if err != nil {
+			t.Fatalf("post-chaos request: %v", err)
+		}
+		var pr serve.PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || pr.Degraded {
+			t.Fatalf("post-chaos request: status %d degraded %v", resp.StatusCode, pr.Degraded)
+		}
+		checkPredictions(t, &pr, probe.want, probe.deg)
+	}
+
+	// The restarted replica answers with the same model as everyone else:
+	// drive one request directly at it.
+	resp, pr := postPredict(t, replicas[1].ts.URL, serve.PredictRequest{Vectors: vectorValues(vecs)})
+	if resp.StatusCode != http.StatusOK || pr.Degraded {
+		t.Fatalf("restarted replica: status %d degraded %v", resp.StatusCode, pr.Degraded)
+	}
+	checkPredictions(t, &pr, offlineModel, offlineDegraded)
+
+	rts.Close()
+	httpc.CloseIdleConnections()
+	// Replica drains run in test cleanups; check for leaks after an explicit
+	// drain here so the baseline comparison sees the quiesced state.
+	for _, r := range replicas {
+		r.ts.Close()
+	}
+	drainAll(t, replicas)
+	assertNoGoroutineLeak(t, baseline)
+	t.Logf("cluster chaos: %d ok (%d degraded), %d shed, %d failed; failovers in r0 metrics",
+		ok200.Load(), degraded.Load(), shed.Load(), failed.Load())
+}
+
+func drainAll(t *testing.T, replicas []*testReplica) {
+	t.Helper()
+	for _, r := range replicas {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := r.srv.Drain(ctx); err != nil {
+			t.Errorf("%s drain: %v", r.name, err)
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,64 @@
+// Package cluster replicates espserve horizontally without weakening its
+// single-process guarantees. Three pieces compose:
+//
+//   - A consistent-hash Ring maps a request's content key to an owner
+//     replica; membership changes move only the departed or arrived
+//     replica's share of the keyspace.
+//   - A Router fronts N replicas, routing each /predict to its ring owner
+//     and failing over along the ring — bounded, never to a drained
+//     replica — when the owner sheds (429) or errors (5xx, transport).
+//   - A PeerCache extends the artifact cache across replicas: a local miss
+//     asks the key's ring neighbours for their verified on-disk bytes
+//     before falling back to recomputation, so one replica's analysis
+//     warms every other replica's start.
+//
+// The cluster-wide contract is the single-process one: every completed
+// response is bit-identical to what a lone espserve would have produced
+// (or exactly-degraded under the serve package's documented fallback
+// rules), regardless of which replica answered, how many failovers the
+// request rode, or which model version was hot-reloading at the time. The
+// chaos suite in this package drives kill/restart, peer partitions, and
+// mid-burst reloads under deterministic fault injection to hold that line.
+package cluster
+
+import "repro/internal/faultinject"
+
+// Fault-injection sites. cluster.route fires once per candidate replica a
+// request is offered to; cluster.peer.get fires once per peer fetch
+// attempt. (cluster.reload lives in internal/serve, at the reload
+// entrypoint itself.)
+var (
+	siteRoute   = faultinject.Register("cluster.route")
+	sitePeerGet = faultinject.Register("cluster.peer.get")
+)
+
+// Counters receives cluster-level events for metrics export.
+// serve.ClusterStats satisfies it; the zero Counters field of any struct
+// in this package (nil interface) counts nothing.
+type Counters interface {
+	PeerHit()
+	PeerMiss()
+	Failover()
+}
+
+// counters wraps an optional Counters so call sites stay flat: a nil
+// interface counts nothing.
+type counters struct{ Counters }
+
+func (c counters) peerHit() {
+	if c.Counters != nil {
+		c.Counters.PeerHit()
+	}
+}
+
+func (c counters) peerMiss() {
+	if c.Counters != nil {
+		c.Counters.PeerMiss()
+	}
+}
+
+func (c counters) failover() {
+	if c.Counters != nil {
+		c.Counters.Failover()
+	}
+}

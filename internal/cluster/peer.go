@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/faultinject"
+)
+
+// PeerPathPrefix is where every replica mounts its peer-cache handler.
+const PeerPathPrefix = "/cluster/artifact/"
+
+// maxPeerPayloadBytes bounds a peer response; an artifact record for even
+// the largest corpus program is far below this.
+const maxPeerPayloadBytes = 64 << 20
+
+// PeerCache layers replica-to-replica artifact sharing over a local
+// *artifact.Cache, groupcache-style: a local miss triggers one
+// singleflighted fetch walking the key's peers in ring order, and a
+// verified peer payload is installed locally before being decoded, so the
+// next request for the key is a plain local hit. It satisfies
+// core.AnalysisCache, slotting in wherever a bare cache does.
+//
+// Trust boundary: peer bytes pass the full artifact framing check (magic,
+// version, key echo, checksum) in StoreRaw/DecodeRecord before use — a
+// corrupt or malicious peer can cause a miss, never a poisoned entry.
+type PeerCache struct {
+	local  *artifact.Cache
+	self   string // this replica's own peer base URL, excluded from fetches
+	ring   *Ring  // members are peer base URLs
+	client *http.Client
+
+	// counters is swappable after construction: espserve builds its
+	// PeerCache (and trains through it) before the server that owns the
+	// metrics exists.
+	counters atomic.Pointer[counters]
+
+	mu       sync.Mutex
+	inflight map[string]*peerFetch
+}
+
+type peerFetch struct {
+	done chan struct{}
+	rec  *artifact.Record
+	ok   bool
+}
+
+// PeerCacheConfig configures a PeerCache.
+type PeerCacheConfig struct {
+	// Self is this replica's own peer base URL; it is never fetched from.
+	Self string
+	// Peers are the other replicas' base URLs (the handler is assumed
+	// mounted at PeerPathPrefix on each).
+	Peers []string
+	// Vnodes per peer on the fetch-order ring (default DefaultVnodes).
+	Vnodes int
+	// Timeout is the per-fetch timeout (default 10s).
+	Timeout time.Duration
+	// Counters receives peer hit/miss events (optional).
+	Counters Counters
+}
+
+// NewPeerCache wraps local with peer-backed fetching. A nil local cache is
+// allowed: peers are still consulted, but nothing is persisted locally.
+func NewPeerCache(local *artifact.Cache, cfg PeerCacheConfig) *PeerCache {
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	p := &PeerCache{
+		local:    local,
+		self:     cfg.Self,
+		ring:     NewRing(cfg.Vnodes),
+		client:   &http.Client{Timeout: timeout},
+		inflight: make(map[string]*peerFetch),
+	}
+	p.SetCounters(cfg.Counters)
+	for _, u := range cfg.Peers {
+		if u != "" && u != cfg.Self {
+			p.ring.Add(u)
+		}
+	}
+	return p
+}
+
+// SetCounters installs (or replaces) the metrics sink; safe concurrently
+// with loads.
+func (p *PeerCache) SetCounters(c Counters) {
+	p.counters.Store(&counters{c})
+}
+
+// Ring exposes the peer ring so tests and operators can partition or heal
+// peers (SetDrained) and adjust membership.
+func (p *PeerCache) Ring() *Ring { return p.ring }
+
+// Load returns the record under key from the local cache, or from the
+// first peer that has it. Concurrent loads of one key share a single peer
+// fetch. A peer hit is installed locally first, so it counts as a durable
+// warm-up, not a one-shot answer.
+func (p *PeerCache) Load(key string) (*artifact.Record, bool) {
+	if rec, ok := p.local.Load(key); ok {
+		return rec, true
+	}
+	if len(p.ring.Members()) == 0 {
+		return nil, false
+	}
+
+	p.mu.Lock()
+	if f, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		<-f.done
+		return f.rec, f.ok
+	}
+	f := &peerFetch{done: make(chan struct{})}
+	p.inflight[key] = f
+	p.mu.Unlock()
+
+	f.rec, f.ok = p.fetchFromPeers(key)
+	close(f.done)
+	p.mu.Lock()
+	delete(p.inflight, key)
+	p.mu.Unlock()
+	return f.rec, f.ok
+}
+
+// Store writes through to the local cache.
+func (p *PeerCache) Store(key string, rec *artifact.Record) error {
+	return p.local.Store(key, rec)
+}
+
+// fetchFromPeers walks the key's peers in ring order. Each attempt fires
+// the cluster.peer.get fault site; an injected fault skips that peer, the
+// same degradation as an unreachable one.
+func (p *PeerCache) fetchFromPeers(key string) (*artifact.Record, bool) {
+	for _, peer := range p.ring.Sequence(key, len(p.ring.Members())) {
+		if err := faultinject.Fire(sitePeerGet); err != nil {
+			continue
+		}
+		raw, ok := p.fetchOne(peer, key)
+		if !ok {
+			continue
+		}
+		// Install-then-decode: StoreRaw re-verifies the framing, and a
+		// local store failure (full disk, injected fault) still lets this
+		// request proceed from the verified bytes in hand.
+		_ = p.local.StoreRaw(key, raw)
+		if rec, ok := artifact.DecodeRecord(raw, key); ok {
+			p.counters.Load().peerHit()
+			return rec, true
+		}
+	}
+	p.counters.Load().peerMiss()
+	return nil, false
+}
+
+func (p *PeerCache) fetchOne(peer, key string) ([]byte, bool) {
+	resp, err := p.client.Get(peer + PeerPathPrefix + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerPayloadBytes))
+	if err != nil {
+		return nil, false
+	}
+	if _, ok := artifact.DecodeRecord(raw, key); !ok {
+		return nil, false
+	}
+	return raw, true
+}
+
+// Handler serves this replica's local cache to its peers:
+//
+//	GET /cluster/artifact/<key>  ->  200 + framed entry bytes | 404
+//
+// Only well-formed hex keys are accepted, so the key can never escape the
+// cache directory, and only verified bytes are served (LoadRaw re-checks
+// the framing before shipping).
+func (p *PeerCache) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		key, ok := strings.CutPrefix(r.URL.Path, PeerPathPrefix)
+		if !ok || !validKey(key) {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		raw, ok := p.local.LoadRaw(key)
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(raw)
+	})
+}
+
+// validKey accepts exactly the lowercase-hex sha256 keys artifact.Key
+// produces.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

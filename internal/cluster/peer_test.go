@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/interp"
+	"repro/internal/serve"
+)
+
+// warmPeer analyzes one corpus program into a fresh cache and serves it
+// over the peer protocol, returning the peer URL, the key, and the
+// reference analysis.
+func warmPeer(t *testing.T, name string) (string, string, *core.ProgramData) {
+	t.Helper()
+	e, ok := corpus.ByName(name)
+	if !ok {
+		t.Fatalf("no corpus entry %q", name)
+	}
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := core.AnalyzeCached(cache, prog, e.Language, e.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(cache, PeerCacheConfig{})
+	ts := httptest.NewServer(pc.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, artifact.Key(prog, e.RunConfig()), pd
+}
+
+// TestPeerWarmJoinZeroTraces is the cluster warm-start acceptance test: a
+// replica joining with a completely cold local cache serves its first
+// corpus-program analysis from a peer's cache — bit-identical profile and
+// vectors, and not a single interpreter trace run locally.
+func TestPeerWarmJoinZeroTraces(t *testing.T) {
+	peerURL, _, ref := warmPeer(t, "bc")
+
+	e, _ := corpus.ByName("bc")
+	prog, err := e.Compile(codegen.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := NewPeerCache(coldCache, PeerCacheConfig{Peers: []string{peerURL}})
+
+	runsBefore := interp.TotalRuns()
+	pd, err := core.AnalyzeCached(joiner, prog, e.Language, e.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := interp.TotalRuns() - runsBefore; delta != 0 {
+		t.Fatalf("cold replica ran %d interpreter traces despite a warm peer", delta)
+	}
+	if !reflect.DeepEqual(pd.Profile, ref.Profile) || !reflect.DeepEqual(pd.Vectors, ref.Vectors) {
+		t.Fatal("peer-warmed analysis differs from the peer's reference")
+	}
+
+	// The peer payload was installed locally: a second load is a local hit
+	// even with the peer gone.
+	joiner.Ring().Remove(peerURL)
+	runsBefore = interp.TotalRuns()
+	pd2, err := core.AnalyzeCached(joiner, prog, e.Language, e.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := interp.TotalRuns() - runsBefore; delta != 0 {
+		t.Fatalf("local re-load after peer warm-up ran %d traces", delta)
+	}
+	if !reflect.DeepEqual(pd2.Profile, ref.Profile) {
+		t.Fatal("locally installed entry differs from the peer's")
+	}
+}
+
+// TestPeerSingleflight: concurrent cold loads of one key produce exactly
+// one peer fetch.
+func TestPeerSingleflight(t *testing.T) {
+	peerURL, key, ref := warmPeer(t, "grep")
+	var fetches atomic.Int64
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		resp, err := http.Get(peerURL + r.URL.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	defer counting.Close()
+
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(cache, PeerCacheConfig{Peers: []string{counting.URL}})
+
+	// Gate every goroutine on the same starting line so they all miss
+	// locally before the first fetch can install the entry.
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			rec, ok := pc.Load(key)
+			if !ok {
+				t.Error("cold load missed with a warm peer")
+				return
+			}
+			if !reflect.DeepEqual(rec.Profile, ref.Profile) {
+				t.Error("peer load returned a wrong record")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("%d peer fetches for 8 concurrent loads of one key, want 1 (singleflight)", got)
+	}
+}
+
+// TestPeerCorruptPayloadRejected: a peer serving corrupted bytes causes a
+// miss — never a poisoned local cache — and a healthy peer on the same
+// ring still satisfies the load.
+func TestPeerCorruptPayloadRejected(t *testing.T) {
+	peerURL, key, ref := warmPeer(t, "gzip")
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(peerURL + r.URL.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		buf, _ := io.ReadAll(resp.Body)
+		if len(buf) > 0 {
+			buf[len(buf)-1] ^= 0xFF
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(buf)
+	}))
+	defer corrupt.Close()
+
+	// Corrupt peer alone: clean miss, nothing installed locally.
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(cache, PeerCacheConfig{Peers: []string{corrupt.URL}})
+	if _, ok := pc.Load(key); ok {
+		t.Fatal("corrupt peer payload served as a hit")
+	}
+	if _, ok := cache.Load(key); ok {
+		t.Fatal("corrupt peer payload poisoned the local cache")
+	}
+
+	// Corrupt and healthy peers together: the load succeeds from the
+	// healthy one regardless of ring order.
+	cache2, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2 := NewPeerCache(cache2, PeerCacheConfig{Peers: []string{corrupt.URL, peerURL}})
+	rec, ok := pc2.Load(key)
+	if !ok {
+		t.Fatal("healthy peer not consulted after corrupt one")
+	}
+	if !reflect.DeepEqual(rec.Profile, ref.Profile) {
+		t.Fatal("wrong record from healthy peer")
+	}
+}
+
+// TestPeerFaultInjectionDegradesToMiss: an injected fault at
+// cluster.peer.get skips the peer — analysis falls back to local
+// recomputation, bit-identical by construction.
+func TestPeerFaultInjectionDegradesToMiss(t *testing.T) {
+	peerURL, key, _ := warmPeer(t, "bc")
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(cache, PeerCacheConfig{Peers: []string{peerURL}})
+	deactivate := faultinject.Activate(faultinject.New(5, faultinject.Rule{
+		Site: "cluster.peer.get", Kind: faultinject.Error, Rate: 1,
+	}))
+	if _, ok := pc.Load(key); ok {
+		t.Fatal("peer fetch succeeded under an injected routing fault")
+	}
+	deactivate()
+	if _, ok := pc.Load(key); !ok {
+		t.Fatal("peer fetch still failing after faults cleared")
+	}
+}
+
+// TestPeerHandlerRejectsBadKeys: only well-formed hex keys reach the
+// filesystem.
+func TestPeerHandlerRejectsBadKeys(t *testing.T) {
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(cache, PeerCacheConfig{})
+	ts := httptest.NewServer(pc.Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		PeerPathPrefix + "../../etc/passwd",
+		PeerPathPrefix + "short",
+		PeerPathPrefix + "ZZ" + validKeyPad(62),
+		"/cluster/other",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// A well-formed but absent key is a plain 404.
+	resp, err := http.Get(ts.URL + PeerPathPrefix + validKeyPad(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent key: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func validKeyPad(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'a'
+	}
+	return string(b)
+}
+
+// TestPeerCountersFlowIntoServeMetrics: peer hits and misses land in the
+// serving replica's Prometheus families via serve.ClusterStats.
+func TestPeerCountersFlowIntoServeMetrics(t *testing.T) {
+	model, _ := testModel(t)
+	srv, err := serve.New(serve.Config{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+	peerURL, key, _ := warmPeer(t, "grep")
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPeerCache(cache, PeerCacheConfig{Peers: []string{peerURL}, Counters: srv.ClusterStats()})
+	if _, ok := pc.Load(key); !ok {
+		t.Fatal("peer load missed")
+	}
+	if _, ok := pc.Load("0000000000000000000000000000000000000000000000000000000000000000"); ok {
+		t.Fatal("absent key hit")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"espserve_peer_hits_total 1", "espserve_peer_misses_total 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

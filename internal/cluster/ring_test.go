@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	m := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m[k] = r.Lookup(k)
+	}
+	return m
+}
+
+// TestRingRebalanceProperty is the consistent-hashing contract: adding a
+// replica moves only keys that land on the newcomer (≈1/N of the keyspace),
+// and removing it restores the exact original assignment — no unrelated
+// key ever changes owner in either direction.
+func TestRingRebalanceProperty(t *testing.T) {
+	const nodes, extra = 4, "replica-4"
+	keys := ringKeys(10000)
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	before := owners(r, keys)
+
+	r.Add(extra)
+	after := owners(r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != extra {
+				t.Fatalf("key %s moved %s -> %s, not to the new replica", k, before[k], after[k])
+			}
+		}
+	}
+	// Expect ≈ 1/5 of keys on the newcomer; allow generous variance for the
+	// vnode hash but fail on gross imbalance (a broken hash gives ~0 or ~100%).
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("adding 5th replica moved %.1f%% of keys, want ≈20%%", 100*frac)
+	}
+
+	r.Remove(extra)
+	restored := owners(r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("key %s: owner %s after remove, originally %s", k, restored[k], before[k])
+		}
+	}
+}
+
+// TestRingSpreadsLoad: with vnodes, no replica owns a wildly outsized
+// keyspace share.
+func TestRingSpreadsLoad(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	counts := make(map[string]int)
+	for _, k := range ringKeys(10000) {
+		counts[r.Lookup(k)]++
+	}
+	for name, n := range counts {
+		frac := float64(n) / 10000
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("%s owns %.1f%% of keys with 4 replicas", name, 100*frac)
+		}
+	}
+}
+
+// TestRingNeverYieldsDrained: Lookup and Sequence skip drained members
+// without reshuffling the live ones' shares, and draining everything yields
+// nothing rather than a drained member.
+func TestRingNeverYieldsDrained(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"a", "b", "c"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(2000)
+
+	r.SetDrained("b", true)
+	for _, k := range keys {
+		if got := r.Lookup(k); got == "b" {
+			t.Fatalf("key %s routed to drained replica", k)
+		}
+		for _, m := range r.Sequence(k, 3) {
+			if m == "b" {
+				t.Fatalf("key %s sequence contains drained replica", k)
+			}
+		}
+	}
+	// Undrained keys that never belonged to b must not have moved: draining
+	// keeps the keyspace stable.
+	before := owners(r, keys)
+	r.SetDrained("b", false)
+	for _, k := range keys {
+		if own := r.Lookup(k); own != "b" && own != before[k] {
+			t.Fatalf("undraining b moved key %s from %s to %s", k, before[k], own)
+		}
+	}
+
+	for _, m := range members {
+		r.SetDrained(m, true)
+	}
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("fully drained ring returned %q", got)
+	}
+}
+
+// TestRingSequenceDistinct: the failover candidate list holds each live
+// member at most once, in deterministic order for a given key.
+func TestRingSequenceDistinct(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	for _, k := range ringKeys(100) {
+		seq := r.Sequence(k, 10)
+		if len(seq) != 3 {
+			t.Fatalf("key %s: sequence %v, want all 3 distinct members", k, seq)
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("key %s: duplicate member in sequence %v", k, seq)
+			}
+			seen[m] = true
+		}
+		again := r.Sequence(k, 10)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("key %s: sequence not deterministic: %v vs %v", k, seq, again)
+			}
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("k"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	if seq := r.Sequence("k", 3); seq != nil {
+		t.Fatalf("empty ring sequence %v", seq)
+	}
+}

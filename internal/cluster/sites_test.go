@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestFaultSiteRegistry pins the exact set of fault-injection sites linked
+// into the cluster stack. The chaos suites enumerate registered sites and
+// assume each is exercised; a site added without updating this list (or
+// removed while a chaos rule still names it) silently weakens that
+// coverage, so drift fails here first.
+func TestFaultSiteRegistry(t *testing.T) {
+	want := []string{
+		"artifact.load",
+		"artifact.store",
+		"cluster.peer.get",
+		"cluster.reload",
+		"cluster.route",
+		"serve.cache.get",
+		"serve.compile",
+		"serve.forward",
+		"serve.pool.submit",
+	}
+	got := faultinject.Sites()
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered fault sites drifted:\n got %v\nwant %v\n"+
+			"update this list AND the chaos suites that exercise the sites", got, want)
+	}
+}

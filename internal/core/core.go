@@ -46,6 +46,15 @@ func Analyze(prog *ir.Program, lang ir.Language, runCfg interp.Config) (*Program
 	}, nil
 }
 
+// AnalysisCache is the load/store surface AnalyzeCached needs. A plain
+// *artifact.Cache satisfies it (including a typed nil, whose methods
+// degrade to miss/no-op); internal/cluster substitutes a peer-backed
+// implementation that consults replica caches before a miss.
+type AnalysisCache interface {
+	Load(key string) (*artifact.Record, bool)
+	Store(key string, rec *artifact.Record) error
+}
+
 // AnalyzeCached is Analyze backed by a persistent artifact cache: the
 // expensive profiling run (and feature-vector extraction) is skipped when
 // the cache holds an entry for this exact program and configuration. Site
@@ -54,7 +63,7 @@ func Analyze(prog *ir.Program, lang ir.Language, runCfg interp.Config) (*Program
 // profile and the vectors are pure functions of (prog, runCfg). A nil cache
 // degrades to plain Analyze, and a failed store is ignored — the cache is
 // an optimization, never a correctness dependency.
-func AnalyzeCached(cache *artifact.Cache, prog *ir.Program, lang ir.Language, runCfg interp.Config) (*ProgramData, error) {
+func AnalyzeCached(cache AnalysisCache, prog *ir.Program, lang ir.Language, runCfg interp.Config) (*ProgramData, error) {
 	if cache == nil {
 		return Analyze(prog, lang, runCfg)
 	}

@@ -183,7 +183,7 @@ func TestArenaPipelineZeroAlloc(t *testing.T) {
 			t.Fatal("fast path refused the steady-state body")
 		}
 		j := ar.prepareJob(ctx)
-		reusable, err := srv.pool.submitJob(j)
+		reusable, err := srv.currentVersion().pool.submitJob(j)
 		if err != nil {
 			t.Fatal(err)
 		}

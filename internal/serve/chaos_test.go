@@ -199,6 +199,29 @@ func TestChaosMixedFaultsUnderLoad(t *testing.T) {
 		}
 	}()
 
+	// Model-registry reload churn rides along so the cluster.reload site
+	// faces the same chaos: reloads re-install the same weights (answers
+	// stay bit-identical across versions), injected errors fail the swap
+	// atomically, and injected panics surface as *faultinject.Panicked.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reload := func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(*faultinject.Panicked); !ok {
+						panic(r)
+					}
+				}
+			}()
+			_, _ = s.Reload(model)
+		}
+		for i := 0; i < 25; i++ {
+			reload()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {

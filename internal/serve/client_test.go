@@ -147,6 +147,51 @@ func TestClientReusesConnectionAcrossRetries(t *testing.T) {
 	}
 }
 
+// TestClientCancelAbortsBackoff cancels the caller's context while the
+// client sits in a long Retry-After-driven backoff: Predict must return
+// context.Canceled promptly instead of sleeping the hint out. This pins the
+// backoff sleep's select on ctx.Done — with a bare time.Sleep the call
+// would block for the full 30s hint.
+func TestClientCancelAbortsBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{
+		http.StatusTooManyRequests, http.StatusTooManyRequests,
+	}, "30"))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.Predict(ctx, &PredictRequest{ID: "x"})
+		done <- err
+	}()
+	// Let the first attempt land and the backoff begin, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for attempts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first attempt never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cancel took %v to abort the backoff", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Predict still blocked 10s after cancel — backoff ignores ctx.Done")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("%d attempts after mid-backoff cancel, want 1", got)
+	}
+}
+
 // TestClientBoundsErrorBody sends a huge error payload: the client must
 // surface the status without inhaling the whole body into the decoder.
 func TestClientBoundsErrorBody(t *testing.T) {

@@ -57,6 +57,15 @@ type metrics struct {
 	panicsRecovered atomic.Int64 // panics absorbed by middleware or workers
 	budgetRejects   atomic.Int64 // submissions rejected by compile resource budgets
 
+	// Cluster-layer counters: the peer artifact cache and the failover
+	// router feed these through ClusterStats; reloads counts model-registry
+	// hot swaps. They render unconditionally (zero on a single replica) so
+	// the exposition is the same shape in and out of cluster mode.
+	peerHits   atomic.Int64 // artifact records served by a cluster peer
+	peerMisses atomic.Int64 // peer lookups that found nothing (recompute follows)
+	failover   atomic.Int64 // requests rerouted to another replica on the ring
+	reloads    atomic.Int64 // model versions hot-swapped into the registry
+
 	queueWait obs.Histogram // enqueue-to-worker-pickup per job
 	gauges    []gauge       // registered before serving starts; read-only after
 }
@@ -89,6 +98,36 @@ func (m *metrics) addGauge(name, help string, fn func() float64) {
 	m.gauges = append(m.gauges, gauge{name: name, help: help, fn: fn})
 }
 
+// ClusterStats is the handle the cluster layer (the peer artifact cache and
+// an embedded router) uses to feed its counters into this server's /metrics
+// exposition. The zero value is valid and counts nothing, so cluster
+// components can take one unconditionally.
+type ClusterStats struct{ m *metrics }
+
+// ClusterStats returns the server's cluster-counter handle.
+func (s *Server) ClusterStats() ClusterStats { return ClusterStats{m: s.metrics} }
+
+// PeerHit counts one artifact record served by a cluster peer.
+func (c ClusterStats) PeerHit() {
+	if c.m != nil {
+		c.m.peerHits.Add(1)
+	}
+}
+
+// PeerMiss counts one peer lookup that missed cluster-wide.
+func (c ClusterStats) PeerMiss() {
+	if c.m != nil {
+		c.m.peerMisses.Add(1)
+	}
+}
+
+// Failover counts one request rerouted to another replica.
+func (c ClusterStats) Failover() {
+	if c.m != nil {
+		c.m.failover.Add(1)
+	}
+}
+
 // counterDesc pairs one global counter with its exposition metadata.
 type counterDesc struct {
 	name, help string
@@ -109,6 +148,10 @@ func (m *metrics) counters() []counterDesc {
 		{"espserve_degraded_total", "Requests answered by the heuristic fallback.", &m.degraded},
 		{"espserve_panics_recovered_total", "Panics absorbed by middleware or workers.", &m.panicsRecovered},
 		{"espserve_budget_rejects_total", "Submissions rejected by compile resource budgets.", &m.budgetRejects},
+		{"espserve_peer_hits_total", "Artifact-cache records served by a cluster peer.", &m.peerHits},
+		{"espserve_peer_misses_total", "Peer artifact-cache lookups that missed cluster-wide.", &m.peerMisses},
+		{"espserve_failover_total", "Requests rerouted to another replica on the ring.", &m.failover},
+		{"espserve_reloads_total", "Model versions hot-swapped into the registry.", &m.reloads},
 	}
 }
 

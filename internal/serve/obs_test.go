@@ -41,6 +41,14 @@ var stableNames = []string{
 	"espserve_degraded_total",
 	"espserve_panics_recovered_total",
 	"espserve_budget_rejects_total",
+	// Cluster-mode families (PR 8): peer artifact-cache traffic, router
+	// failover, and model-registry reloads render under these names even on
+	// a single replica (zero-valued), so dashboards are cluster-shape
+	// everywhere.
+	"espserve_peer_hits_total",
+	"espserve_peer_misses_total",
+	"espserve_failover_total",
+	"espserve_reloads_total",
 }
 
 // family maps a sample name to its metric family: histogram series names
@@ -62,7 +70,7 @@ func family(name string, types map[string]string) string {
 // metric names from the earlier serving PRs are still present.
 func TestMetricsExpositionWellFormed(t *testing.T) {
 	_, data := testModel(t)
-	_, ts := testServer(t, Config{})
+	s, ts := testServer(t, Config{})
 
 	// Vector and source traffic so endpoint histograms and the queue-wait
 	// histogram all have observations.
@@ -166,9 +174,27 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	for _, g := range []string{
 		"espserve_batch_queue_depth", "espserve_batch_queue_age_micros",
 		"espserve_busy_workers", "espserve_workers", "espserve_worker_utilization",
+		"espserve_model_version",
 	} {
 		if !seen[g] {
 			t.Errorf("gauge %s missing", g)
+		}
+	}
+
+	// The cluster counters respond to their feeders: ClusterStats
+	// increments land under the promoted family names.
+	cs := s.ClusterStats()
+	cs.PeerHit()
+	cs.PeerMiss()
+	cs.Failover()
+	rendered := s.metrics.render()
+	for _, want := range []string{
+		"espserve_peer_hits_total 1",
+		"espserve_peer_misses_total 1",
+		"espserve_failover_total 1",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("exposition missing %q after ClusterStats increment", want)
 		}
 	}
 

@@ -26,8 +26,10 @@ func (s *Server) PredictPipeline(ctx context.Context, body, out []byte) ([]byte,
 		putArena(ar)
 		return out, fmt.Errorf("serve: body is not a fast-path vectors request")
 	}
+	mv := s.pinned()
+	defer mv.unpin()
 	j := ar.prepareJob(ctx)
-	reusable, err := s.pool.submitJob(j)
+	reusable, err := mv.pool.submitJob(j)
 	if err == nil {
 		out = append(out[:0], ar.encodeResponse(j.probs)...)
 	}
@@ -64,7 +66,9 @@ func (s *Server) PredictPipelineReference(ctx context.Context, body []byte) ([]b
 		vecs[i] = v
 		refs[i] = fmt.Sprintf("#%d", i)
 	}
-	probs, err := s.pool.submit(ctx, vecs)
+	mv := s.pinned()
+	defer mv.unpin()
+	probs, err := mv.pool.submit(ctx, vecs)
 	if err != nil {
 		return nil, err
 	}

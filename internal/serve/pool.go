@@ -78,16 +78,9 @@ func newPool(model *core.Model, workers, maxBatch, queueDepth int, m *metrics) *
 		metrics:  m,
 		enqTimes: make([]atomic.Int64, queueDepth+1),
 	}
-	m.addGauge("espserve_batch_queue_depth", "Jobs waiting in the prediction queue.",
-		func() float64 { return float64(len(p.jobs)) })
-	m.addGauge("espserve_batch_queue_age_micros", "Approximate age of the oldest queued job in microseconds.",
-		func() float64 { return float64(p.queueAge().Microseconds()) })
-	m.addGauge("espserve_busy_workers", "Workers currently executing a model pass.",
-		func() float64 { return float64(p.busy.Load()) })
-	m.addGauge("espserve_workers", "Size of the prediction worker pool.",
-		func() float64 { return float64(p.nworkers) })
-	m.addGauge("espserve_worker_utilization", "Fraction of workers currently executing a model pass.",
-		func() float64 { return float64(p.busy.Load()) / float64(p.nworkers) })
+	// Gauges over pool state are registered by serve.New through the current
+	// model version, not here: pools are created again on every hot reload
+	// and the gauge slice is read lock-free on scrape.
 	p.workers.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()

@@ -26,6 +26,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codegen"
@@ -148,19 +150,26 @@ func (c Config) cfgBlocks() int {
 
 // Server is the espserve HTTP service.
 type Server struct {
-	cfg      Config
-	model    *core.Model
-	pool     *pool
-	cache    *lru
-	metrics  *metrics
-	traces   *obs.Recorder
-	mux      *http.ServeMux
-	started  time.Time
-	admit    chan struct{} // admission-control semaphore (nil when disabled)
+	cfg     Config
+	cache   *lru
+	metrics *metrics
+	traces  *obs.Recorder
+	mux     *http.ServeMux
+	started time.Time
+	admit   chan struct{} // admission-control semaphore (nil when disabled)
+
+	// The model registry: current points at the version serving new
+	// requests, versions holds every generation ever installed (for Drain),
+	// and draining refuses further reloads once shutdown begins.
+	current  atomic.Pointer[modelVersion]
+	mu       sync.Mutex // guards versions and the reload swap
+	versions []*modelVersion
+	draining atomic.Bool
+
 	fallback *heuristics.DSHC
 }
 
-// New builds a Server around a trained model.
+// New builds a Server around a trained model, installed as version 1.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Model == nil {
@@ -168,7 +177,6 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		model:    cfg.Model,
 		cache:    newLRU(cfg.CacheSize),
 		metrics:  newMetrics(),
 		traces:   obs.NewRecorder(cfg.TraceRing, cfg.TraceSample, cfg.AccessLog),
@@ -179,7 +187,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight > 0 {
 		s.admit = make(chan struct{}, cfg.MaxInflight)
 	}
-	s.pool = newPool(cfg.Model, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, s.metrics)
+	mv := newModelVersion(1, cfg.Model, newPool(cfg.Model, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, s.metrics))
+	s.versions = append(s.versions, mv)
+	s.current.Store(mv)
+
+	// Pool gauges read through the current version so a hot reload swaps
+	// what they report along with what serves; registration happens once,
+	// here, because the gauge slice is read lock-free on every scrape.
+	s.metrics.addGauge("espserve_batch_queue_depth", "Jobs waiting in the prediction queue.",
+		func() float64 { return float64(len(s.current.Load().pool.jobs)) })
+	s.metrics.addGauge("espserve_batch_queue_age_micros", "Approximate age of the oldest queued job in microseconds.",
+		func() float64 { return float64(s.current.Load().pool.queueAge().Microseconds()) })
+	s.metrics.addGauge("espserve_busy_workers", "Workers currently executing a model pass.",
+		func() float64 { return float64(s.current.Load().pool.busy.Load()) })
+	s.metrics.addGauge("espserve_workers", "Size of the prediction worker pool.",
+		func() float64 { return float64(s.current.Load().pool.nworkers) })
+	s.metrics.addGauge("espserve_worker_utilization", "Fraction of workers currently executing a model pass.",
+		func() float64 {
+			p := s.current.Load().pool
+			return float64(p.busy.Load()) / float64(p.nworkers)
+		})
+	s.metrics.addGauge("espserve_model_version", "Model version currently serving new requests.",
+		func() float64 { return float64(s.current.Load().version) })
+
 	s.mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
@@ -192,16 +222,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain gracefully shuts the prediction pipeline down: new predictions are
 // refused with 503 while requests already in flight run to completion. It
-// returns once the worker pool has emptied (or ctx expires). Call it after
+// returns once every model version's worker pool has emptied (or ctx
+// expires) — retired versions still draining out included. Call it after
 // http.Server.Shutdown has stopped accepting connections.
-func (s *Server) Drain(ctx context.Context) error { return s.pool.drain(ctx) }
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	vs := append([]*modelVersion(nil), s.versions...)
+	s.mu.Unlock()
+	var firstErr error
+	for _, mv := range vs {
+		if err := mv.pool.drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // Draining reports whether Drain has begun.
-func (s *Server) Draining() bool {
-	s.pool.mu.RLock()
-	defer s.pool.mu.RUnlock()
-	return s.pool.draining
-}
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // statusWriter records the response code so instrumentation can count
 // errors. Once a status has been sent, later WriteHeader calls are ignored
@@ -371,6 +410,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	endAdmit()
+	// Pin the serving model version for the whole request: a hot reload
+	// mid-request keeps answering from the version this request started
+	// with, and the version's pool cannot drain while the pin is held.
+	mv := s.pinned()
+	defer mv.unpin()
 	endDecode := tr.StartSpan(obs.StageDecode)
 	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1<<16)
 	ar := getArena()
@@ -395,7 +439,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// path reports separately.
 		endDecode()
 		tr.AddSpan(obs.StageFeaturize, featStart, time.Since(featStart))
-		s.predictPooled(w, r, tr, ar)
+		s.predictPooled(w, r, tr, ar, mv)
 		return
 	}
 	// Anything else — source submissions, malformed bodies, over-limit or
@@ -477,7 +521,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var probs []float64
 	err = faultinject.Fire(siteSubmit)
 	if err == nil {
-		probs, err = s.pool.submit(r.Context(), vecs)
+		probs, err = mv.pool.submit(r.Context(), vecs)
 	}
 	switch {
 	case errors.Is(err, ErrDraining):
@@ -541,13 +585,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // back to writeJSON (they are off the steady state, allocations there are
 // irrelevant); the arena is returned to the pool only when the worker no
 // longer owns it.
-func (s *Server) predictPooled(w http.ResponseWriter, r *http.Request, tr *obs.Trace, ar *requestArena) {
+func (s *Server) predictPooled(w http.ResponseWriter, r *http.Request, tr *obs.Trace, ar *requestArena, mv *modelVersion) {
 	reusable := true
 	err := faultinject.Fire(siteSubmit)
 	var j *job
 	if err == nil {
 		j = ar.prepareJob(r.Context())
-		reusable, err = s.pool.submitJob(j)
+		reusable, err = mv.pool.submitJob(j)
 	}
 	switch {
 	case errors.Is(err, ErrDraining):
@@ -697,22 +741,25 @@ func (s *Server) compile(tr *obs.Trace, req *PredictRequest) (*programImage, boo
 
 // healthzResponse is the /healthz body.
 type healthzResponse struct {
-	Status     string `json:"status"`
-	Classifier string `json:"classifier"`
-	Inputs     int    `json:"inputs"`
-	Hidden     int    `json:"hidden,omitempty"`
-	UptimeSec  int64  `json:"uptime_sec"`
+	Status       string `json:"status"`
+	Classifier   string `json:"classifier"`
+	Inputs       int    `json:"inputs"`
+	Hidden       int    `json:"hidden,omitempty"`
+	ModelVersion int64  `json:"model_version"`
+	UptimeSec    int64  `json:"uptime_sec"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mv := s.currentVersion()
 	resp := healthzResponse{
-		Status:     "ok",
-		Classifier: s.model.Cfg.Classifier.String(),
-		Inputs:     s.model.Encoder.Dim,
-		UptimeSec:  int64(time.Since(s.started).Seconds()),
+		Status:       "ok",
+		Classifier:   mv.model.Cfg.Classifier.String(),
+		Inputs:       mv.model.Encoder.Dim,
+		ModelVersion: mv.version,
+		UptimeSec:    int64(time.Since(s.started).Seconds()),
 	}
-	if s.model.Net != nil {
-		resp.Hidden = s.model.Net.Hidden
+	if mv.model.Net != nil {
+		resp.Hidden = mv.model.Net.Hidden
 	}
 	status := http.StatusOK
 	if s.Draining() {

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// siteReload guards the model-registry swap: an injected fault makes Reload
+// fail atomically — the old version keeps serving, nothing half-installed.
+// The site carries the cluster.* prefix because a reload is a cluster-level
+// rollout event even when triggered on a single replica.
+var siteReload = faultinject.Register("cluster.reload")
+
+// modelVersion is one installed model generation: the model, the worker
+// pool bound to it, and a reference count of in-flight requests pinned to
+// it. A request pins the version it starts with and keeps it for its whole
+// lifetime, so a hot reload mid-request can never hand half a request to a
+// different model. refs starts at 1 — the registry's own reference — and
+// idle closes when a retired version's count reaches zero, which is the
+// signal that its pool may drain.
+type modelVersion struct {
+	version int64
+	model   *core.Model
+	pool    *pool
+	refs    atomic.Int64
+	idle    chan struct{}
+}
+
+func newModelVersion(version int64, m *core.Model, p *pool) *modelVersion {
+	mv := &modelVersion{version: version, model: m, pool: p, idle: make(chan struct{})}
+	mv.refs.Store(1)
+	return mv
+}
+
+// tryPin acquires a reference unless the version has already fully retired
+// (count hit zero). The CAS loop makes pinning safe against a concurrent
+// retirement: a count observed at zero stays at zero.
+func (mv *modelVersion) tryPin() bool {
+	for {
+		n := mv.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if mv.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// unpin releases one reference; the last release closes idle.
+func (mv *modelVersion) unpin() {
+	if mv.refs.Add(-1) == 0 {
+		close(mv.idle)
+	}
+}
+
+// pinned returns the current version with a reference held. The loop covers
+// the narrow race where the loaded version retires to zero between the load
+// and the pin — the swap that retired it installed a newer current first,
+// so a retry always terminates.
+func (s *Server) pinned() *modelVersion {
+	for {
+		if mv := s.current.Load(); mv.tryPin() {
+			return mv
+		}
+	}
+}
+
+// currentVersion returns the serving version without pinning it (metrics
+// and health reads only — never hold it across a request).
+func (s *Server) currentVersion() *modelVersion { return s.current.Load() }
+
+// ModelVersion reports the version number currently serving new requests.
+func (s *Server) ModelVersion() int64 { return s.current.Load().version }
+
+// errReloadDraining rejects reloads that race a shutdown.
+var errReloadDraining = errors.New("serve: reload refused: server is draining")
+
+// Reload atomically installs m as the next model version. New requests are
+// served by m immediately; requests already in flight stay pinned to the
+// version they started with, and the old version's worker pool drains in
+// the background once its last pinned request completes. A failed reload
+// (nil model, injected fault, draining server) leaves the old version
+// serving untouched.
+func (s *Server) Reload(m *core.Model) (int64, error) {
+	if m == nil {
+		return 0, errors.New("serve: Reload needs a model")
+	}
+	if err := faultinject.Fire(siteReload); err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return 0, errReloadDraining
+	}
+	old := s.current.Load()
+	v := old.version + 1
+	mv := newModelVersion(v, m, newPool(m, s.cfg.Workers, s.cfg.MaxBatch, s.cfg.QueueDepth, s.metrics))
+	s.versions = append(s.versions, mv)
+	s.current.Store(mv)
+	s.mu.Unlock()
+	s.metrics.reloads.Add(1)
+
+	// Retire the old version: drop the registry's reference and drain its
+	// pool once every pinned request has released. The drain is bounded so
+	// a wedged worker cannot leak the goroutine forever.
+	go func() {
+		old.unpin()
+		<-old.idle
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = old.pool.drain(ctx)
+	}()
+	return v, nil
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/features"
+)
+
+// TestReloadServesNewVersion: a hot reload bumps the serving version, the
+// gauge and counter expose it, and answers stay bit-identical when the new
+// weights equal the old (the rollout contract the cluster chaos suite
+// leans on).
+func TestReloadServesNewVersion(t *testing.T) {
+	model, data := testModel(t)
+	s, ts := testServer(t, Config{})
+	if got := s.ModelVersion(); got != 1 {
+		t.Fatalf("initial version %d, want 1", got)
+	}
+
+	vecs := data[0].Vectors[:4]
+	offline := make([]float64, len(vecs))
+	model.TakenProbabilities(vecs, offline)
+
+	v, err := s.Reload(model)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if v != 2 || s.ModelVersion() != 2 {
+		t.Fatalf("reload installed version %d (serving %d), want 2", v, s.ModelVersion())
+	}
+
+	resp, pr := postPredict(t, ts.URL, PredictRequest{Vectors: vectorValues(vecs)})
+	if resp.StatusCode != http.StatusOK || pr.Degraded {
+		t.Fatalf("post-reload predict: status %d degraded %v", resp.StatusCode, pr.Degraded)
+	}
+	for i, p := range pr.Predictions {
+		if p.Probability != offline[i] {
+			t.Fatalf("vector %d: %v != offline %v after reload", i, p.Probability, offline[i])
+		}
+	}
+
+	// /healthz and /metrics both report the new version, and the reload is
+	// counted.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hz.ModelVersion != 2 {
+		t.Errorf("healthz model_version = %d, want 2", hz.ModelVersion)
+	}
+	body := s.metrics.render()
+	if !strings.Contains(body, "espserve_model_version 2") {
+		t.Error("espserve_model_version gauge not at 2")
+	}
+	if !strings.Contains(body, "espserve_reloads_total 1") {
+		t.Error("espserve_reloads_total not at 1")
+	}
+}
+
+// TestReloadPinsInflightRequests: a request in flight across a reload stays
+// pinned to the version it started on — it completes normally (no
+// ErrDraining from the retiring pool, no degraded answer) even though its
+// version was retired and drained underneath it.
+func TestReloadPinsInflightRequests(t *testing.T) {
+	model, data := testModel(t)
+	s, ts := testServer(t, Config{Workers: 1, MaxBatch: 1, RequestTimeout: 30 * time.Second})
+	vecs := data[0].Vectors[:2]
+	offline := make([]float64, len(vecs))
+	model.TakenProbabilities(vecs, offline)
+
+	// Slow the forward pass so the request is still in flight when the
+	// reload lands.
+	deactivate := faultinject.Activate(faultinject.New(9, faultinject.Rule{
+		Site: "serve.forward", Kind: faultinject.Latency,
+		Delay: 300 * time.Millisecond, Rate: 1,
+	}))
+	defer deactivate()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var pr PredictResponse
+	var status int
+	go func() {
+		defer wg.Done()
+		resp, got := postPredict(t, ts.URL, PredictRequest{Vectors: vectorValues(vecs)})
+		status, pr = resp.StatusCode, got
+	}()
+
+	// Wait for the request to be inside the pool (version pinned), then
+	// reload twice back to back.
+	waitCounter(t, "batches", s.metrics.batches.Load, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Reload(model); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	if status != http.StatusOK || pr.Degraded {
+		t.Fatalf("in-flight request across reload: status %d degraded %v", status, pr.Degraded)
+	}
+	for i, p := range pr.Predictions {
+		if p.Probability != offline[i] {
+			t.Fatalf("vector %d: %v != offline %v", i, p.Probability, offline[i])
+		}
+	}
+	if got := s.ModelVersion(); got != 3 {
+		t.Errorf("version %d after two reloads, want 3", got)
+	}
+}
+
+// TestReloadFaultInjectedFailsAtomically: an injected fault at the
+// cluster.reload site fails the reload without touching the serving
+// version.
+func TestReloadFaultInjectedFailsAtomically(t *testing.T) {
+	model, _ := testModel(t)
+	s, ts := testServer(t, Config{})
+	deactivate := faultinject.Activate(faultinject.New(3, faultinject.Rule{
+		Site: "cluster.reload", Kind: faultinject.Error, Rate: 1,
+	}))
+	defer deactivate()
+
+	if _, err := s.Reload(model); err == nil {
+		t.Fatal("reload succeeded under an injected fault")
+	}
+	if got := s.ModelVersion(); got != 1 {
+		t.Fatalf("failed reload moved the version to %d", got)
+	}
+	deactivate()
+	resp, _ := postPredict(t, ts.URL, PredictRequest{Vectors: vectorValues(testVecs(t))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serving broken after failed reload: %d", resp.StatusCode)
+	}
+}
+
+// TestReloadRefusedWhileDraining: once Drain has begun the registry is
+// frozen.
+func TestReloadRefusedWhileDraining(t *testing.T) {
+	model, _ := testModel(t)
+	s, err := New(Config{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reload(model); err == nil {
+		t.Fatal("reload accepted while draining")
+	}
+}
+
+// TestReloadChurnNoGoroutineLeak: repeated reloads retire their pools
+// completely — worker goroutines and background drainers all exit.
+func TestReloadChurnNoGoroutineLeak(t *testing.T) {
+	model, data := testModel(t)
+	baseline := runtime.NumGoroutine()
+	s, ts := testServer(t, Config{Workers: 2, MaxBatch: 2})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Reload(model); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		if resp, _ := postPredict(t, ts.URL, PredictRequest{Vectors: vectorValues(data[0].Vectors[:1])}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict after reload %d: %d", i, resp.StatusCode)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// testVecs returns a tiny vector set from the shared fixture.
+func testVecs(t *testing.T) []features.Vector {
+	_, data := testModel(t)
+	return data[0].Vectors[:2]
+}
