@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus race fuzz chaos cluster-chaos gencorpus-check
+.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus bench-pgo race fuzz chaos cluster-chaos gencorpus-check
 
 all: check
 
@@ -22,7 +22,7 @@ fmt-check:
 # the espserve batching worker pool, and concurrent artifact-cache
 # readers/writers).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus ./internal/cluster
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus ./internal/cluster ./internal/pgo
 
 # gencorpus-check is the short generative soak CI runs on every push: the
 # generator property suite (~200 programs across the five mixes, each
@@ -86,3 +86,10 @@ bench-serve:
 # regenerates BENCH_gencorpus.json, committed as the throughput baseline.
 bench-gencorpus:
 	$(GO) run ./cmd/espbench -gencorpus -benchout .
+
+# bench-pgo runs the ESP-guided optimization study (simulated cycles of
+# unguided vs ESP/heuristic/perfect-guided binaries over the whole corpus
+# plus a generated slice) and regenerates BENCH_pgo.json, committed as the
+# guided-optimization baseline.
+bench-pgo:
+	$(GO) run ./cmd/espbench -pgo -benchout .

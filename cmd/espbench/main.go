@@ -20,6 +20,12 @@
 // writes BENCH_serve.json:
 //
 //	espbench -serve -benchout .
+//
+// With -pgo it runs the ESP-guided optimization study (simulated cycles of
+// unguided vs ESP/heuristic/perfect-guided binaries) and writes
+// BENCH_pgo.json:
+//
+//	espbench -pgo -benchout .
 package main
 
 import (
@@ -45,6 +51,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ESP design ablations")
 	orders := flag.Bool("orders", false, "run the exhaustive APHC order search")
 	profileEst := flag.Bool("profileest", false, "run the Section 6 profile-estimation study")
+	pgoStudy := flag.Bool("pgo", false, "run the ESP-guided optimization study and write BENCH_pgo.json")
+	pgoGen := flag.Int("pgo-gen", 10, "generated programs in the -pgo study slice")
 	hidden := flag.Int("hidden", 0, "override ESP hidden-layer width")
 	seed := flag.Uint64("seed", 0, "override ESP training seed")
 	bench := flag.String("bench", "", "run micro-benchmarks (comma-separated names or \"all\") instead of experiments")
@@ -124,6 +132,13 @@ func main() {
 	}
 	ctx := experiments.NewContextWithCache(cache)
 	espCfg := core.Config{Hidden: *hidden, Seed: *seed}
+	if *pgoStudy {
+		if err := runPGOStudy(ctx, espCfg, *pgoGen, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	any := *table != 0 || *figure != 0 || *scheme || *corpusSize || *figure2b || *ablations || *orders || *profileEst
 
 	run := func(name string, f func() (string, error)) {

@@ -59,9 +59,28 @@ func (g *generator) genCondBranch(cond minic.Expr, target *ir.Block, when bool) 
 	if !when {
 		op = ir.OpBeq
 	}
-	g.fb.Branch(op, v.reg, target)
+	g.emitBranch(op, v.reg, target)
 	g.freeVal(v)
 	g.startFallthrough()
+}
+
+// emitBranch emits a conditional branch, stamping the current statement
+// origin on the branch site (the Meta side table CompilePlanned returns).
+func (g *generator) emitBranch(op ir.Op, reg ir.Reg, target *ir.Block) {
+	g.noteBranch()
+	g.fb.Branch(op, reg, target)
+}
+
+// emitBranch2 is emitBranch for the MIPS-style two-register forms.
+func (g *generator) emitBranch2(op ir.Op, a, b ir.Reg, target *ir.Block) {
+	g.noteBranch()
+	g.fb.Branch2(op, a, b, target)
+}
+
+func (g *generator) noteBranch() {
+	if g.meta != nil {
+		g.meta.Branch[ir.BranchRef{Func: g.fb.Func().Name, Block: g.fb.Block().ID}] = g.origin
+	}
 }
 
 // startFallthrough begins the fall-through block after a conditional branch.
@@ -93,7 +112,7 @@ func (g *generator) genCompareBranch(x *minic.BinExpr, target *ir.Block, when bo
 				bop = bop.BranchNegate()
 			}
 			v := g.genExpr(lit)
-			g.fb.Branch(bop, v.reg, target)
+			g.emitBranch(bop, v.reg, target)
 			g.freeVal(v)
 			g.startFallthrough()
 			return
@@ -111,7 +130,7 @@ func (g *generator) genCompareBranch(x *minic.BinExpr, target *ir.Block, when bo
 		if (x.Op == minic.OpNe) == when {
 			bop = ir.OpBne2
 		}
-		g.fb.Branch2(bop, lv.reg, rv.reg, target)
+		g.emitBranch2(bop, lv.reg, rv.reg, target)
 		g.freeVal(lv)
 		g.freeVal(rv)
 		g.startFallthrough()
@@ -127,7 +146,7 @@ func (g *generator) genCompareBranch(x *minic.BinExpr, target *ir.Block, when bo
 	if !effWhen {
 		op = ir.OpBeq
 	}
-	g.fb.Branch(op, cv.reg, target)
+	g.emitBranch(op, cv.reg, target)
 	g.freeVal(cv)
 	g.startFallthrough()
 }
@@ -219,7 +238,7 @@ func (g *generator) genFloatCompareBranch(x *minic.BinExpr, target *ir.Block, wh
 				bop = bop.BranchNegate()
 			}
 			v := g.genExpr(other)
-			g.fb.Branch(bop, v.reg, target)
+			g.emitBranch(bop, v.reg, target)
 			g.freeVal(v)
 			g.startFallthrough()
 			return
@@ -234,7 +253,7 @@ func (g *generator) genFloatCompareBranch(x *minic.BinExpr, target *ir.Block, wh
 	if !effWhen {
 		op = ir.OpFbeq
 	}
-	g.fb.Branch(op, fv.reg, target)
+	g.emitBranch(op, fv.reg, target)
 	g.freeVal(fv)
 	g.startFallthrough()
 }

@@ -24,10 +24,18 @@ func Compile(src *minic.Program, lang ir.Language, tgt Target) (*ir.Program, err
 // cannot balloon a worker's memory; the reproduction pipeline keeps the
 // unlimited Compile.
 func CompileBounded(src *minic.Program, lang ir.Language, tgt Target, lim guard.Limits) (*ir.Program, error) {
+	return compile(src, lang, tgt, lim, nil, nil)
+}
+
+// compile is the shared lowering path behind Compile, CompileBounded, and
+// CompilePlanned. plan gates the speculative transformations; meta, when
+// non-nil, receives the branch-origin side table.
+func compile(src *minic.Program, lang ir.Language, tgt Target, lim guard.Limits, plan *Plan, meta *Meta) (*ir.Program, error) {
 	prog := minic.CloneProgram(src)
 	if tgt.UnrollLoops > 1 {
+		allow := plan.unrollFilter()
 		for _, fn := range prog.Funcs {
-			fn.Body = unrollBlock(fn.Body, tgt.UnrollLoops).(*minic.BlockStmt)
+			fn.Body = unrollBlock(fn.Body, tgt.UnrollLoops, allow).(*minic.BlockStmt)
 		}
 	}
 	if err := minic.Check(prog); err != nil {
@@ -43,7 +51,7 @@ func CompileBounded(src *minic.Program, lang ir.Language, tgt Target, lim guard.
 		out.Globals = append(out.Globals, ir.Global{Name: regSaveGlobal, Size: 4})
 	}
 	for _, fn := range prog.Funcs {
-		g := &generator{prog: prog, tgt: tgt, lang: lang}
+		g := &generator{prog: prog, tgt: tgt, lang: lang, plan: plan, meta: meta}
 		irFn, err := g.lowerFunc(fn)
 		if err != nil {
 			return nil, fmt.Errorf("codegen: %s.%s: %w", prog.Name, fn.Name, err)
@@ -85,6 +93,12 @@ type generator struct {
 	prog *minic.Program
 	tgt  Target
 	lang ir.Language
+	plan *Plan
+	meta *Meta
+
+	// origin is the source statement whose lowering is emitting branches
+	// right now; noteBranch stamps it onto every conditional branch site.
+	origin BranchOrigin
 
 	fb      *ir.FuncBuilder
 	fn      *minic.FuncDecl
@@ -204,6 +218,9 @@ func (g *generator) genBlock(b *minic.BlockStmt) {
 }
 
 func (g *generator) genStmt(s minic.Stmt) {
+	if pos, ok := stmtPos(s); ok {
+		g.origin = BranchOrigin{Pos: pos}
+	}
 	switch st := s.(type) {
 	case *minic.BlockStmt:
 		g.genBlock(st)
@@ -306,7 +323,7 @@ func (g *generator) storeLocal(sym *minic.Symbol, v value) {
 }
 
 func (g *generator) genIf(st *minic.IfStmt) {
-	if g.tgt.UseCmov && g.tryCmovIf(st) {
+	if g.tgt.UseCmov && g.plan.cmovOK(st.Pos) && g.tryCmovIf(st) {
 		return
 	}
 	if st.Else == nil {
@@ -362,6 +379,7 @@ func (g *generator) genWhile(st *minic.WhileStmt) {
 	// Fall through (or be jumped to) into the bottom test.
 	g.fb.Place(test)
 	g.fb.SetBlock(test)
+	g.origin = BranchOrigin{Pos: st.Pos, Loop: true}
 	g.genCondBranch(st.Cond, body, true)
 	g.fb.Place(exit)
 	g.fb.SetBlock(exit)
@@ -377,6 +395,7 @@ func (g *generator) genDo(st *minic.DoStmt) {
 	g.loops = g.loops[:len(g.loops)-1]
 	g.fb.Place(test)
 	g.fb.SetBlock(test)
+	g.origin = BranchOrigin{Pos: st.Pos, Loop: true}
 	g.genCondBranch(st.Cond, body, true)
 	g.fb.Place(exit)
 	g.fb.SetBlock(exit)
@@ -412,6 +431,7 @@ func (g *generator) genFor(st *minic.ForStmt) {
 	if st.Cond == nil {
 		g.fb.Jump(body)
 	} else {
+		g.origin = BranchOrigin{Pos: st.Pos, Loop: true}
 		g.genCondBranch(st.Cond, body, true)
 	}
 	g.fb.Place(exit)

@@ -10,28 +10,36 @@ import "repro/internal/minic"
 // each replicated body copy is wrapped in its own block so local
 // declarations stay scoped, and an "if (!cond) break" guard between copies
 // preserves semantics exactly.
-func unrollBlock(s minic.Stmt, k int) minic.Stmt {
+//
+// allow, when non-nil, is the profile-guided gate: only loops whose source
+// position it approves are unrolled. Unrolling a cold loop inflates code
+// for no cycle win (and pessimizes the entry case, which pays the full
+// guard chain on a trip count of one), so estimators restrict the
+// transformation to loops they predict hot with a high continue
+// probability. A nil gate preserves the historical unroll-everything
+// behaviour of the GEM-style target.
+func unrollBlock(s minic.Stmt, k int, allow func(minic.Pos) bool) minic.Stmt {
 	switch st := s.(type) {
 	case nil:
 		return nil
 	case *minic.BlockStmt:
 		for i := range st.Stmts {
-			st.Stmts[i] = unrollBlock(st.Stmts[i], k)
+			st.Stmts[i] = unrollBlock(st.Stmts[i], k, allow)
 		}
 		return st
 	case *minic.IfStmt:
-		st.Then = unrollBlock(st.Then, k)
-		st.Else = unrollBlock(st.Else, k)
+		st.Then = unrollBlock(st.Then, k, allow)
+		st.Else = unrollBlock(st.Else, k, allow)
 		return st
 	case *minic.WhileStmt:
-		st.Body = unrollBlock(st.Body, k)
+		st.Body = unrollBlock(st.Body, k, allow)
 		return st
 	case *minic.DoStmt:
-		st.Body = unrollBlock(st.Body, k)
+		st.Body = unrollBlock(st.Body, k, allow)
 		return st
 	case *minic.ForStmt:
-		st.Body = unrollBlock(st.Body, k)
-		if unrollable(st) {
+		st.Body = unrollBlock(st.Body, k, allow)
+		if unrollable(st) && (allow == nil || allow(st.Pos)) {
 			return unrollFor(st, k)
 		}
 		return st

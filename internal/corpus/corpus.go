@@ -152,13 +152,23 @@ func ByName(name string) (Entry, bool) {
 	return Entry{}, false
 }
 
-// Compile parses and compiles the entry for a target. Every program is
-// linked against the MinC runtime library (StdlibSource), mirroring how the
-// paper's binaries carried the native OS libraries.
-func (e Entry) Compile(tgt codegen.Target) (*ir.Program, error) {
+// Parse parses the entry's source linked against the MinC runtime library
+// (StdlibSource), mirroring how the paper's binaries carried the native OS
+// libraries. Callers that compile the same entry for several targets (the
+// pgo pipeline, the guided-optimization study) parse once and reuse the AST.
+func (e Entry) Parse() (*minic.Program, error) {
 	ast, err := minic.Parse(e.Name, e.Source+StdlibSource+Stdlib2Source)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %s: %w", e.Name, err)
+	}
+	return ast, nil
+}
+
+// Compile parses and compiles the entry for a target.
+func (e Entry) Compile(tgt codegen.Target) (*ir.Program, error) {
+	ast, err := e.Parse()
+	if err != nil {
+		return nil, err
 	}
 	prog, err := codegen.Compile(ast, e.Language, tgt)
 	if err != nil {

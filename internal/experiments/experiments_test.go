@@ -56,6 +56,7 @@ var (
 	memoPolarity   memoOf[[]AblationPoint]
 	memoProfileEst memoOf[*ProfileEstimationResult]
 	memoOrders     memoOf[*OrderSearchResult]
+	memoPGO        memoOf[*PGOStudyResult]
 )
 
 func table3ForTest(t *testing.T) *Table3Result {
@@ -127,6 +128,15 @@ func profileEstForTest(t *testing.T) *ProfileEstimationResult {
 	ctx := ctxForTest(t)
 	return memoProfileEst.get(t, func() (*ProfileEstimationResult, error) {
 		return ProfileEstimation(ctx, core.Config{})
+	})
+}
+
+// pgoForTest runs the guided-optimization study with a small generated
+// slice; espbench -pgo uses a larger one for the committed BENCH artifact.
+func pgoForTest(t *testing.T) *PGOStudyResult {
+	ctx := ctxForTest(t)
+	return memoPGO.get(t, func() (*PGOStudyResult, error) {
+		return PGOStudy(ctx, core.Config{}, 4)
 	})
 }
 
@@ -462,6 +472,44 @@ func TestProfileEstimationReproduction(t *testing.T) {
 		}
 	}
 	if !strings.Contains(res.Render(), "profile estimation") {
+		t.Error("render broken")
+	}
+}
+
+func TestPGOStudyReproduction(t *testing.T) {
+	res := pgoForTest(t)
+	if len(res.Rows) != 46+res.GenN {
+		t.Fatalf("%d rows, want %d", len(res.Rows), 46+res.GenN)
+	}
+	for _, row := range res.Rows {
+		for mode, c := range map[string]int64{"unguided": row.Unguided,
+			"esp": row.ESP, "heuristic": row.Heuristic, "perfect": row.Perfect} {
+			if c <= 0 {
+				t.Errorf("%s: %s cycles = %d", row.Program, mode, c)
+			}
+		}
+	}
+	// The acceptance shape: every guidance source beats the unguided
+	// optimizer in aggregate, and ESP lands within a bounded gap of the
+	// perfect measured profile.
+	tot := res.Total
+	if tot.ESP >= tot.Unguided {
+		t.Errorf("ESP guidance (%d cycles) did not beat unguided (%d)", tot.ESP, tot.Unguided)
+	}
+	if tot.Heuristic >= tot.Unguided {
+		t.Errorf("heuristic guidance (%d cycles) did not beat unguided (%d)", tot.Heuristic, tot.Unguided)
+	}
+	if tot.Perfect >= tot.Unguided {
+		t.Errorf("perfect guidance (%d cycles) did not beat unguided (%d)", tot.Perfect, tot.Unguided)
+	}
+	if float64(tot.ESP) > 1.10*float64(tot.Perfect) {
+		t.Errorf("ESP (%d cycles) more than 10%% behind the perfect profile (%d)", tot.ESP, tot.Perfect)
+	}
+	if res.GenN > 0 && res.GenTotal.ESP >= res.GenTotal.Unguided {
+		t.Errorf("generated slice: ESP (%d) did not beat unguided (%d)",
+			res.GenTotal.ESP, res.GenTotal.Unguided)
+	}
+	if !strings.Contains(res.Render(), "ESP-guided optimization") {
 		t.Error("render broken")
 	}
 }

@@ -99,6 +99,10 @@ func TestGoldenProfileEstimation(t *testing.T) {
 	checkGolden(t, "profileest", profileEstForTest(t).Render())
 }
 
+func TestGoldenPGOStudy(t *testing.T) {
+	checkGolden(t, "pgostudy", pgoForTest(t).Render())
+}
+
 func TestGoldenOrderSearch(t *testing.T) {
 	checkGolden(t, "ordersearch", orderSearchForTest(t).Render())
 }

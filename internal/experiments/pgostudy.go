@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/gencorpus"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/pgo"
+	"repro/internal/stats"
+)
+
+// PGOGenSeed pins the generated-corpus slice of the guided-optimization
+// study; EXPERIMENTS.md documents the pinned value.
+const PGOGenSeed = 1995
+
+// PGORow is one program's simulated cycle count under each optimization
+// mode: the unguided optimizer (cmov and unrolling applied everywhere, no
+// layout) against the same optimizer guided by ESP probabilities, by the
+// Ball/Larus+DSHC heuristics, and by a measured ("perfect") profile.
+type PGORow struct {
+	Program   string       `json:"program"`
+	Suite     corpus.Suite `json:"suite,omitempty"`
+	Unguided  int64        `json:"unguided"`
+	ESP       int64        `json:"esp"`
+	Heuristic int64        `json:"heuristic"`
+	Perfect   int64        `json:"perfect"`
+}
+
+// PGOStudyResult is the ESP-guided code optimization study: the paper's
+// Section 6 direction ("incorporate this branch probability data to
+// perform program-based profile estimation") carried through to its
+// payoff, profile-guided optimization without profiles.
+type PGOStudyResult struct {
+	// Rows covers the 46 corpus programs in presentation order, then the
+	// generated slice.
+	Rows []PGORow `json:"rows"`
+	// Total sums cycles over the real corpus programs only (the generated
+	// slice varies with GenN, so totals over it are reported separately).
+	Total PGORow `json:"total"`
+	// GenTotal sums cycles over the generated slice (zero-valued when the
+	// study ran with GenN = 0).
+	GenTotal PGORow `json:"gen_total"`
+	// GenN is the size of the generated slice included.
+	GenN int `json:"gen_n"`
+}
+
+// espSavings is the per-program fractional cycle saving of ESP guidance
+// over the unguided optimizer, keyed by program (real corpus only).
+func (r *PGOStudyResult) espSavings() map[string]float64 {
+	out := make(map[string]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		if row.Suite == corpus.SuiteGenerated || row.Unguided == 0 {
+			continue
+		}
+		out[row.Program] = 1 - float64(row.ESP)/float64(row.Unguided)
+	}
+	return out
+}
+
+// PGOStudy runs the guided-optimization comparison over all 46 corpus
+// programs plus genN generated programs (seed PGOGenSeed, all mixes).
+//
+// ESP guidance is honest: C and Fortran programs are predicted by
+// leave-one-out models within their language group (exactly the Table 4
+// protocol), Scheme programs leave-one-out within the Scheme group, and
+// generated programs use a model trained on the full real C group —
+// held out by construction.
+//
+// Every guided binary is differentially verified against the unguided one
+// before its cycles count: printed outputs, float outputs, and the exit
+// result must be bit-identical.
+func PGOStudy(ctx *Context, espCfg core.Config, genN int) (*PGOStudyResult, error) {
+	models, cModel, err := pgoModels(ctx, espCfg)
+	if err != nil {
+		return nil, err
+	}
+	entries := corpus.All()
+	if genN > 0 {
+		spec := gencorpus.Spec{Seed: PGOGenSeed, N: genN, Opt: gencorpus.Options{Prints: true}}
+		entries = append(entries, spec.Entries()...)
+	}
+
+	rows := make([]PGORow, len(entries))
+	errs := make([]error, len(entries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				e := entries[i]
+				m := models[e.Name]
+				if m == nil {
+					m = cModel // generated programs: full-C-group model
+				}
+				rows[i], errs[i] = pgoRow(e, m)
+			}
+		}()
+	}
+	for i := range entries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pgo: %s: %w", entries[i].Name, err)
+		}
+	}
+
+	res := &PGOStudyResult{Rows: rows, GenN: genN}
+	for _, row := range rows {
+		tot := &res.Total
+		if row.Suite == corpus.SuiteGenerated {
+			tot = &res.GenTotal
+		}
+		tot.Unguided += row.Unguided
+		tot.ESP += row.ESP
+		tot.Heuristic += row.Heuristic
+		tot.Perfect += row.Perfect
+	}
+	res.Total.Program = "Total (46 programs)"
+	res.GenTotal.Program = fmt.Sprintf("Total (%d generated)", genN)
+	return res, nil
+}
+
+// pgoModels trains the leave-one-out ESP models for every real corpus
+// program, plus the full-C-group model used for generated programs.
+func pgoModels(ctx *Context, espCfg core.Config) (map[string]*core.Model, *core.Model, error) {
+	models := make(map[string]*core.Model)
+	var cGroup []*core.ProgramData
+	for _, lang := range []ir.Language{ir.LangC, ir.LangFortran} {
+		group, err := ctx.LanguageData(lang, codegen.Default)
+		if err != nil {
+			return nil, nil, err
+		}
+		if lang == ir.LangC {
+			cGroup = group
+		}
+		looTrain(models, group, espCfg)
+	}
+	schemeGroup, err := ctx.Batch(corpus.BySuite(corpus.SuiteScheme), codegen.Default)
+	if err != nil {
+		return nil, nil, err
+	}
+	looTrain(models, schemeGroup, espCfg)
+	return models, core.Train(cGroup, espCfg), nil
+}
+
+// looTrain trains one held-out model per group member into models.
+func looTrain(models map[string]*core.Model, group []*core.ProgramData, cfg core.Config) {
+	for hold := range group {
+		var train []*core.ProgramData
+		for j, pd := range group {
+			if j != hold {
+				train = append(train, pd)
+			}
+		}
+		models[group[hold].Name] = core.Train(train, cfg)
+	}
+}
+
+// pgoRow measures one program under all four modes.
+func pgoRow(e corpus.Entry, model *core.Model) (PGORow, error) {
+	opt := pgo.DefaultOptions()
+	ast, err := e.Parse()
+	if err != nil {
+		return PGORow{}, err
+	}
+	run := e.RunConfig()
+	run.CollectEdges = true
+
+	unguided, err := pgo.Unguided(ast, e.Language, opt)
+	if err != nil {
+		return PGORow{}, err
+	}
+	baseProf, err := interp.Run(unguided, run)
+	if err != nil {
+		return PGORow{}, fmt.Errorf("unguided run: %w", err)
+	}
+	baseCycles, err := interp.CycleCount(unguided, baseProf)
+	if err != nil {
+		return PGORow{}, fmt.Errorf("unguided cycles: %w", err)
+	}
+	row := PGORow{Program: e.Name, Suite: e.Suite, Unguided: baseCycles}
+
+	measure := func(name string, srcFor pgo.SourceFactory) (int64, error) {
+		prog, err := pgo.Optimize(ast, e.Language, srcFor, opt)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		prof, err := interp.Run(prog, run)
+		if err != nil {
+			return 0, fmt.Errorf("%s: guided run: %w", name, err)
+		}
+		if prof.Result != baseProf.Result ||
+			!reflect.DeepEqual(prof.Outputs, baseProf.Outputs) ||
+			!reflect.DeepEqual(prof.FOutputs, baseProf.FOutputs) {
+			return 0, fmt.Errorf("%s: guided binary changed observable behaviour", name)
+		}
+		cycles, err := interp.CycleCount(prog, prof)
+		if err != nil {
+			return 0, fmt.Errorf("%s: cycles: %w", name, err)
+		}
+		return cycles, nil
+	}
+	if row.ESP, err = measure("esp", pgo.Fixed(&pgo.Model{M: model})); err != nil {
+		return PGORow{}, err
+	}
+	if row.Heuristic, err = measure("heuristic", pgo.Fixed(pgo.NewHeuristic())); err != nil {
+		return PGORow{}, err
+	}
+	if row.Perfect, err = measure("perfect", pgo.MeasuredFactory(e.RunConfig())); err != nil {
+		return PGORow{}, err
+	}
+	return row, nil
+}
+
+// Render formats the study: per-program cycle counts, suite-separated,
+// with totals, then the per-program ESP savings through the shared
+// per-program renderer.
+func (r *PGOStudyResult) Render() string {
+	t := stats.NewTable("Program", "Unguided", "ESP", "Heuristic", "Perfect")
+	emit := func(row PGORow) {
+		t.Row(row.Program, row.Unguided, row.ESP, row.Heuristic, row.Perfect)
+	}
+	var lastSuite corpus.Suite
+	for i, row := range r.Rows {
+		if i > 0 && row.Suite != lastSuite {
+			t.Separator()
+		}
+		lastSuite = row.Suite
+		emit(row)
+	}
+	t.Separator()
+	emit(r.Total)
+	if r.GenN > 0 {
+		emit(r.GenTotal)
+	}
+	head := "ESP-guided optimization: simulated cycles (layout + gated cmov/unrolling + cold splitting)\n"
+	return head + t.String() +
+		"\nPer-program ESP cycle savings vs unguided\n" +
+		renderPerProgram("Saved", r.espSavings(), stats.Pct1) + pctFootnote
+}

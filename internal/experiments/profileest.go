@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -80,13 +81,35 @@ func ProfileEstimation(ctx *Context, cfg core.Config) (*ProfileEstimationResult,
 	return res, nil
 }
 
-// Render formats the study summary.
+// Render formats the study summary followed by the deterministically
+// ordered per-program breakdown.
 func (r *ProfileEstimationResult) Render() string {
 	t := stats.NewTable("Estimator", "Weighted |p_est - p_actual|")
 	t.Row("ESP probabilities (cross-validated)", fmtErr(r.ESPError))
 	t.Row("DSHC evidence (Wu/Larus)", fmtErr(r.DSHCError))
 	t.Row("uninformed 0.5 baseline", fmtErr(r.UniformError))
-	return "Section 6 study: program-based profile estimation from ESP probabilities\n" + t.String()
+	return "Section 6 study: program-based profile estimation from ESP probabilities\n" + t.String() +
+		"\nPer-program ESP estimation error (held-out)\n" +
+		renderPerProgram("Weighted |p_est - p_actual|", r.PerProgram, fmtErr)
 }
 
 func fmtErr(e float64) string { return stats.Pct1(e) + "/100" }
+
+// pctFootnote annotates tables whose values render through stats.Pct1.
+const pctFootnote = "(values are percentages)\n"
+
+// renderPerProgram renders a per-program metric map in deterministic
+// (sorted-by-name) order — shared by the profile-estimation study and the
+// guided-optimization study so their per-program sections stay uniform.
+func renderPerProgram(header string, vals map[string]float64, format func(float64) string) string {
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := stats.NewTable("Program", header)
+	for _, name := range names {
+		t.Row(name, format(vals[name]))
+	}
+	return t.String()
+}

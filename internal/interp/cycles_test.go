@@ -1,0 +1,118 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// cyclesProg builds a small two-function program with a loop and a
+// conditional branch, directly in IR, so the test controls layout exactly.
+//
+//	main:  b0: n=6; br b1
+//	       b1: n=n-1; bgt n, b1   (loop: 6 iterations)
+//	       b2: call f; ret
+//	f:     b0: ret
+func cyclesProg() *ir.Program {
+	f := &ir.Func{Name: "f", Language: ir.LangC, FrameSize: 0}
+	f.Blocks = []*ir.Block{{ID: 0, Insns: []ir.Instr{
+		{Op: ir.OpLdiQ, Dst: ir.RegV0, Imm: 7},
+		{Op: ir.OpRet},
+	}}}
+	m := &ir.Func{Name: "main", Language: ir.LangC, FrameSize: 0}
+	m.Blocks = []*ir.Block{
+		{ID: 0, Insns: []ir.Instr{
+			{Op: ir.OpLdiQ, Dst: ir.R(1), Imm: 6},
+			{Op: ir.OpBr, Target: 1},
+		}},
+		{ID: 1, Insns: []ir.Instr{
+			{Op: ir.OpSubQ, Dst: ir.R(1), A: ir.R(1), Imm: 1, UseImm: true},
+			{Op: ir.OpBgt, A: ir.R(1), Target: 1},
+		}},
+		{ID: 2, Insns: []ir.Instr{
+			{Op: ir.OpBsr, Sym: "f"},
+			{Op: ir.OpLdiQ, Dst: ir.RegV0, Imm: 0},
+			{Op: ir.OpRet},
+		}},
+	}
+	p := &ir.Program{Name: "cycles-test", Funcs: []*ir.Func{m, f}}
+	if err := p.Verify(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestCycleCountExact(t *testing.T) {
+	p := cyclesProg()
+	prof, err := Run(p, Config{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.Calls["main"]; got != 1 {
+		t.Fatalf("Calls[main] = %d, want 1", got)
+	}
+	if got := prof.Calls["f"]; got != 1 {
+		t.Fatalf("Calls[f] = %d, want 1", got)
+	}
+	cycles, err := CycleCount(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand count under DefaultCostModel:
+	//   b0 once:   ldiq(1) + br(1+2 redirect)                    = 4
+	//   b1 6x:     subq(1) + bgt(1), taken 5x (+2 each),
+	//              backward so the 1 fall-through mispredicts +8 = 12+10+8
+	//   b2 once:   bsr(2+2) + ldiq(1) + ret(2+2)                 = 9
+	//   f.b0 once: ldiq(1) + ret(2+2)                            = 5
+	want := int64(4 + 30 + 9 + 5)
+	if cycles != want {
+		t.Fatalf("CycleCount = %d, want %d", cycles, want)
+	}
+}
+
+func TestCycleCountNeedsEdges(t *testing.T) {
+	p := cyclesProg()
+	prof, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CycleCount(p, prof); err != ErrNoEdgeProfile {
+		t.Fatalf("CycleCount without edges: err = %v, want ErrNoEdgeProfile", err)
+	}
+}
+
+func TestCycleCountDetectsMismatchedProfile(t *testing.T) {
+	p := cyclesProg()
+	prof, err := Run(p, Config{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Insns += 3 // a profile that cannot have come from this program
+	if _, err := CycleCount(p, prof); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("CycleCount on mismatched profile: err = %v, want consistency error", err)
+	}
+}
+
+func TestCycleCountPathsAgree(t *testing.T) {
+	p := cyclesProg()
+	a, err := Run(p, Config{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReference(p, Config{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := CycleCount(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CycleCount(p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("micro-op path %d cycles, reference path %d", ca, cb)
+	}
+}

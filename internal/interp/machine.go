@@ -157,7 +157,7 @@ func newMachine(p *ir.Program, cfg Config) *machine {
 		slotOf: make(map[ir.BranchRef]int32),
 	}
 	m.mem, m.buf = getMem(cfg.MemWords)
-	m.prof = &Profile{Program: p.Name}
+	m.prof = &Profile{Program: p.Name, Calls: make(map[string]int64)}
 	if cfg.CollectEdges {
 		m.prof.Edges = make(map[EdgeRef]int64)
 	}

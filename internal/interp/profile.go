@@ -41,6 +41,11 @@ type Profile struct {
 	CondTaken int64
 	Branches  map[ir.BranchRef]*BranchCount
 	Edges     map[EdgeRef]int64
+	// Calls counts function activations by name (one per entry into the
+	// function body, identical on both execution paths). The simulated-cycle
+	// model uses it to seed entry-block dynamic counts, which edge counts
+	// alone cannot recover.
+	Calls map[string]int64
 	// Outputs records values passed to the print intrinsics, used by tests
 	// to check program semantics.
 	Outputs  []int64

@@ -127,6 +127,7 @@ func (m *machine) call(fi *funcImage, args [12]int64, sp int64) (retInt int64, r
 		return 0, 0, ErrStack
 	}
 	regs[ir.RegSP] = sp
+	m.prof.Calls[fi.fn.Name]++
 	return m.refLoop(fi, &regs, sp, 0, 0)
 }
 

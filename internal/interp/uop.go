@@ -754,6 +754,7 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 		return 0, 0, ErrStack
 	}
 	regs[ir.RegSP] = sp
+	m.prof.Calls[fi.fn.Name]++
 
 	mem := m.mem
 	counts := m.counts
