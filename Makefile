@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus bench-pgo race fuzz chaos cluster-chaos gencorpus-check
+.PHONY: all build test vet fmt-check check bench bench-hot bench-serve bench-gencorpus bench-pgo bench-hwsim race fuzz chaos cluster-chaos gencorpus-check
 
 all: check
 
@@ -22,7 +22,7 @@ fmt-check:
 # the espserve batching worker pool, and concurrent artifact-cache
 # readers/writers).
 race:
-	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus ./internal/cluster ./internal/pgo
+	$(GO) test -race ./internal/core ./internal/neural ./internal/interp ./internal/serve ./internal/faultinject ./internal/artifact ./internal/experiments ./internal/obs ./internal/gencorpus ./internal/cluster ./internal/pgo ./internal/hwsim
 
 # gencorpus-check is the short generative soak CI runs on every push: the
 # generator property suite (~200 programs across the five mixes, each
@@ -93,3 +93,11 @@ bench-gencorpus:
 # guided-optimization baseline.
 bench-pgo:
 	$(GO) run ./cmd/espbench -pgo -benchout .
+
+# bench-hwsim runs the hardware-predictor co-simulation (dynamic
+# 1-bit/2-bit/gshare/TAGE counters seeded from each static hint source,
+# steady-state and cold-start) plus the branch-predictability taxonomy over
+# the whole corpus and a generated slice, and regenerates BENCH_hwsim.json,
+# committed as the co-simulation baseline.
+bench-hwsim:
+	$(GO) run ./cmd/espbench -hwsim -benchout .

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// runHwsimStudy runs the hardware-predictor co-simulation (dynamic
+// 1-bit/2-bit/gshare/TAGE counters seeded from each static hint source,
+// steady-state and cold-start) plus the branch-predictability taxonomy,
+// prints both renders, and writes the machine-readable results as
+// BENCH_hwsim.json.
+func runHwsimStudy(ctx *experiments.Context, espCfg core.Config, genN int, dir string) error {
+	hw, err := experiments.HwsimStudy(ctx, espCfg, genN)
+	if err != nil {
+		return err
+	}
+	fmt.Println(hw.Render())
+	tax, err := experiments.TaxonomyStudy(ctx, genN)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tax.Render())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	combined := struct {
+		Hwsim    *experiments.HwsimStudyResult
+		Taxonomy *experiments.TaxonomyResult
+	}{hw, tax}
+	data, err := json.MarshalIndent(combined, "", " ")
+	if err != nil {
+		return err
+	}
+	out := benchFile(dir, "hwsim")
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("hardware co-simulation -> %s\n", out)
+	return nil
+}

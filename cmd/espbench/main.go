@@ -26,6 +26,13 @@
 // BENCH_pgo.json:
 //
 //	espbench -pgo -benchout .
+//
+// With -hwsim it co-simulates dynamic hardware predictors (1-bit, 2-bit,
+// gshare, TAGE) over the corpus branch streams, seeding their counters from
+// each static hint source, alongside the branch-predictability taxonomy,
+// and writes BENCH_hwsim.json:
+//
+//	espbench -hwsim -benchout .
 package main
 
 import (
@@ -53,6 +60,8 @@ func main() {
 	profileEst := flag.Bool("profileest", false, "run the Section 6 profile-estimation study")
 	pgoStudy := flag.Bool("pgo", false, "run the ESP-guided optimization study and write BENCH_pgo.json")
 	pgoGen := flag.Int("pgo-gen", 10, "generated programs in the -pgo study slice")
+	hwsim := flag.Bool("hwsim", false, "run the hardware-predictor co-simulation and predictability taxonomy and write BENCH_hwsim.json")
+	hwsimGen := flag.Int("hwsim-gen", 10, "generated programs in the -hwsim study slice")
 	hidden := flag.Int("hidden", 0, "override ESP hidden-layer width")
 	seed := flag.Uint64("seed", 0, "override ESP training seed")
 	bench := flag.String("bench", "", "run micro-benchmarks (comma-separated names or \"all\") instead of experiments")
@@ -134,6 +143,13 @@ func main() {
 	espCfg := core.Config{Hidden: *hidden, Seed: *seed}
 	if *pgoStudy {
 		if err := runPGOStudy(ctx, espCfg, *pgoGen, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hwsim {
+		if err := runHwsimStudy(ctx, espCfg, *hwsimGen, *benchout); err != nil {
 			fmt.Fprintf(os.Stderr, "espbench: %v\n", err)
 			os.Exit(1)
 		}

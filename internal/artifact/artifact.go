@@ -48,7 +48,7 @@ import (
 // interpreter or feature extractor, or the Record/Profile/Vector types
 // themselves. A bump invalidates every existing entry (old files fail the
 // version check and recompute); forgetting one serves stale results.
-const FormatVersion = "espa-2" // espa-2: Profile gained per-function activation counts (Calls)
+const FormatVersion = "espa-3" // espa-3: feature vectors grew to 27 values (inter-branch correlation features)
 
 var magic = [4]byte{'E', 'S', 'P', 'A'}
 

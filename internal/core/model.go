@@ -64,6 +64,11 @@ type Config struct {
 	// 24 features of Table 2; the 25th is its Section 6 future-work
 	// extension, so it is opt-in.
 	IncludeLibraryFeature bool
+	// IncludeCorrelationFeatures exposes the sparse inter-branch
+	// correlation features (features.FCorrSharedCond, FCorrDomCond) to the
+	// model — the correlation-feature ablation. Opt-in for the same reason
+	// as the library feature: the default model is the paper's.
+	IncludeCorrelationFeatures bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +87,10 @@ func (c Config) withDefaults() Config {
 	if !c.IncludeLibraryFeature {
 		c.ExcludeFeatures = append(append([]int(nil), c.ExcludeFeatures...),
 			features.FLibraryProc)
+	}
+	if !c.IncludeCorrelationFeatures {
+		c.ExcludeFeatures = append(append([]int(nil), c.ExcludeFeatures...),
+			features.FCorrSharedCond, features.FCorrDomCond)
 	}
 	return c
 }

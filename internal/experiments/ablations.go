@@ -130,6 +130,26 @@ func AblationClassifier(ctx *Context) ([]AblationPoint, error) {
 	}, nil
 }
 
+// AblationCorrelation measures the sparse inter-branch correlation
+// features (features.FCorrSharedCond/FCorrDomCond, excluded by default) as
+// an addition to the paper's feature set, mirroring the library-subroutine
+// ablation: does telling ESP that another (or a dominating) branch tests
+// the same variable improve cross-validated prediction?
+func AblationCorrelation(ctx *Context) ([]AblationPoint, error) {
+	base, err := cvMeanMiss(ctx, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	with, err := cvMeanMiss(ctx, core.Config{IncludeCorrelationFeatures: true})
+	if err != nil {
+		return nil, err
+	}
+	return []AblationPoint{
+		{Name: "the paper's 24 features (default)", Miss: base},
+		{Name: "with inter-branch correlation features", Miss: with},
+	}, nil
+}
+
 // AblationCallPolarity evaluates APHC under both readings of the Call
 // heuristic (the Table 1 OCR discrepancy documented in DESIGN.md).
 func AblationCallPolarity(ctx *Context) ([]AblationPoint, error) {

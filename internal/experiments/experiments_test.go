@@ -54,9 +54,12 @@ var (
 	memoFigure2b   memoOf[*CorpusSizeGenResult]
 	memoClassifier memoOf[[]AblationPoint]
 	memoPolarity   memoOf[[]AblationPoint]
+	memoCorr       memoOf[[]AblationPoint]
 	memoProfileEst memoOf[*ProfileEstimationResult]
 	memoOrders     memoOf[*OrderSearchResult]
 	memoPGO        memoOf[*PGOStudyResult]
+	memoHwsim      memoOf[*HwsimStudyResult]
+	memoTaxonomy   memoOf[*TaxonomyResult]
 )
 
 func table3ForTest(t *testing.T) *Table3Result {
@@ -124,6 +127,11 @@ func polarityAblationForTest(t *testing.T) []AblationPoint {
 	return memoPolarity.get(t, func() ([]AblationPoint, error) { return AblationCallPolarity(ctx) })
 }
 
+func correlationAblationForTest(t *testing.T) []AblationPoint {
+	ctx := ctxForTest(t)
+	return memoCorr.get(t, func() ([]AblationPoint, error) { return AblationCorrelation(ctx) })
+}
+
 func profileEstForTest(t *testing.T) *ProfileEstimationResult {
 	ctx := ctxForTest(t)
 	return memoProfileEst.get(t, func() (*ProfileEstimationResult, error) {
@@ -137,6 +145,22 @@ func pgoForTest(t *testing.T) *PGOStudyResult {
 	ctx := ctxForTest(t)
 	return memoPGO.get(t, func() (*PGOStudyResult, error) {
 		return PGOStudy(ctx, core.Config{}, 4)
+	})
+}
+
+// hwsimForTest runs the hardware co-simulation study with a small generated
+// slice; espbench -hwsim uses a larger one for the committed BENCH artifact.
+func hwsimForTest(t *testing.T) *HwsimStudyResult {
+	ctx := ctxForTest(t)
+	return memoHwsim.get(t, func() (*HwsimStudyResult, error) {
+		return HwsimStudy(ctx, core.Config{}, 4)
+	})
+}
+
+func taxonomyForTest(t *testing.T) *TaxonomyResult {
+	ctx := ctxForTest(t)
+	return memoTaxonomy.get(t, func() (*TaxonomyResult, error) {
+		return TaxonomyStudy(ctx, 4)
 	})
 }
 
@@ -456,6 +480,17 @@ func TestAblationsRun(t *testing.T) {
 	if out := RenderAblations("x", polarity); !strings.Contains(out, "Call") {
 		t.Error("render broken")
 	}
+	// The correlation-feature addition: like the paper's experience with
+	// extra features, it must not materially hurt (irrelevant information
+	// does not hurt), and the default point must equal the untouched base
+	// config bit for bit (the features are masked out by default).
+	corr := correlationAblationForTest(t)
+	if len(corr) != 2 {
+		t.Fatalf("correlation ablation points = %d", len(corr))
+	}
+	if corr[1].Miss > corr[0].Miss+0.03 {
+		t.Errorf("correlation features hurt badly: %.3f -> %.3f", corr[0].Miss, corr[1].Miss)
+	}
 }
 
 func TestProfileEstimationReproduction(t *testing.T) {
@@ -510,6 +545,100 @@ func TestPGOStudyReproduction(t *testing.T) {
 			res.GenTotal.ESP, res.GenTotal.Unguided)
 	}
 	if !strings.Contains(res.Render(), "ESP-guided optimization") {
+		t.Error("render broken")
+	}
+}
+
+func TestHwsimStudyReproduction(t *testing.T) {
+	res := hwsimForTest(t)
+	if len(res.Cells) != len(HwsimPredictors)*len(HwsimSeeds) {
+		t.Fatalf("%d cells, want %d", len(res.Cells), len(HwsimPredictors)*len(HwsimSeeds))
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Events == 0 {
+			t.Fatalf("%s/%s saw no events", c.Predictor, c.Seed)
+		}
+		if r := c.Rate(); r < 0 || r > 1 {
+			t.Errorf("%s/%s rate %.3f out of range", c.Predictor, c.Seed, r)
+		}
+	}
+	// Every counter of a predictor family sees the identical stream.
+	for _, p := range HwsimPredictors {
+		ev := res.cell(p, "unseeded").Events
+		for _, s := range HwsimSeeds {
+			if res.cell(p, s).Events != ev {
+				t.Errorf("%s/%s saw %d events, unseeded saw %d", p, s, res.cell(p, s).Events, ev)
+			}
+		}
+	}
+	// The acceptance shape: ESP-seeded counters beat unseeded cold starts
+	// at the small warmup budgets, for the per-site predictors.
+	for _, p := range []string{"1bit", "2bit"} {
+		for k := 0; k < 2; k++ {
+			esp := res.cell(p, "esp").WarmRate(k)
+			un := res.cell(p, "unseeded").WarmRate(k)
+			if esp >= un {
+				t.Errorf("%s warmup %d: esp-seeded %.4f not below unseeded %.4f",
+					p, res.Warmups[k], esp, un)
+			}
+		}
+	}
+	// Hint quality must order the cold start: the perfect profile's hints
+	// are at least as good as ESP's at the smallest budget.
+	if perf, esp := res.cell("2bit", "perfect").WarmRate(0), res.cell("2bit", "esp").WarmRate(0); perf > esp+1e-9 {
+		t.Errorf("perfect-seeded cold start %.4f worse than esp %.4f", perf, esp)
+	}
+	// Steady state: with millions of events, seeding must not matter much
+	// for the per-site 2-bit (within 1 point) — the gain is cold start.
+	if d := res.cell("2bit", "esp").Rate() - res.cell("2bit", "unseeded").Rate(); d > 0.01 || d < -0.01 {
+		t.Errorf("2bit steady-state seeded/unseeded gap %.4f implausibly large", d)
+	}
+	// History predictors must beat per-site counters in steady state on
+	// aggregate (that is why hardware builds them).
+	if res.cell("tage", "unseeded").Rate() >= res.cell("2bit", "unseeded").Rate() {
+		t.Errorf("tage steady state (%.4f) not below 2bit (%.4f)",
+			res.cell("tage", "unseeded").Rate(), res.cell("2bit", "unseeded").Rate())
+	}
+	if len(res.ProgramESPMiss) != 46 {
+		t.Errorf("per-program map has %d entries, want 46", len(res.ProgramESPMiss))
+	}
+	if !strings.Contains(res.Render(), "Hardware co-simulation") {
+		t.Error("render broken")
+	}
+}
+
+func TestTaxonomyReproduction(t *testing.T) {
+	res := taxonomyForTest(t)
+	if len(res.Rows) != 46+res.GenN {
+		t.Fatalf("%d rows, want %d", len(res.Rows), 46+res.GenN)
+	}
+	for _, row := range res.Rows {
+		if row.Events <= 0 || row.Sites <= 0 {
+			t.Errorf("%s: no branch activity (%d sites, %d events)", row.Program, row.Sites, row.Events)
+		}
+		if row.Entropy < 0 || row.Entropy > 1 {
+			t.Errorf("%s: entropy %.3f outside [0,1]", row.Program, row.Entropy)
+		}
+		if row.Bias < 0.5 || row.Bias > 1 {
+			t.Errorf("%s: bias %.3f outside [0.5,1]", row.Program, row.Bias)
+		}
+		for _, v := range []float64{row.SelfAgree, row.PrevAgree} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: agreement %.3f out of range", row.Program, v)
+			}
+		}
+	}
+	// Corpus branches are biased, not coin flips: weighted entropy well
+	// below 1 bit and self-agreement above 50% — the structure static
+	// prediction (and the 1-bit predictor) exploits.
+	if res.Corpus.Entropy >= 0.9 {
+		t.Errorf("corpus weighted entropy %.3f implausibly high", res.Corpus.Entropy)
+	}
+	if res.Corpus.SelfAgree <= 0.5 {
+		t.Errorf("corpus self-agreement %.3f not above chance", res.Corpus.SelfAgree)
+	}
+	if !strings.Contains(res.Render(), "taxonomy") {
 		t.Error("render broken")
 	}
 }

@@ -91,7 +91,8 @@ func TestGoldenFigure2b(t *testing.T) {
 
 func TestGoldenAblations(t *testing.T) {
 	out := RenderAblations("Ablation: classifier", classifierAblationForTest(t)) + "\n" +
-		RenderAblations("Ablation: Call heuristic polarity", polarityAblationForTest(t))
+		RenderAblations("Ablation: Call heuristic polarity", polarityAblationForTest(t)) + "\n" +
+		RenderAblations("Ablation: inter-branch correlation features", correlationAblationForTest(t))
 	checkGolden(t, "ablations", out)
 }
 
@@ -105,4 +106,12 @@ func TestGoldenPGOStudy(t *testing.T) {
 
 func TestGoldenOrderSearch(t *testing.T) {
 	checkGolden(t, "ordersearch", orderSearchForTest(t).Render())
+}
+
+func TestGoldenHwsimStudy(t *testing.T) {
+	checkGolden(t, "hwsim", hwsimForTest(t).Render())
+}
+
+func TestGoldenTaxonomy(t *testing.T) {
+	checkGolden(t, "taxonomy", taxonomyForTest(t).Render())
 }

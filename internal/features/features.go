@@ -44,9 +44,24 @@ const (
 	// 25. The ablation benches measure its contribution.
 	FLibraryProc
 
+	// FCorrSharedCond and FCorrDomCond are sparse static inter-branch
+	// correlation features (the direction of arXiv 2207.14033, recovered
+	// statically): whether another branch in the same function tests one of
+	// this branch's source locations, and whether a *dominating* branch
+	// does — a dominating test of the same variable is the strongest static
+	// signal that two branches resolve together. They need whole-program
+	// context, so Of alone leaves them Unknown; ExtractAll fills them. Like
+	// FLibraryProc they are excluded from the model by default
+	// (core.Config.IncludeCorrelationFeatures opts in), and an
+	// always-Unknown or masked feature contributes zero encoder columns, so
+	// the default feature set is bit-identical to the 25-feature one.
+	FCorrSharedCond
+	FCorrDomCond
+
 	// NumFeatures is the size of the static feature set (the paper's 24
-	// plus the library-subroutine extension).
-	NumFeatures = 25
+	// plus the library-subroutine extension plus the two inter-branch
+	// correlation extensions).
+	NumFeatures = 27
 )
 
 // Unknown is the value of a dependent feature that is not meaningful for a
@@ -68,7 +83,7 @@ var featureNames = [NumFeatures]string{
 	"taken.backedge", "taken.exit", "taken.usedef", "taken.call",
 	"nottaken.dominates", "nottaken.postdom", "nottaken.ends", "nottaken.loop",
 	"nottaken.backedge", "nottaken.exit", "nottaken.usedef", "nottaken.call",
-	"proc.library",
+	"proc.library", "corr.shared", "corr.dom",
 }
 
 // Name returns the short name of feature index i.
@@ -151,6 +166,10 @@ func Of(s *Site) Vector {
 	} else {
 		v.Values[FLibraryProc] = "USER"
 	}
+	// The correlation features compare against the function's other branch
+	// sites, which a single site cannot see; ExtractAll fills them.
+	v.Values[FCorrSharedCond] = Unknown
+	v.Values[FCorrDomCond] = Unknown
 	return v
 }
 
@@ -236,11 +255,54 @@ func succEnds(g *cfg.Graph, succIdx int) string {
 }
 
 // ExtractAll returns feature vectors for every site of a program, in the
-// deterministic site order.
+// deterministic site order, with the whole-program correlation features
+// (FCorrSharedCond, FCorrDomCond) filled in.
 func ExtractAll(ps *ProgramSites) []Vector {
 	out := make([]Vector, 0, len(ps.Sites))
+	byFunc := make(map[string][]*Site)
 	for _, s := range ps.Sites {
-		out = append(out, Of(s))
+		byFunc[s.Ref.Func] = append(byFunc[s.Ref.Func], s)
+	}
+	for _, s := range ps.Sites {
+		v := Of(s)
+		fillCorrelation(&v, s, byFunc[s.Ref.Func])
+		out = append(out, v)
 	}
 	return out
+}
+
+// fillCorrelation fills the inter-branch correlation features of one site
+// by scanning the other branch sites of its function: SHARED when any other
+// branch tests one of the same source locations (PRIVATE otherwise), and
+// DOM when such a branch's block additionally dominates this one (NDOM
+// otherwise). Sites with no recovered source locations stay Unknown — the
+// encoder gates them to zero input activity like any dependent feature.
+func fillCorrelation(v *Vector, s *Site, fnSites []*Site) {
+	if len(s.SourceLocs) == 0 {
+		return
+	}
+	v.Values[FCorrSharedCond] = "PRIVATE"
+	v.Values[FCorrDomCond] = "NDOM"
+	for _, o := range fnSites {
+		if o == s || !sharesLoc(s.SourceLocs, o.SourceLocs) {
+			continue
+		}
+		v.Values[FCorrSharedCond] = "SHARED"
+		if s.G.Dominates(o.BlockIdx, s.BlockIdx) {
+			v.Values[FCorrDomCond] = "DOM"
+			return
+		}
+	}
+}
+
+// sharesLoc reports whether the two location sets intersect.
+func sharesLoc(a, b []MemLoc) bool {
+	for _, la := range a {
+		for _, lb := range b {
+			if la == lb {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,0 +1,78 @@
+package hwsim
+
+// gshare is the classic global-history predictor: a single table of 2-bit
+// counters indexed by the branch site hashed with the global history
+// register. Site indices are small dense integers (not sparse PCs), so the
+// site is spread by a Fibonacci multiplicative hash before XOR-folding the
+// history in.
+//
+// Seeding uses the agree transformation (Sprangle et al., ISCA '97): with
+// hint bits available, each counter predicts whether the branch *agrees*
+// with its static hint, initialized to weakly-agree. Two sites with
+// opposite biases that alias to one entry then both train it toward
+// "agree" instead of fighting over a direction bit — exactly the property
+// that makes static hints valuable to shared-table hardware.
+type gshare struct {
+	name  string
+	ctr   []uint8
+	mask  uint32
+	ghr   uint32
+	hmask uint32 // history bits kept
+	hints []bool // agree mode when non-nil
+}
+
+// DefaultGshareBits sizes the gshare table (log2 entries) and the history
+// register. 12 bits ≈ a 1 KiB hardware table — small enough that corpus
+// programs exhibit real aliasing, which is the phenomenon under study.
+const DefaultGshareBits = 12
+
+// NewGshare builds a gshare predictor with a 2^bits counter table. With
+// hints it predicts agreement with the hint (weakly-agree initial state);
+// without, it predicts direction (weakly-not-taken initial state).
+func NewGshare(bits int, hints []bool) Predictor {
+	if bits <= 0 {
+		bits = DefaultGshareBits
+	}
+	p := &gshare{
+		name:  "gshare",
+		ctr:   make([]uint8, 1<<bits),
+		mask:  uint32(1<<bits) - 1,
+		hmask: uint32(1<<bits) - 1,
+		hints: hints,
+	}
+	init := uint8(1) // weakly not-taken
+	if hints != nil {
+		init = 2 // weakly agree
+	}
+	for i := range p.ctr {
+		p.ctr[i] = init
+	}
+	return p
+}
+
+func (p *gshare) Name() string { return p.name }
+
+func (p *gshare) idx(site int32) uint32 {
+	return (uint32(site)*2654435761 ^ (p.ghr & p.hmask)) & p.mask
+}
+
+func (p *gshare) Predict(site int32) bool {
+	bit := ctrTaken(p.ctr[p.idx(site)])
+	if p.hints != nil {
+		return bit == p.hints[site] // bit means "agrees with hint"
+	}
+	return bit
+}
+
+func (p *gshare) Update(site int32, taken bool) {
+	i := p.idx(site)
+	if p.hints != nil {
+		p.ctr[i] = bump(p.ctr[i], taken == p.hints[site])
+	} else {
+		p.ctr[i] = bump(p.ctr[i], taken)
+	}
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+}

@@ -1,0 +1,95 @@
+// Package hwsim simulates hardware branch direction predictors over the
+// interpreter's dynamic branch-outcome stream (interp.RunTrace), to measure
+// what a good *static* prior — BTFNT, the Ball/Larus+DSHC heuristics, ESP,
+// or a perfect profile — is worth to *dynamic* prediction hardware.
+//
+// Four predictor families are modeled: per-site 1-bit and 2-bit saturating
+// counters, a gshare global-history table, and a small TAGE-like tagged
+// multi-history predictor. Per-site predictors seed their counters directly
+// from static hint bits; shared-table predictors (gshare) seed via the
+// agree transformation — counters predict *agreement with the hint* and
+// initialize to weakly-agree, so one table entry shared by sites with
+// opposite biases no longer destructively interferes — and the TAGE base
+// component, being per-site, seeds directly.
+//
+// Every predictor is deterministic: same stream in, same mispredict count
+// out. The simulation protocol is strict Predict-then-Update per dynamic
+// branch, which Counter.Observe enforces by construction.
+package hwsim
+
+// Predictor is one dynamic branch direction predictor instance, simulated
+// over a single program's outcome stream. Predict returns the predicted
+// direction for the next dynamic instance of site; Update resolves it.
+// Callers must alternate Predict/Update for the same dynamic branch (the
+// TAGE provider bookkeeping depends on it).
+type Predictor interface {
+	Name() string
+	Predict(site int32) bool
+	Update(site int32, taken bool)
+}
+
+// ctrTaken reports the direction of a 2-bit saturating counter.
+func ctrTaken(c uint8) bool { return c >= 2 }
+
+// bump saturates a 2-bit counter toward (up) or away from (down) taken.
+func bump(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	return c
+}
+
+// oneBit is the per-site last-outcome predictor. Unseeded it starts
+// predicting not-taken everywhere; seeded it starts at the hint bit.
+type oneBit struct {
+	name string
+	bits []bool
+}
+
+// NewOneBit builds a 1-bit predictor over nsites static sites. hints, when
+// non-nil, seeds each site's bit; nil starts all-not-taken.
+func NewOneBit(nsites int, hints []bool) Predictor {
+	p := &oneBit{name: "1bit", bits: make([]bool, nsites)}
+	if hints != nil {
+		copy(p.bits, hints)
+	}
+	return p
+}
+
+func (p *oneBit) Name() string            { return p.name }
+func (p *oneBit) Predict(site int32) bool { return p.bits[site] }
+func (p *oneBit) Update(site int32, taken bool) {
+	p.bits[site] = taken
+}
+
+// twoBit is the per-site 2-bit saturating counter predictor. Unseeded every
+// counter starts weakly-not-taken (1); seeded, a taken hint starts
+// weakly-taken (2) — weak either way, so one contrary outcome flips the
+// prediction exactly like hardware warming from a hint bit.
+type twoBit struct {
+	name string
+	ctr  []uint8
+}
+
+// NewTwoBit builds a 2-bit predictor over nsites static sites, optionally
+// seeded from hint bits.
+func NewTwoBit(nsites int, hints []bool) Predictor {
+	p := &twoBit{name: "2bit", ctr: make([]uint8, nsites)}
+	for i := range p.ctr {
+		p.ctr[i] = 1
+		if hints != nil && hints[i] {
+			p.ctr[i] = 2
+		}
+	}
+	return p
+}
+
+func (p *twoBit) Name() string            { return p.name }
+func (p *twoBit) Predict(site int32) bool { return ctrTaken(p.ctr[site]) }
+func (p *twoBit) Update(site int32, taken bool) {
+	p.ctr[site] = bump(p.ctr[site], taken)
+}

@@ -1,0 +1,189 @@
+package hwsim
+
+// tage is a small TAGE-like predictor: a per-site 2-bit base component plus
+// a few partially-tagged components indexed by geometrically longer global
+// history. The longest matching tagged component provides the prediction;
+// on a mispredict a longer component is allocated (deterministically — the
+// first candidate with a dead useful counter, else all candidates decay).
+//
+// The base component is per-site, so static hint bits seed it directly,
+// the same way NewTwoBit seeds: the hint is the prediction hardware starts
+// from until history-correlated components warm up and take over.
+type tage struct {
+	name  string
+	base  []uint8 // per-site 2-bit direction counters
+	comps []tageComp
+	ghr   uint64
+
+	// provider bookkeeping between Predict and Update.
+	pComp    int // providing component, -1 = base
+	pIdx     uint32
+	pPred    bool
+	altPred  bool
+	newAlloc bool // provider entry was allocated recently (weak confidence)
+}
+
+type tageComp struct {
+	hist int // global-history length folded into the index
+	tag  []uint8
+	ctr  []int8 // 3-bit signed, taken when >= 0
+	u    []uint8
+	mask uint32
+}
+
+// tageHistLens are the component history lengths (geometric, TAGE-style).
+var tageHistLens = [...]int{4, 9, 18}
+
+// DefaultTageBits sizes each tagged component table (log2 entries).
+const DefaultTageBits = 10
+
+// NewTage builds the TAGE-like predictor over nsites static sites,
+// optionally seeding the base component from hint bits.
+func NewTage(nsites int, hints []bool) Predictor {
+	p := &tage{name: "tage", pComp: -1}
+	p.base = make([]uint8, nsites)
+	for i := range p.base {
+		p.base[i] = 1
+		if hints != nil && hints[i] {
+			p.base[i] = 2
+		}
+	}
+	for _, h := range tageHistLens {
+		n := 1 << DefaultTageBits
+		p.comps = append(p.comps, tageComp{
+			hist: h,
+			tag:  make([]uint8, n),
+			ctr:  make([]int8, n),
+			u:    make([]uint8, n),
+			mask: uint32(n) - 1,
+		})
+	}
+	return p
+}
+
+func (p *tage) Name() string { return p.name }
+
+// fold compresses the low h bits of the global history into 32 bits.
+func fold(ghr uint64, h int) uint32 {
+	x := ghr & (1<<uint(h) - 1)
+	return uint32(x) ^ uint32(x>>32)
+}
+
+func (c *tageComp) index(site int32, ghr uint64) uint32 {
+	f := fold(ghr, c.hist)
+	return (uint32(site)*2654435761 ^ f ^ f<<3) & c.mask
+}
+
+func (c *tageComp) tagOf(site int32, ghr uint64) uint8 {
+	f := fold(ghr, c.hist)
+	t := uint32(site)*40503 ^ f*2654435761>>8
+	t ^= t >> 16
+	tag := uint8(t)
+	if tag == 0 {
+		tag = 1 // 0 marks an empty entry
+	}
+	return tag
+}
+
+func (p *tage) Predict(site int32) bool {
+	basePred := ctrTaken(p.base[site])
+	p.pComp, p.pPred, p.altPred, p.newAlloc = -1, basePred, basePred, false
+	for ci := len(p.comps) - 1; ci >= 0; ci-- {
+		c := &p.comps[ci]
+		i := c.index(site, p.ghr)
+		if c.tag[i] != c.tagOf(site, p.ghr) {
+			continue
+		}
+		pred := c.ctr[i] >= 0
+		if p.pComp < 0 {
+			p.pComp, p.pIdx, p.pPred = ci, i, pred
+			p.newAlloc = c.ctr[i] == 0 || c.ctr[i] == -1
+			continue // keep scanning for the alternate prediction
+		}
+		p.altPred = pred
+		break
+	}
+	if p.pComp < 0 {
+		return basePred
+	}
+	// Newly-allocated entries have no confidence yet — use the alternate
+	// prediction until the counter moves off weak (altPred defaults to the
+	// base prediction when no shorter tagged component matched).
+	if p.newAlloc && p.altPred != p.pPred {
+		return p.altPred
+	}
+	return p.pPred
+}
+
+func (p *tage) Update(site int32, taken bool) {
+	pred := p.pPred
+	if p.pComp >= 0 && p.newAlloc && p.altPred != p.pPred {
+		pred = p.altPred
+	}
+
+	if p.pComp >= 0 {
+		c := &p.comps[p.pComp]
+		// Useful counter: the provider distinguished itself from the
+		// alternate — reward when right, decay when wrong.
+		if p.pPred != p.altPred {
+			if p.pPred == taken {
+				if c.u[p.pIdx] < 3 {
+					c.u[p.pIdx]++
+				}
+			} else if c.u[p.pIdx] > 0 {
+				c.u[p.pIdx]--
+			}
+		}
+		// 3-bit signed saturating counter update.
+		if taken {
+			if c.ctr[p.pIdx] < 3 {
+				c.ctr[p.pIdx]++
+			}
+		} else if c.ctr[p.pIdx] > -4 {
+			c.ctr[p.pIdx]--
+		}
+	} else {
+		p.base[site] = bump(p.base[site], taken)
+	}
+
+	// On a mispredict, allocate in a component with longer history than the
+	// provider: first candidate whose useful counter is dead; if none, decay
+	// them all (deterministic stand-in for TAGE's randomized allocation).
+	if pred != taken {
+		start := p.pComp + 1
+		allocated := false
+		for ci := start; ci < len(p.comps); ci++ {
+			c := &p.comps[ci]
+			i := c.index(site, p.ghr)
+			if c.u[i] == 0 {
+				c.tag[i] = c.tagOf(site, p.ghr)
+				if taken {
+					c.ctr[i] = 0 // weakly taken
+				} else {
+					c.ctr[i] = -1 // weakly not-taken
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for ci := start; ci < len(p.comps); ci++ {
+				c := &p.comps[ci]
+				i := c.index(site, p.ghr)
+				if c.u[i] > 0 {
+					c.u[i]--
+				}
+			}
+		}
+	}
+
+	p.ghr = p.ghr<<1 | b2u(taken)
+	p.pComp = -1
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

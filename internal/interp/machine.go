@@ -134,6 +134,12 @@ type machine struct {
 	refs   []ir.BranchRef
 	slotOf map[ir.BranchRef]int32
 
+	// trace, when non-nil, receives every conditional-branch outcome in
+	// program order (RunTrace/RunReferenceTrace). Both dispatch loops emit
+	// to it right where they bump the dense counters, so the stream
+	// aggregates bit-identically to the Profile by construction.
+	trace TraceSink
+
 	// Reference-path images (built by RunReference, or lazily by the
 	// micro-op path when an activation switches to the reference loop to
 	// reproduce an exact out-of-fuel error point).

@@ -253,9 +253,13 @@ func (m *machine) refLoop(fi *funcImage, regs *[ir.NumRegs]int64, sp int64, bloc
 				a := bim.aux[pc]
 				bc := &m.counts[int32(a>>32)]
 				bc.Executed++
-				if branchTaken(in, regs[:]) {
+				taken := branchTaken(in, regs[:])
+				if taken {
 					bc.Taken++
 					nextIdx = int(int32(uint32(a)))
+				}
+				if m.trace != nil {
+					m.trace.TraceBranch(int32(a>>32), taken)
 				}
 				fell = false
 				goto endBlock

@@ -758,6 +758,7 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 
 	mem := m.mem
 	counts := m.counts
+	trace := m.trace // nil in production; one predictable branch per site
 	prevBlk := -1
 	fuel := m.fuel // kept in a register; flushed to m.fuel at calls and return
 
@@ -1081,8 +1082,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBne:
@@ -1090,8 +1097,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBlt:
@@ -1099,8 +1112,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] < 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBle:
@@ -1108,8 +1127,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] <= 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBgt:
@@ -1117,8 +1142,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] > 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBge:
@@ -1126,8 +1157,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] >= 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uFbeq:
@@ -1135,8 +1172,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if math.Float64frombits(uint64(regs[u.a])) == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uFbne:
@@ -1144,8 +1187,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if math.Float64frombits(uint64(regs[u.a])) != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uFblt:
@@ -1153,8 +1202,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if math.Float64frombits(uint64(regs[u.a])) < 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uFble:
@@ -1162,8 +1217,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if math.Float64frombits(uint64(regs[u.a])) <= 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uFbgt:
@@ -1171,8 +1232,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if math.Float64frombits(uint64(regs[u.a])) > 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uFbge:
@@ -1180,8 +1247,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if math.Float64frombits(uint64(regs[u.a])) >= 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBeq2:
@@ -1189,8 +1262,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] == regs[u.b] {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uBne2:
@@ -1198,8 +1277,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if regs[u.a] != regs[u.b] {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 
@@ -1213,8 +1298,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpEqBne:
@@ -1227,8 +1318,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLtBeq:
@@ -1241,8 +1338,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLtBne:
@@ -1255,8 +1358,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLeBeq:
@@ -1269,8 +1378,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLeBne:
@@ -1283,8 +1398,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpEqIBeq:
@@ -1297,8 +1418,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpEqIBne:
@@ -1311,8 +1438,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLtIBeq:
@@ -1325,8 +1458,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLtIBne:
@@ -1339,8 +1478,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLeIBeq:
@@ -1353,8 +1498,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uCmpLeIBne:
@@ -1367,8 +1518,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 
@@ -1616,8 +1773,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uLdCmpEqBne:
@@ -1635,8 +1798,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uLdCmpLtBeq:
@@ -1654,8 +1823,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v == 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 		case uLdCmpLtBne:
@@ -1673,8 +1848,14 @@ func (m *machine) callU(fi *uimage, args [12]int64, sp int64) (retInt int64, ret
 			bc.Executed++
 			if v != 0 {
 				bc.Taken++
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), true)
+				}
 				u = uat(base, uint32(u.aux))
 			} else {
+				if trace != nil {
+					trace.TraceBranch(int32(u.aux>>32), false)
+				}
 				u = uadd(u, 1)
 			}
 

@@ -87,11 +87,13 @@ type Snapshot struct {
 	Count  int64
 }
 
-// Quantile extracts the q-quantile (0 < q <= 1) from the bucket counts, in
-// microseconds, interpolating linearly within the bucket that holds the
-// rank (the Prometheus histogram_quantile rule). Observations that landed
-// in the +Inf bucket report that bucket's lower bound. Returns 0 for an
-// empty histogram.
+// Quantile extracts the q-quantile from the bucket counts, in microseconds,
+// interpolating linearly within the bucket that holds the rank (the
+// Prometheus histogram_quantile rule). q is clamped to [0, 1]: q <= 0
+// reports the lower bound of the lowest occupied bucket and q = 1 the upper
+// bound of the highest. Observations that landed in the +Inf bucket report
+// that bucket's finite lower bound (2^26µs). Returns 0 for an empty
+// histogram.
 func (s Snapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0

@@ -103,6 +103,67 @@ func TestQuantileInfBucket(t *testing.T) {
 	}
 }
 
+// TestQuantileClampsQ pins the documented clamping of q to [0, 1]: q <= 0
+// reports the lower bound of the lowest occupied bucket, q >= 1 the upper
+// bound of the highest, and out-of-range inputs behave like the nearest
+// endpoint rather than panicking or extrapolating.
+func TestQuantileClampsQ(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(8) // the (4, 8] bucket
+	}
+	for _, q := range []float64{-1, 0} {
+		if got := h.Quantile(q); got != 4 {
+			t.Errorf("Quantile(%g) = %g, want the bucket's lower bound 4", q, got)
+		}
+	}
+	for _, q := range []float64{1, 2} {
+		if got := h.Quantile(q); got != 8 {
+			t.Errorf("Quantile(%g) = %g, want the bucket's upper bound 8", q, got)
+		}
+	}
+	// Empty histogram: every q, in range or not, reports 0.
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileAllInOverflow puts every observation in the +Inf bucket: the
+// whole quantile range must collapse to that bucket's finite lower bound —
+// never +Inf, never an interpolated value past the last finite bound.
+func TestQuantileAllInOverflow(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(1)<<27 + int64(i))
+	}
+	want := BucketBound(NumBuckets - 2)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != want {
+			t.Errorf("Quantile(%g) = %g, want the +Inf bucket's lower bound %g", q, got, want)
+		}
+		if math.IsInf(got, 1) {
+			t.Errorf("Quantile(%g) leaked +Inf", q)
+		}
+	}
+}
+
+// TestQuantileSingleObservation: one observation in one bucket must keep
+// every quantile inside that bucket's bounds.
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(100) // the (64, 128] bucket
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < 64 || got > 128 {
+			t.Errorf("Quantile(%g) = %g, want within (64, 128]", q, got)
+		}
+	}
+}
+
 // TestHistogramConcurrentWriters hammers one histogram from many goroutines
 // (run under -race in CI) and checks nothing is lost.
 func TestHistogramConcurrentWriters(t *testing.T) {

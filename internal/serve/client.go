@@ -149,8 +149,8 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*PredictResponse, er
 		_ = json.NewDecoder(io.LimitReader(resp.Body, maxErrorBodyBytes)).Decode(&e)
 		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-				return nil, &shedError{APIError: apiErr, retryAfter: time.Duration(after) * time.Second}
+			if after, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				return nil, &shedError{APIError: apiErr, retryAfter: after}
 			}
 		}
 		return nil, apiErr
@@ -160,6 +160,38 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*PredictResponse, er
 		return nil, err
 	}
 	return &pr, nil
+}
+
+// maxRetryAfter caps the Retry-After hint the client will honor. RFC 7231
+// lets a server name any delay; a client bound by MaxAttempts should not be
+// parked for minutes by one header (misconfigured or clock-skewed servers
+// produce wild HTTP-date hints in practice).
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter interprets a Retry-After header per RFC 7231 §7.1.3:
+// either delta-seconds or an HTTP-date. The result is clamped to
+// [0, maxRetryAfter] — a negative delta or a past date means "now", not an
+// ignored hint and not a negative sleep. Returns ok=false for an absent or
+// malformed header.
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(h); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		d = t.Sub(now)
+	} else {
+		return 0, false
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 // shedError carries the server's Retry-After hint alongside the 429.

@@ -192,6 +192,87 @@ func TestClientCancelAbortsBackoff(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter pins the RFC 7231 §7.1.3 parsing: both delta-seconds
+// and HTTP-date forms are understood, negatives and past dates clamp to
+// zero (retry now) instead of being dropped or producing negative sleeps,
+// oversized hints clamp to maxRetryAfter, and garbage is rejected.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2025, time.March, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+		ok     bool
+	}{
+		{"absent", "", 0, false},
+		{"delta seconds", "2", 2 * time.Second, true},
+		{"zero delta", "0", 0, true},
+		{"negative delta clamps to zero", "-5", 0, true},
+		{"huge delta clamps to cap", "86400", maxRetryAfter, true},
+		{"http date in the future", now.Add(3 * time.Second).Format(http.TimeFormat), 3 * time.Second, true},
+		{"http date in the past clamps to zero", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"http date far in the future clamps to cap", now.Add(time.Hour).Format(http.TimeFormat), maxRetryAfter, true},
+		{"garbage", "soon", 0, false},
+		{"float seconds are not delta-seconds", "1.5", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseRetryAfter(tc.header, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = (%v, %t), want (%v, %t)",
+					tc.header, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestClientHonorsHTTPDateRetryAfter scripts a 429 whose Retry-After is an
+// HTTP-date rather than delta-seconds — the form the old bare strconv.Atoi
+// silently dropped, collapsing the wait to the millisecond-scale backoff.
+func TestClientHonorsHTTPDateRetryAfter(t *testing.T) {
+	var attempts atomic.Int64
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{http.StatusTooManyRequests}, date))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7})
+	start := time.Now()
+	if _, err := c.Predict(context.Background(), &PredictRequest{ID: "x"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	// The HTTP-date names a moment 2s out; http.TimeFormat truncates to
+	// whole seconds, so the parsed delay is still at least ~1s. A
+	// millisecond-scale backoff means the hint was dropped.
+	if d := time.Since(start); d < 800*time.Millisecond {
+		t.Fatalf("retried after %v despite an HTTP-date Retry-After 2s out", d)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("%d attempts, want 2", got)
+	}
+}
+
+// TestClientClampsNegativeRetryAfter scripts a 429 with a negative
+// delta-seconds hint. The old code passed it straight into a
+// time.Duration, handing backoff a negative "floor"; the fix clamps it to
+// zero so the client retries promptly and successfully.
+func TestClientClampsNegativeRetryAfter(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(flakyHandler(&attempts, []int{http.StatusTooManyRequests}, "-30"))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7})
+	start := time.Now()
+	if _, err := c.Predict(context.Background(), &PredictRequest{ID: "x"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("negative Retry-After stalled the retry for %v", d)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("%d attempts, want 2", got)
+	}
+}
+
 // TestClientBoundsErrorBody sends a huge error payload: the client must
 // surface the status without inhaling the whole body into the decoder.
 func TestClientBoundsErrorBody(t *testing.T) {
